@@ -1,0 +1,87 @@
+// E13 — §IV-A: architecture-level power models.  "Known signal statistics
+// are used to obtain models that are more accurate than those obtained from
+// using random input streams" [21,22] vs the PFA constant-capacitance
+// characterization [15].  Reproduced: both model classes calibrated against
+// this library's gate-level analysis and scored on unseen statistics.
+
+#include "bench_util.hpp"
+#include "arch/macromodel.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::arch;
+
+void report() {
+  benchx::banner("E13 bench_arch_models",
+                 "Claim (S-IV-A): activity-sensitive macro-models beat "
+                 "constant-per-activation (PFA) models off the calibration "
+                 "point [15 vs 21,22].");
+  std::vector<bench::NamedNetlist> modules;
+  modules.push_back({"adder16", bench::ripple_carry_adder(16)});
+  modules.push_back({"mult6", bench::array_multiplier(6)});
+  modules.push_back({"cmp16", bench::comparator_gt(16)});
+  modules.push_back({"alu4", bench::alu(4)});
+
+  core::Table t({"module", "PFA mean |err|", "activity-model mean |err|",
+                 "improvement"});
+  for (auto& [name, net] : modules) {
+    std::size_t n_in = net.inputs().size();
+    std::vector<StatPoint> train, test;
+    for (double p : {0.1, 0.3, 0.5, 0.7, 0.9})
+      train.push_back(StatPoint(n_in, p));
+    for (double p : {0.05, 0.2, 0.4, 0.6, 0.8, 0.95})
+      test.push_back(StatPoint(n_in, p));
+    auto ev = evaluate_macromodels(net, train, test, 4096);
+    t.row({name, core::Table::pct(ev.mean_abs_err_pfa),
+           core::Table::pct(ev.mean_abs_err_activity),
+           core::Table::num(ev.mean_abs_err_pfa /
+                                std::max(1e-9, ev.mean_abs_err_activity),
+                            1) +
+               "x"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nAdditive per-module costs [36] (modules characterized in "
+               "isolation, then summed; the joint system correlates module "
+               "B's inputs with module A's outputs):\n";
+  core::Table at({"system", "joint truth fF/cyc", "additive estimate",
+                  "relative error"});
+  struct Sys {
+    std::string name;
+    Netlist a, b;
+  };
+  std::vector<Sys> systems;
+  systems.push_back({"rca4 -> cmp4", bench::ripple_carry_adder(4),
+                     bench::comparator_gt(4)});
+  systems.push_back({"rca8 -> parity", bench::ripple_carry_adder(8),
+                     bench::parity_tree(9)});
+  systems.push_back({"mult4 -> rca8", bench::array_multiplier(4),
+                     bench::ripple_carry_adder(8)});
+  for (auto& sys : systems) {
+    auto ev = evaluate_additive_model(sys.a, sys.b, 4096);
+    at.row({sys.name, core::Table::num(ev.truth_cap_ff, 1),
+            core::Table::num(ev.additive_cap_ff, 1),
+            core::Table::pct(ev.relative_error)});
+  }
+  at.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_calibrate(benchmark::State& state) {
+  auto net = bench::ripple_carry_adder(8);
+  std::vector<StatPoint> train;
+  for (double p : {0.1, 0.5, 0.9})
+    train.push_back(StatPoint(net.inputs().size(), p));
+  for (auto _ : state) {
+    auto m = calibrate_activity_model(net, train, 512);
+    benchmark::DoNotOptimize(m.c1_ff);
+  }
+}
+BENCHMARK(bm_calibrate);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

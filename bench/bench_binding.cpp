@@ -1,0 +1,104 @@
+// E15 — §IV-B: "The decisions made during [allocation and assignment] ...
+// affect the total switched capacitance in the data path.  The problem of
+// minimizing this switched capacitance, while accounting for correlations
+// between signals, is addressed in [33],[34]."  Reproduced: naive vs
+// correlation-aware binding on the DSP DFG suite.
+
+#include "bench_util.hpp"
+#include "arch/binding.hpp"
+#include "arch/modules.hpp"
+#include "arch/scheduling.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::arch;
+
+void report() {
+  benchx::banner("E15 bench_binding",
+                 "Claim (S-IV-B): correlation-aware binding reduces unit-"
+                 "input switched capacitance at the same unit count "
+                 "[33,34].");
+  auto lib = standard_module_library();
+  core::Table t({"workload", "units", "naive toggles/pass",
+                 "low-power toggles/pass", "saving"});
+  struct W {
+    std::string name;
+    Dfg g;
+    std::map<OpType, int> limits;
+  };
+  std::vector<W> ws;
+  ws.push_back({"fir8", fir_filter(8), {{OpType::Mul, 2}, {OpType::Add, 2}}});
+  ws.push_back({"dual_fir4", dual_fir(4), {{OpType::Mul, 2},
+                                           {OpType::Add, 2}}});
+  ws.push_back({"dual_fir8", dual_fir(8), {{OpType::Mul, 2},
+                                           {OpType::Add, 2}}});
+  ws.push_back({"fir12", fir_filter(12), {{OpType::Mul, 3}, {OpType::Add, 2}}});
+  ws.push_back({"biquad", iir_biquad(), {{OpType::Mul, 2}, {OpType::Add, 1},
+                                         {OpType::Sub, 1}}});
+  ws.push_back({"dct4", dct_butterfly(), {{OpType::Mul, 1}, {OpType::Add, 2},
+                                          {OpType::Sub, 1}}});
+  for (auto& w : ws) {
+    std::vector<const Module*> fast(w.g.num_ops(), nullptr);
+    for (int i = 0; i < w.g.num_ops(); ++i) {
+      OpType ty = w.g.op(i).type;
+      if (ty != OpType::Input && ty != OpType::Const && ty != OpType::Output)
+        fast[i] = lib.fastest(ty);
+    }
+    auto s = list_schedule(w.g, fast, w.limits);
+    auto naive = naive_binding(w.g, s);
+    auto low = low_power_binding(w.g, s);
+    t.row({w.name, std::to_string(low.num_units),
+           core::Table::num(naive.switched_bits, 1),
+           core::Table::num(low.switched_bits, 1),
+           core::Table::pct(1.0 - low.switched_bits /
+                                      std::max(1e-9, naive.switched_bits))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nRegister binding (values -> registers, same allocation "
+               "size, switching-aware value placement):\n";
+  core::Table rt({"workload", "registers", "naive reg toggles",
+                  "low-power", "saving"});
+  for (auto& w : ws) {
+    std::vector<const Module*> fast(w.g.num_ops(), nullptr);
+    for (int i = 0; i < w.g.num_ops(); ++i) {
+      OpType ty = w.g.op(i).type;
+      if (ty != OpType::Input && ty != OpType::Const && ty != OpType::Output)
+        fast[i] = lib.fastest(ty);
+    }
+    auto s = list_schedule(w.g, fast, w.limits);
+    auto naive = naive_register_binding(w.g, s);
+    auto low = low_power_register_binding(w.g, s);
+    rt.row({w.name, std::to_string(low.num_registers),
+            core::Table::num(naive.switched_bits, 1),
+            core::Table::num(low.switched_bits, 1),
+            core::Table::pct(1.0 - low.switched_bits /
+                                       std::max(1e-9, naive.switched_bits))});
+  }
+  rt.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_binding(benchmark::State& state) {
+  auto lib = standard_module_library();
+  auto g = fir_filter(8);
+  std::vector<const Module*> fast(g.num_ops(), nullptr);
+  for (int i = 0; i < g.num_ops(); ++i) {
+    OpType ty = g.op(i).type;
+    if (ty != OpType::Input && ty != OpType::Const && ty != OpType::Output)
+      fast[i] = lib.fastest(ty);
+  }
+  std::map<OpType, int> limits{{OpType::Mul, 2}, {OpType::Add, 2}};
+  auto s = list_schedule(g, fast, limits);
+  for (auto _ : state) {
+    auto b = low_power_binding(g, s);
+    benchmark::DoNotOptimize(b.switched_bits);
+  }
+}
+BENCHMARK(bm_binding);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,118 @@
+// E9 — §III-C.1 bus coding [39]: the worked example (0000 -> 1011 sent as
+// 0100 + E), bus-invert savings vs width, limited-weight codes, gray
+// addressing, and one-hot RNS arithmetic [11].
+
+#include "bench_util.hpp"
+#include "coding/bus_invert.hpp"
+#include "coding/gray.hpp"
+#include "coding/limited_weight.hpp"
+#include "coding/residue.hpp"
+#include "core/report.hpp"
+#include "sim/stimulus.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::coding;
+
+void report() {
+  benchx::banner("E9 bench_bus_coding",
+                 "Claim (S-III-C.1): bus-invert bounds and reduces bus "
+                 "transitions [39]; one-hot residues fix register "
+                 "switching [11].");
+  {
+    BusInvertEncoder enc(4);
+    enc.encode(0b0000);
+    auto s = enc.encode(0b1011);
+    std::cout << "Worked example: prev 0000, next 1011 -> wires "
+              << ((s.wire_word >> 3) & 1) << ((s.wire_word >> 2) & 1)
+              << ((s.wire_word >> 1) & 1) << (s.wire_word & 1) << ", E="
+              << (s.invert ? 1 : 0) << "  (paper: 0100, E=1)\n\n";
+  }
+  {
+    std::cout << "Bus-invert on uniform data (transition signalling "
+                 "average; Stan & Burleson report ~18% at w=8):\n";
+    core::Table t({"width", "raw tog/cyc", "coded tog/cyc", "saving",
+                   "worst raw", "worst coded"});
+    for (int w : {4, 8, 16, 32}) {
+      auto s = sim::uniform_stream(w, 40000, 7 * w);
+      auto st = evaluate_bus_invert(s, w);
+      double n = static_cast<double>(s.size() - 1);
+      t.row({std::to_string(w), core::Table::num(st.raw_transitions / n, 2),
+             core::Table::num(st.coded_transitions / n, 2),
+             core::Table::pct(st.saving()),
+             std::to_string(st.worst_cycle_raw),
+             std::to_string(st.worst_cycle_coded)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nPartitioned bus-invert (one E line per group, w=32):\n";
+    core::Table t({"groups", "saving"});
+    auto s = sim::uniform_stream(32, 40000, 11);
+    for (int g : {1, 2, 4, 8})
+      t.row({std::to_string(g),
+             core::Table::pct(
+                 evaluate_partitioned_bus_invert(s, 32, g).saving())});
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nLimited-weight codes (m=6 source bits, transition "
+                 "signalling):\n";
+    core::Table t({"wires n", "avg codeword weight", "coded vs raw"});
+    auto s = sim::uniform_stream(6, 40000, 13);
+    for (int n : {6, 7, 8, 10}) {
+      LimitedWeightCode lwc(6, n);
+      auto st = evaluate_lwc(s, 6, n);
+      t.row({std::to_string(n), core::Table::num(lwc.average_weight(), 2),
+             core::Table::pct(1.0 - static_cast<double>(st.coded_transitions) /
+                                        st.raw_transitions)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nGray-coded addressing (16-bit, sequentiality sweep):\n";
+    core::Table t({"P(sequential)", "gray vs binary"});
+    for (double p : {0.99, 0.9, 0.5, 0.0}) {
+      auto s = sim::address_stream(16, 40000, p, 17);
+      auto st = evaluate_gray(s, 16);
+      t.row({core::Table::num(p, 2),
+             core::Table::pct(1.0 - static_cast<double>(st.coded_transitions) /
+                                        st.raw_transitions)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nOne-hot RNS accumulator [11] vs binary accumulator:\n";
+    core::Table t({"moduli", "wires bin/onehot", "reg tog bin/onehot",
+                   "LOGIC tog bin (adder, w/ glitches)", "LOGIC tog onehot"});
+    for (auto moduli : {std::vector<int>{3, 5, 7},
+                        std::vector<int>{5, 7, 9, 11}}) {
+      OneHotRns rns(moduli);
+      auto st = evaluate_rns_accumulator(rns, 4000, 23);
+      std::string ms;
+      for (int m : moduli) ms += std::to_string(m) + " ";
+      t.row({ms, std::to_string(st.wires_binary) + "/" +
+                     std::to_string(st.wires_onehot),
+             core::Table::num(st.avg_transitions_binary, 2) + "/" +
+                 core::Table::num(st.avg_transitions_onehot, 2),
+             core::Table::num(st.logic_transitions_binary, 1),
+             core::Table::num(st.logic_transitions_onehot, 1)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_bus_invert(benchmark::State& state) {
+  auto s = sim::uniform_stream(static_cast<int>(state.range(0)), 4096, 3);
+  for (auto _ : state) {
+    auto st = evaluate_bus_invert(s, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(st.coded_transitions);
+  }
+}
+BENCHMARK(bm_bus_invert)->Arg(8)->Arg(32);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

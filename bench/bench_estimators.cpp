@@ -1,0 +1,117 @@
+// E19 — §IV-A presumes a ladder of power estimators ("reasonably accurate
+// low-level power analysis tools" to calibrate against; Najm's companion
+// survey [31] catalogues them).  This bench compares every estimator in the
+// library against the event-driven reference on the same circuits:
+//   timed simulation          (reference: functional + spurious)
+//   zero-delay simulation     (misses glitches)
+//   exact BDD probabilities   (zero-delay, temporal-independence closed form)
+//   independent probabilities (adds the spatial-independence error)
+//   Najm transition density   (adds the coincident-toggle error)
+// Accuracy is total switched capacitance vs the reference; runtimes come
+// from the google-benchmark section.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "power/probability.hpp"
+
+namespace {
+
+using namespace lps;
+
+double weighted_cap(const Netlist& net, const std::vector<double>& toggles) {
+  power::PowerParams pp;
+  double c = 0;
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (net.is_dead(id)) continue;
+    c += power::node_capacitance(net, id, pp) * 1e15 * toggles[id];
+  }
+  return c;
+}
+
+void report() {
+  benchx::banner(
+      "E19 bench_estimators",
+      "Context (S-IV-A / [31]): the estimator ladder trades accuracy for "
+      "speed; each simplifying assumption shows up as a bias.");
+  core::Table t({"circuit", "timed (ref) fF/cyc", "zero-delay", "BDD exact",
+                 "independent", "Najm density"});
+  std::vector<bench::NamedNetlist> suite;
+  suite.push_back({"c17", bench::c17()});
+  suite.push_back({"rca8", bench::ripple_carry_adder(8)});
+  suite.push_back({"cmp8", bench::comparator_gt(8)});
+  suite.push_back({"alu4", bench::alu(4)});
+  suite.push_back({"parity16", bench::parity_tree(16)});
+  for (auto& [name, net] : suite) {
+    auto timed = sim::measure_timed_activity(net, 4096, 3);
+    std::vector<double> timed_rate(net.size(), 0.0);
+    for (NodeId id = 0; id < net.size(); ++id)
+      timed_rate[id] = timed.total_toggles[id] / 4096.0;
+    auto zd = sim::measure_activity(net, 64, 3);
+    auto exact = power::toggle_rate_from_probs(power::signal_probs_exact(net));
+    auto indep =
+        power::toggle_rate_from_probs(power::signal_probs_independent(net));
+    auto dens = power::transition_density(net);
+    double ref = weighted_cap(net, timed_rate);
+    auto cell = [&](const std::vector<double>& r) {
+      double c = weighted_cap(net, r);
+      return core::Table::num(c, 0) + " (" +
+             core::Table::pct(c / ref - 1.0) + ")";
+    };
+    t.row({name, core::Table::num(ref, 0), cell(zd.transition_prob),
+           cell(exact), cell(indep), cell(dens)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(negative bias = estimator misses glitch power; positive "
+               "= overcounts via independence assumptions)\n\n";
+}
+
+void bm_timed(benchmark::State& state) {
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto r = sim::measure_timed_activity(net, 512, 3);
+    benchmark::DoNotOptimize(r.vectors);
+  }
+}
+BENCHMARK(bm_timed);
+
+void bm_zero_delay(benchmark::State& state) {
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto r = sim::measure_activity(net, 8, 3);
+    benchmark::DoNotOptimize(r.patterns);
+  }
+}
+BENCHMARK(bm_zero_delay);
+
+void bm_bdd_exact(benchmark::State& state) {
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto p = power::signal_probs_exact(net);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(bm_bdd_exact);
+
+void bm_independent(benchmark::State& state) {
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto p = power::signal_probs_independent(net);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(bm_independent);
+
+void bm_density(benchmark::State& state) {
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto p = power::transition_density(net);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(bm_density);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

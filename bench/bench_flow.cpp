@@ -1,0 +1,59 @@
+// E20 — the survey's thesis, §VI: "We have surveyed power optimizations
+// applicable at various levels of abstraction" — the point of a CAD system
+// is that they compose.  This bench runs the full combinational low-power
+// flow (strash -> ODC rewriting -> window resynthesis -> path balancing ->
+// in-place sizing, each stage measured and reverted if it loses) across the
+// benchmark suite and reports the composed savings with stage attribution.
+
+#include "bench_util.hpp"
+#include "core/flows.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "sim/logicsim.hpp"
+
+namespace {
+
+using namespace lps;
+
+void report() {
+  benchx::banner("E20 bench_flow",
+                 "Composition: the surveyed optimizations stack; losing "
+                 "stages are measured and reverted (the buffer-capacitance "
+                 "caveat of S-III-A.2 made operational).");
+  core::Table t({"circuit", "power in uW", "power out uW", "saving",
+                 "gates in->out", "stages kept", "equiv"});
+  for (const auto& [name, net] : bench::default_suite()) {
+    if (net.num_gates() > 300) continue;  // keep the sweep quick
+    core::FlowOptions opt;
+    opt.sim_vectors = 1024;
+    auto r = core::optimize_combinational(net, opt);
+    int kept = 0;
+    for (const auto& s : r.stages)
+      if (s.stage.find("reverted") == std::string::npos) ++kept;
+    kept -= 2;  // input + strash rows
+    bool equiv = sim::equivalent_random(net, r.circuit, 256, 5);
+    t.row({name, core::Table::num(r.stages.front().power_w * 1e6, 1),
+           core::Table::num(r.stages.back().power_w * 1e6, 1),
+           core::Table::pct(r.saving()),
+           std::to_string(r.stages.front().gates) + " -> " +
+               std::to_string(r.stages.back().gates),
+           std::to_string(kept) + "/4", equiv ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_flow(benchmark::State& state) {
+  auto net = bench::carry_select_adder(8, 2);
+  core::FlowOptions opt;
+  opt.sim_vectors = 256;
+  for (auto _ : state) {
+    auto r = core::optimize_combinational(net, opt);
+    benchmark::DoNotOptimize(r.stages.size());
+  }
+}
+BENCHMARK(bm_flow);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,60 @@
+// E11 — §III-C.3: "The register file is typically not accessed in each
+// clock cycle... power reduction can be obtained by gating the clocks of
+// these registers [9]."  Reproduced: register file with hold-mux pattern,
+// gating detection, and clock-pin activity under a write-duty sweep.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "seq/clock_gating.hpp"
+#include "seq/seq_circuit.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::seq;
+
+void report() {
+  benchx::banner("E11 bench_gated_clock",
+                 "Claim (S-III-C.3): gating idle-register clocks removes "
+                 "their clock power; savings track (1 - access duty) [9].");
+  core::Table t({"register file", "FF bits", "gated", "enable duty",
+                 "clock toggles free", "gated", "saving"});
+  for (auto [words, width] : {std::pair{4, 8}, {8, 8}, {16, 16}}) {
+    auto rf = register_file(words, width);
+    auto ps = detect_hold_patterns(rf);
+    auto rep = clock_activity(rf, ps, 4096, 11);
+    t.row({std::to_string(words) + "x" + std::to_string(width),
+           std::to_string(rf.dffs().size()), std::to_string(ps.size()),
+           core::Table::pct(rep.enable_one_prob_mean),
+           core::Table::num(rep.clock_toggles_ungated / rep.cycles, 1),
+           core::Table::num(rep.clock_toggles_gated / rep.cycles, 1),
+           core::Table::pct(rep.clock_power_saving_fraction())});
+  }
+  t.print(std::cout);
+  std::cout << "\n(duty = P(write enable selects the word); the larger the "
+               "file, the rarer each word is written and the bigger the "
+               "gated-clock win)\n\n";
+}
+
+void bm_detect(benchmark::State& state) {
+  auto rf = register_file(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto ps = detect_hold_patterns(rf);
+    benchmark::DoNotOptimize(ps.size());
+  }
+}
+BENCHMARK(bm_detect)->Arg(8)->Arg(32);
+
+void bm_clock_activity(benchmark::State& state) {
+  auto rf = register_file(8, 8);
+  auto ps = detect_hold_patterns(rf);
+  for (auto _ : state) {
+    auto rep = clock_activity(rf, ps, 1024, 11);
+    benchmark::DoNotOptimize(rep.clock_toggles_gated);
+  }
+}
+BENCHMARK(bm_clock_activity);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

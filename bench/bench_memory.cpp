@@ -1,0 +1,67 @@
+// E16 — §IV-B: memory power and loop transformations [14]: "memory accesses
+// consume a lot of power, especially if the access is off-chip ... control
+// flow transformations, such as loop reordering, are presented to try to
+// minimize the memory component."
+
+#include "bench_util.hpp"
+#include "arch/memory.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::arch;
+
+void report() {
+  benchx::banner("E16 bench_memory",
+                 "Claim (S-IV-B): loop reordering/tiling cut off-chip "
+                 "traffic and therefore memory energy [14].");
+  for (int n : {16, 24, 32}) {
+    std::cout << n << "x" << n << " matrix multiply (word addresses through "
+              << "a 64-line x 4-word buffer):\n";
+    core::Table t({"loop structure", "accesses", "misses", "miss rate",
+                   "energy (nJ)", "vs ijk"});
+    auto ijk = simulate_memory(matmul_addresses(n, LoopOrder::IJK));
+    auto add_row = [&](const std::string& name, const MemoryEnergy& e) {
+      t.row({name, std::to_string(e.accesses), std::to_string(e.misses),
+             core::Table::pct(e.miss_rate()),
+             core::Table::num(e.energy_pj / 1000.0, 1),
+             core::Table::pct(1.0 - e.energy_pj / ijk.energy_pj)});
+    };
+    add_row("ijk", ijk);
+    add_row("ikj", simulate_memory(matmul_addresses(n, LoopOrder::IKJ)));
+    add_row("jki", simulate_memory(matmul_addresses(n, LoopOrder::JKI)));
+    add_row("ijk tiled 4", simulate_memory(matmul_addresses_tiled(n, 4)));
+    add_row("ijk tiled 8", simulate_memory(matmul_addresses_tiled(n, 8)));
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  {
+    std::cout << "Buffer (on-chip memory) size sweep, 24x24 ikj — the [14] "
+                 "size/energy tradeoff:\n";
+    core::Table t({"cache lines", "miss rate", "energy (nJ)"});
+    for (int lines : {8, 16, 64, 256}) {
+      MemoryParams p;
+      p.cache_lines = lines;
+      auto e = simulate_memory(matmul_addresses(24, LoopOrder::IKJ), p);
+      t.row({std::to_string(lines), core::Table::pct(e.miss_rate()),
+             core::Table::num(e.energy_pj / 1000.0, 1)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_memsim(benchmark::State& state) {
+  auto addrs = matmul_addresses(static_cast<int>(state.range(0)),
+                                LoopOrder::IKJ);
+  for (auto _ : state) {
+    auto e = simulate_memory(addrs);
+    benchmark::DoNotOptimize(e.energy_pj);
+  }
+}
+BENCHMARK(bm_memsim)->Arg(16)->Arg(32);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

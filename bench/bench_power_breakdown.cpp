@@ -1,0 +1,74 @@
+// E1 — §I: "In VLSI circuits that use well-designed logic-gates, switching
+// activity power accounts for over 90% of the total power dissipation [8]."
+// Reproduced: Eqn. (1) breakdown over the benchmark suite.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "seq/encoding.hpp"
+#include "seq/stg.hpp"
+
+namespace {
+
+using namespace lps;
+
+void report() {
+  benchx::banner("E1 bench_power_breakdown",
+                 "Claim (S-I): switching activity is >90% of total power in "
+                 "well-designed CMOS.");
+  core::Table t({"circuit", "switching uW", "short-circuit uW", "leakage uW",
+                 "switching %"});
+  for (const auto& [name, net] : bench::default_suite()) {
+    power::AnalysisOptions ao;
+    ao.n_vectors = 2048;
+    auto a = power::analyze(net, ao);
+    const auto& b = a.report.breakdown;
+    t.row({name, core::Table::num(b.switching_w * 1e6, 2),
+           core::Table::num(b.short_circuit_w * 1e6, 2),
+           core::Table::num(b.leakage_w * 1e6, 3),
+           core::Table::pct(b.switching_fraction())});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSequence-dependent power [28] (same circuit, different "
+               "input programs — power estimation under user-specified "
+               "sequences):\n";
+  core::Table st({"circuit", "stimulus", "power uW"});
+  auto counter = bench::counter(8);
+  {
+    power::AnalysisOptions ao;
+    ao.n_vectors = 1024;
+    st.row({"counter8", "random enable",
+            core::Table::num(
+                power::analyze(counter, ao).report.breakdown.total_w() * 1e6,
+                2)});
+  }
+  for (auto [name, duty] : {std::pair{"enable 1/16 cycles", 16},
+                            {"enable every cycle", 1}}) {
+    std::vector<std::vector<bool>> seq(1024, std::vector<bool>{false});
+    for (std::size_t c = 0; c < seq.size(); c += duty) seq[c][0] = true;
+    st.row({"counter8", name,
+            core::Table::num(
+                power::analyze_sequence(counter, seq)
+                        .report.breakdown.total_w() * 1e6,
+                2)});
+  }
+  st.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_analyze(benchmark::State& state) {
+  auto net = bench::array_multiplier(static_cast<int>(state.range(0)));
+  power::AnalysisOptions ao;
+  ao.n_vectors = 256;
+  for (auto _ : state) {
+    auto a = power::analyze(net, ao);
+    benchmark::DoNotOptimize(a.report.breakdown.switching_w);
+  }
+}
+BENCHMARK(bm_analyze)->Arg(4)->Arg(8);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,145 @@
+// E12 — Figure 1: precomputation applied to the n-bit comparator
+// (LE = C<n-1> XNOR D<n-1>) [1,30], plus guarded evaluation [44] and FSM
+// self-loop gating [4].  This is the paper's only figure; the width sweep
+// and the input-distribution sweep regenerate it quantitatively.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "seq/clock_gating.hpp"
+#include "seq/encoding.hpp"
+#include "seq/guarded_eval.hpp"
+#include "seq/precompute.hpp"
+#include "seq/seq_circuit.hpp"
+#include "seq/stg.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::seq;
+
+void report() {
+  benchx::banner("E12 bench_precomputation",
+                 "Figure 1: comparator precomputation disables the low-order "
+                 "input registers half the time [1]; plus guarded evaluation "
+                 "[44] and FSM self-loop gating [4].");
+  {
+    std::cout << "Width sweep (uniform inputs; subset auto-selected = the "
+                 "two MSBs, LE = XNOR):\n";
+    core::Table t({"n", "hit prob", "overhead gates", "baseline uW",
+                   "precomp uW", "saving"});
+    for (int n : {4, 8, 12, 16, 24}) {
+      auto comb = bench::comparator_gt(n);
+      auto sel = select_precompute_inputs(comb, 2);
+      auto pre = apply_precomputation(comb, sel.subset);
+      auto base = registered_baseline(comb);
+      power::AnalysisOptions ao;
+      ao.n_vectors = 2048;
+      double pb = power::analyze(base, ao).report.breakdown.total_w();
+      double pp = power::analyze(pre.circuit, ao).report.breakdown.total_w();
+      t.row({std::to_string(n), core::Table::pct(sel.hit_probability),
+             std::to_string(pre.precompute_gates),
+             core::Table::num(pb * 1e6, 1), core::Table::num(pp * 1e6, 1),
+             core::Table::pct(1.0 - pp / pb)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nSubset size sweep (n=12): more precompute inputs, higher "
+                 "hit rate, more overhead [30]:\n";
+    core::Table t({"subset k", "hit prob", "overhead gates", "saving"});
+    auto comb = bench::comparator_gt(12);
+    auto base = registered_baseline(comb);
+    power::AnalysisOptions ao;
+    ao.n_vectors = 2048;
+    double pb = power::analyze(base, ao).report.breakdown.total_w();
+    for (int k : {2, 4, 6}) {
+      auto sel = select_precompute_inputs(comb, k, 4000);
+      auto pre = apply_precomputation(comb, sel.subset);
+      double pp = power::analyze(pre.circuit, ao).report.breakdown.total_w();
+      t.row({std::to_string(k), core::Table::pct(sel.hit_probability),
+             std::to_string(pre.precompute_gates),
+             core::Table::pct(1.0 - pp / pb)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nGuarded evaluation [44] (mux-selected ALU arms, select "
+                 "duty sweep):\n";
+    core::Table t({"P(select=1)", "unguarded uW", "guarded uW", "saving"});
+    // Build: two 6-input cones into a mux; select registered from a PI.
+    auto build = [] {
+      Netlist comb("ge");
+      std::vector<NodeId> xs;
+      for (int i = 0; i < 12; ++i)
+        xs.push_back(comb.add_input("x" + std::to_string(i)));
+      NodeId sel = comb.add_input("sel");
+      NodeId armA = comb.add_gate(
+          GateType::And, {xs[0], xs[1], xs[2], xs[3], xs[4], xs[5]});
+      NodeId armB = comb.add_gate(
+          GateType::Xor, {xs[6], xs[7], xs[8], xs[9], xs[10], xs[11]});
+      comb.add_output(comb.add_mux(sel, armA, armB), "y");
+      return registered(comb);
+    };
+    for (double duty : {0.5, 0.9, 0.1}) {
+      auto plain = build();
+      auto guarded = build();
+      guard_mux_arms(guarded);
+      power::AnalysisOptions ao;
+      ao.n_vectors = 2048;
+      ao.pi_one_prob.assign(plain.inputs().size(), 0.5);
+      ao.pi_one_prob.back() = duty;  // select input
+      double p0 = power::analyze(plain, ao).report.breakdown.total_w();
+      double p1 = power::analyze(guarded, ao).report.breakdown.total_w();
+      t.row({core::Table::num(duty, 1), core::Table::num(p0 * 1e6, 2),
+             core::Table::num(p1 * 1e6, 2), core::Table::pct(1.0 - p1 / p0)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nFSM self-loop gating [4] (polling FSMs wait in a state "
+                 "until their event fires — the self-loop-rich structure "
+                 "the transformation targets):\n";
+    core::Table t({"fsm", "state bits", "detector gates (XOR/STG)",
+                   "clock saving", "total power plain/XOR/STG uW"});
+    for (int states : {8, 16, 32}) {
+      auto stg = polling_fsm(states);
+      auto enc = binary_encoding(stg);
+      auto net = synthesize_fsm(stg, enc);
+      power::AnalysisOptions ao;
+      ao.n_vectors = 2048;
+      double p0 = power::analyze(net, ao).report.breakdown.total_w();
+      auto xorg = net.clone();
+      auto res = gate_fsm_self_loops(xorg);
+      double p1 = power::analyze(xorg, ao).report.breakdown.total_w();
+      auto stgg = net.clone();
+      int pg = gate_self_loops_from_stg(stgg, stg, enc);
+      double p2 = power::analyze(stgg, ao).report.breakdown.total_w();
+      auto ps = detect_hold_patterns(stgg);
+      auto rep = clock_activity(stgg, ps, 4096, 7);
+      t.row({"polling" + std::to_string(states),
+             std::to_string(res.state_bits),
+             std::to_string(res.comparator_gates) + "/" + std::to_string(pg),
+             core::Table::pct(rep.clock_power_saving_fraction()),
+             core::Table::num(p0 * 1e6, 1) + "/" +
+                 core::Table::num(p1 * 1e6, 1) + "/" +
+                 core::Table::num(p2 * 1e6, 1)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_select(benchmark::State& state) {
+  auto comb = bench::comparator_gt(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto sel = select_precompute_inputs(comb, 2);
+    benchmark::DoNotOptimize(sel.hit_probability);
+  }
+}
+BENCHMARK(bm_select)->Arg(8)->Arg(16);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,89 @@
+// E10 — §III-C.2: "the switching activity at flip-flop outputs ... can be
+// significantly less than the activity at the flip-flop inputs ... spurious
+// transitions ... are filtered out by the clock.  A retiming method that
+// exploits the above observation [29]."  Also the Leiserson-Saxe [24]
+// min-period machinery itself.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "seq/retiming.hpp"
+#include "seq/seq_circuit.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::seq;
+
+void report() {
+  benchx::banner("E10 bench_retiming",
+                 "Claim (S-III-C.2): registers filter glitches; moving them "
+                 "to high-activity cuts reduces power at equal period "
+                 "[24,29].");
+  {
+    std::cout << "Leiserson-Saxe min-period retiming (correlator graph):\n";
+    RetimeGraph g;
+    int host = g.add_vertex(0);
+    int d1 = g.add_vertex(3), d2 = g.add_vertex(3), d3 = g.add_vertex(3);
+    int p0 = g.add_vertex(7), p1 = g.add_vertex(7), p2 = g.add_vertex(7),
+        p3 = g.add_vertex(7);
+    g.add_edge(host, p0, 1);
+    g.add_edge(p0, d1, 1);
+    g.add_edge(d1, d2, 1);
+    g.add_edge(d2, d3, 0);
+    g.add_edge(d3, host, 0);
+    g.add_edge(d1, p1, 0);
+    g.add_edge(d2, p2, 0);
+    g.add_edge(d3, p3, 0);
+    g.add_edge(p1, p0, 0);
+    g.add_edge(p2, p1, 0);
+    g.add_edge(p3, p2, 0);
+    auto [best, r] = g.min_period_retiming();
+    std::cout << "  period " << g.period() << " -> " << best << "\n\n";
+    (void)r;
+  }
+  {
+    std::cout << "Netlist-level power retiming on pipelined datapaths:\n";
+    core::Table t({"circuit", "moves", "period", "power before uW",
+                   "after uW", "saving"});
+    std::vector<std::pair<std::string, Netlist>> suite;
+    suite.emplace_back("reg(mult4)", registered(bench::array_multiplier(4)));
+    suite.emplace_back("reg(mult5)", registered(bench::array_multiplier(5)));
+    suite.emplace_back("reg(csa16)",
+                       registered(bench::carry_select_adder(16, 4)));
+    for (auto& [name, net0] : suite) {
+      auto net = net0.clone();
+      PowerRetimeOptions opt;
+      opt.sim_vectors = 192;
+      opt.max_moves = 40;
+      auto r = retime_for_power(net, opt);
+      t.row({name, std::to_string(r.moves),
+             std::to_string(r.period_before) + " -> " +
+                 std::to_string(r.period_after),
+             core::Table::num(r.power_before_w * 1e6, 1),
+             core::Table::num(r.power_after_w * 1e6, 1),
+             core::Table::pct(1.0 - r.power_after_w / r.power_before_w)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_min_period(benchmark::State& state) {
+  RetimeGraph g;
+  int n = static_cast<int>(state.range(0));
+  for (int v = 0; v < n; ++v) g.add_vertex(1 + v % 5);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n, (v % 3 == 0) ? 1 : 0);
+  for (int v = 0; v < n; v += 4) g.add_edge(v, (v + 7) % n, 1);
+  for (auto _ : state) {
+    auto [best, r] = g.min_period_retiming();
+    benchmark::DoNotOptimize(best);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(bm_min_period)->Arg(16)->Arg(48);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

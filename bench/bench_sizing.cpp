@@ -1,0 +1,65 @@
+// E3 — §II-B: slack-based transistor sizing under a delay constraint
+// ("sizes of the transistors reduced until the slack becomes zero, or the
+// transistors are all minimum size") [42,3].  Reproduced: activity-weighted
+// switched capacitance before/after across a delay-budget sweep.
+
+#include "bench_util.hpp"
+#include "circuit/sizing.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+
+namespace {
+
+using namespace lps;
+
+void report() {
+  benchx::banner("E3 bench_sizing",
+                 "Claim (S-II-B): slack-based downsizing trades unused timing "
+                 "slack for lower switched capacitance [42,3].");
+  core::Table t({"circuit", "budget", "delay (max->final/budget)",
+                 "cap fF/cyc before", "after", "saving", "moves"});
+  std::vector<bench::NamedNetlist> suite;
+  suite.push_back({"rca16", bench::ripple_carry_adder(16)});
+  suite.push_back({"csa16", bench::carry_select_adder(16, 4)});
+  suite.push_back({"mult6", bench::array_multiplier(6)});
+  suite.push_back({"rand32x200", bench::random_dag(32, 200, 7)});
+  for (auto& [name, net0] : suite) {
+    for (double budget : {1.0, 1.2, 1.5}) {
+      auto net = net0.clone();
+      power::AnalysisOptions ao;
+      ao.n_vectors = 512;
+      auto tg = power::analyze(net, ao).toggles_per_cycle;
+      circuit::SizingParams sp;
+      sp.delay_budget_factor = budget;
+      auto r = circuit::size_for_power(net, tg, {}, sp);
+      t.row({name, core::Table::num(budget, 1),
+             core::Table::num(r.delay_before, 1) + " -> " +
+                 core::Table::num(r.delay_after, 1) + "/" +
+                 core::Table::num(r.delay_budget, 1),
+             core::Table::num(r.cap_before_ff, 1),
+             core::Table::num(r.cap_after_ff, 1),
+             core::Table::pct(1.0 - r.cap_after_ff / r.cap_before_ff),
+             std::to_string(r.downsizing_moves)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_sizing(benchmark::State& state) {
+  auto base = bench::ripple_carry_adder(static_cast<int>(state.range(0)));
+  power::AnalysisOptions ao;
+  ao.n_vectors = 128;
+  auto tg = power::analyze(base, ao).toggles_per_cycle;
+  for (auto _ : state) {
+    auto net = base.clone();
+    auto r = circuit::size_for_power(net, tg);
+    benchmark::DoNotOptimize(r.cap_after_ff);
+  }
+}
+BENCHMARK(bm_sizing)->Arg(8)->Arg(16);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,90 @@
+// E8 — §III-C.1: state encoding for low power — "if a state s has a large
+// number of transitions to state q, then the two states should be given
+// uni-distant codes" [35,47], plus the re-encoding flow of [18].
+// Reproduced: weighted switching and measured FF power for binary, one-hot,
+// gray-walk, random and annealed encodings over an FSM suite.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "power/activity.hpp"
+#include "seq/encoding.hpp"
+#include "sim/logicsim.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::seq;
+
+double ff_toggles(const Netlist& net) {
+  auto st = sim::measure_activity(net, 512, 5);
+  double t = 0;
+  for (NodeId d : net.dffs()) t += st.transition_prob[d];
+  return t;
+}
+
+void report() {
+  benchx::banner("E8 bench_state_encoding",
+                 "Claim (S-III-C.1): weighted-Hamming state assignment cuts "
+                 "flip-flop switching vs binary/one-hot/random [35,47,18].");
+  struct Fsm {
+    std::string name;
+    Stg stg;
+  };
+  std::vector<Fsm> fsms;
+  fsms.push_back({"counter16", counter_fsm(16)});
+  fsms.push_back({"detector(110101)", sequence_detector("110101")});
+  fsms.push_back({"bursty(4+12)", bursty_fsm(4, 12, 3)});
+  fsms.push_back({"random12", random_fsm(12, 2, 2, 17)});
+  fsms.push_back({"dk27 (MCNC)", mcnc_dk27()});
+  fsms.push_back({"arbiter (bbara-style)", mcnc_bbara_fragment()});
+
+  core::Table t({"fsm", "encoding", "wswitch (FF tog/cyc)",
+                 "measured FF tog/cyc", "gates"});
+  for (auto& f : fsms) {
+    struct Enc {
+      std::string name;
+      Encoding e;
+    };
+    std::vector<Enc> encs;
+    encs.push_back({"binary", binary_encoding(f.stg)});
+    encs.push_back({"one-hot", onehot_encoding(f.stg)});
+    encs.push_back({"random", random_encoding(f.stg, 23)});
+    encs.push_back({"gray-walk", gray_walk_encoding(f.stg)});
+    encs.push_back({"annealed", low_power_encoding(f.stg)});
+    for (auto& [ename, enc] : encs) {
+      auto net = synthesize_fsm(f.stg, enc, f.name + "_" + ename);
+      t.row({f.name, ename, core::Table::num(enc.weighted_switching(f.stg), 3),
+             core::Table::num(ff_toggles(net), 3),
+             std::to_string(net.num_gates())});
+    }
+  }
+  t.print(std::cout);
+
+  // Re-encoding flow [18]: start from a random-encoded logic-level design.
+  std::cout << "\nRe-encoding a logic-level design [18]:\n";
+  core::Table rt({"fsm", "wswitch before", "wswitch after", "saving"});
+  for (auto& f : fsms) {
+    if (f.stg.num_states() > 16) continue;
+    auto net = synthesize_fsm(f.stg, random_encoding(f.stg, 99));
+    auto r = reencode_for_power(net);
+    rt.row({f.name, core::Table::num(r.wswitch_before, 3),
+            core::Table::num(r.wswitch_after, 3),
+            core::Table::pct(1.0 - r.wswitch_after /
+                                       std::max(1e-12, r.wswitch_before))});
+  }
+  rt.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_anneal(benchmark::State& state) {
+  auto stg = random_fsm(static_cast<int>(state.range(0)), 2, 2, 17);
+  for (auto _ : state) {
+    auto e = low_power_encoding(stg);
+    benchmark::DoNotOptimize(e.codes.data());
+  }
+}
+BENCHMARK(bm_anneal)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

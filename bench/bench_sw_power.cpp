@@ -1,0 +1,114 @@
+// E17 — §V: instruction-level power analysis [46] and compilation for low
+// energy [45]: "faster code almost always implies lower energy"; "register
+// operands are much cheaper than memory operands".
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "sw/isa.hpp"
+#include "sw/pairing.hpp"
+#include "sw/power_model.hpp"
+#include "sw/regalloc.hpp"
+#include "sw/scheduling.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::sw;
+
+void report() {
+  benchx::banner("E17 bench_sw_power",
+                 "Claim (S-V): energy tracks cycles across code variants; "
+                 "register operands beat memory operands [45,46].");
+  {
+    std::cout << "Instruction-level power table (the [46] base-cost "
+                 "model):\n";
+    core::Table t({"instr", "cycles", "base mA", "mA*cycles"});
+    for (Opcode op : {Opcode::Add, Opcode::Mul, Opcode::Mac, Opcode::Move,
+                      Opcode::Load, Opcode::Store, Opcode::DualLoad}) {
+      t.row({std::string(to_string(op)), std::to_string(cycles_of(op)),
+             core::Table::num(base_current_ma(op), 2),
+             core::Table::num(base_current_ma(op) * cycles_of(op), 2)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nDot-product (n=16) code variants — energy vs cycles:\n";
+    core::Table t({"variant", "instrs", "cycles", "energy mA*cyc",
+                   "energy/cycle"});
+    auto naive = dot_product_naive(16, 0, 32, 100);
+    auto sched = schedule_for_power(naive).program;
+    auto packed = pack_loads(naive).program;
+    auto dsp = fuse_mac(pack_loads(naive).program, 0).program;
+    auto add_row = [&](const std::string& name, const Program& p) {
+      auto e = program_energy(p);
+      t.row({name, std::to_string(p.size()), std::to_string(e.cycles),
+             core::Table::num(e.total_macycles(), 1),
+             core::Table::num(e.total_macycles() / e.cycles, 3)});
+    };
+    add_row("naive", naive);
+    add_row("scheduled [40]", sched);
+    add_row("packed loads [23]", packed);
+    add_row("MAC-fused [23]", dsp);
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nAlgorithm choice [49] (degree-n polynomial, naive "
+                 "powers vs Horner):\n";
+    core::Table t({"degree", "naive cycles", "horner cycles",
+                   "naive energy", "horner energy", "saving"});
+    for (int deg : {4, 8, 16}) {
+      auto pn = poly_eval_naive(deg, 0, 40, 50);
+      auto ph = poly_eval_horner(deg, 0, 40, 50);
+      auto en = program_energy(pn);
+      auto eh = program_energy(ph);
+      t.row({std::to_string(deg), std::to_string(en.cycles),
+             std::to_string(eh.cycles),
+             core::Table::num(en.total_macycles(), 1),
+             core::Table::num(eh.total_macycles(), 1),
+             core::Table::pct(1.0 - eh.total_macycles() /
+                                        en.total_macycles())});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nRegister-file pressure (the [45] register-vs-memory "
+                 "effect): hot-loop kernel compiled for k registers:\n";
+    core::Table t({"registers", "spill loads", "spill stores",
+                   "energy mA*cyc"});
+    VirtualProgram vp;
+    for (int i = 0; i < 10; ++i)
+      vp.push_back({Opcode::LoadImm, 20 + i, 0, 0, 0, i, 0});
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 6; ++i)
+        vp.push_back(
+            {Opcode::Add, 20 + i, 0, 20 + i, 20 + ((i + 1) % 6), 0, 0});
+      vp.push_back({Opcode::Mul, 26 + round % 4, 0, 26 + round % 4, 20, 0, 0});
+    }
+    for (int regs : {2, 3, 4, 6, 8}) {
+      auto r = allocate(vp, regs);
+      t.row({std::to_string(regs), std::to_string(r.spill_loads),
+             std::to_string(r.spill_stores),
+             core::Table::num(r.energy.total_macycles(), 1)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_alloc(benchmark::State& state) {
+  VirtualProgram vp;
+  for (int i = 0; i < 24; ++i)
+    vp.push_back({Opcode::LoadImm, 20 + i, 0, 0, 0, i, 0});
+  for (int r = 0; r < 8; ++r)
+    for (int i = 0; i < 24; ++i)
+      vp.push_back({Opcode::Add, 20 + i, 0, 20 + i, 20 + ((i + 5) % 24), 0, 0});
+  for (auto _ : state) {
+    auto r = allocate(vp, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(r.spill_loads);
+  }
+}
+BENCHMARK(bm_alloc)->Arg(4)->Arg(8);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

@@ -1,0 +1,100 @@
+// E7 — §III-B: graph-covering technology mapping extended to the power cost
+// function ("Under the zero delay model, the optimal mapping of a tree can
+// be determined in polynomial time") [20,43,48].  Reproduced: area/delay/
+// power objectives on the suite, same DP, three cost functions.
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "logicopt/techmap.hpp"
+#include "logicopt/decompose_power.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "sim/logicsim.hpp"
+
+namespace {
+
+using namespace lps;
+using logicopt::MapObjective;
+
+void report() {
+  benchx::banner("E7 bench_techmap",
+                 "Claim (S-III-B): the DAGON tree-covering DP extends to a "
+                 "power objective; each objective wins its own metric "
+                 "[20,43,48].");
+  auto lib = logicopt::standard_library();
+  core::Table t({"circuit", "objective", "area", "arrival",
+                 "switched cap fF/cyc", "cells"});
+  std::vector<bench::NamedNetlist> suite;
+  suite.push_back({"c17", bench::c17()});
+  suite.push_back({"rca16", bench::ripple_carry_adder(16)});
+  suite.push_back({"cmp16", bench::comparator_gt(16)});
+  suite.push_back({"alu4", bench::alu(4)});
+  suite.push_back({"mult4", bench::array_multiplier(4)});
+  for (auto& [name, net] : suite) {
+    for (auto obj : {MapObjective::Area, MapObjective::Delay,
+                     MapObjective::Power}) {
+      auto r = logicopt::tech_map(net, lib, obj);
+      int cells = 0;
+      for (auto& [c, k] : r.cell_histogram) cells += k;
+      const char* objname = obj == MapObjective::Area    ? "area"
+                            : obj == MapObjective::Delay ? "delay"
+                                                         : "power";
+      t.row({name, objname, core::Table::num(r.total_area, 1),
+             core::Table::num(r.arrival, 1),
+             core::Table::num(r.switched_cap_ff, 1), std::to_string(cells)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTechnology decomposition targeting low power [48]: wide "
+               "gates decomposed before mapping, one hot input among quiet "
+               "ones:\n";
+  core::Table dt({"shape", "power uW", "vs chain"});
+  auto build = [] {
+    Netlist net("wide");
+    std::vector<NodeId> ins;
+    for (int i = 0; i < 12; ++i)
+      ins.push_back(net.add_input("x" + std::to_string(i)));
+    NodeId g1 = net.add_gate(
+        GateType::And, {ins[0], ins[1], ins[2], ins[3], ins[4], ins[5]});
+    NodeId g2 = net.add_gate(
+        GateType::Or, {ins[6], ins[7], ins[8], ins[9], ins[10], ins[11]});
+    net.add_output(net.add_and(g1, g2), "y");
+    return net;
+  };
+  std::vector<double> probs(12, 0.95);
+  probs[0] = 0.5;
+  probs[6] = 0.5;
+  power::AnalysisOptions ao;
+  ao.n_vectors = 4096;
+  ao.pi_one_prob = probs;
+  double p_chain = 0;
+  for (auto [name, shape] :
+       {std::pair{"chain", logicopt::DecomposeShape::Chain},
+        {"balanced", logicopt::DecomposeShape::Balanced},
+        {"huffman (activity)", logicopt::DecomposeShape::Huffman}}) {
+    auto net = build();
+    auto st = sim::measure_activity(net, 256, 3, probs);
+    logicopt::decompose_wide_gates(net, shape, st.transition_prob);
+    double p = power::analyze(net, ao).report.breakdown.total_w();
+    if (p_chain == 0) p_chain = p;
+    dt.row({name, core::Table::num(p * 1e6, 2),
+            core::Table::pct(1.0 - p / p_chain)});
+  }
+  dt.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_map(benchmark::State& state) {
+  auto lib = logicopt::standard_library();
+  auto net = bench::ripple_carry_adder(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = logicopt::tech_map(net, lib, MapObjective::Power);
+    benchmark::DoNotOptimize(r.total_area);
+  }
+}
+BENCHMARK(bm_map)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

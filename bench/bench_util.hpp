@@ -1,0 +1,34 @@
+// bench_util.hpp — shared scaffolding for the experiment binaries.
+//
+// Each bench binary reproduces one experiment row from DESIGN.md: it prints
+// the paper-style table on stdout (the reproduction artifact) and then runs
+// google-benchmark timings of the underlying algorithm (the engineering
+// artifact).  A custom main handles both.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/report.hpp"
+
+namespace lps::benchx {
+
+/// Print the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==== " << id << " ====\n" << claim << "\n\n";
+}
+
+/// Standard main: print tables first (via `report`), then run benchmarks.
+#define LPS_BENCH_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                 \
+    report_fn();                                                    \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }
+
+}  // namespace lps::benchx

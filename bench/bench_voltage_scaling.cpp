@@ -1,0 +1,83 @@
+// E14 — §IV-B: "The most important transformations ... reduce the number of
+// control steps.  Slower clocks can then be used for the same throughput,
+// enabling the use of lower supply voltages.  The quadratic decrease in
+// power consumption can compensate for the additional capacitance" [7], and
+// module selection [17].
+
+#include "bench_util.hpp"
+#include "arch/modules.hpp"
+#include "arch/scheduling.hpp"
+#include "arch/transforms.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace lps;
+using namespace lps::arch;
+
+void report() {
+  benchx::banner("E14 bench_voltage_scaling",
+                 "Claim (S-IV-B): transformations that shorten the critical "
+                 "path buy V_DD headroom; power falls quadratically [7].");
+  auto lib = standard_module_library();
+  {
+    core::Table t({"workload", "transform", "cs/sample", "slack", "Vdd",
+                   "cap factor", "power ratio"});
+    struct W {
+      std::string name;
+      Dfg g;
+    };
+    std::vector<W> ws;
+    ws.push_back({"fir8", fir_filter(8)});
+    ws.push_back({"biquad", iir_biquad()});
+    ws.push_back({"ewf", ewf_fragment()});
+    for (auto& w : ws) {
+      auto thr = tree_height_reduction(w.g);
+      for (int k : {1, 2, 4}) {
+        Dfg tr = k == 1 ? thr : tree_height_reduction(unroll(w.g, k));
+        auto r = evaluate_voltage_gain(w.g, tr, k, lib);
+        std::string tname = (k == 1) ? "thr" : "unroll x" + std::to_string(k) + " + thr";
+        t.row({w.name, tname,
+               core::Table::num(
+                   static_cast<double>(r.cs_transformed) / k, 1),
+               core::Table::num(r.slack, 2), core::Table::num(r.vdd, 2),
+               core::Table::num(r.capacitance_factor, 2),
+               core::Table::num(r.power_ratio, 3)});
+      }
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\nModule selection [17] (fir8, deadline sweep):\n";
+    core::Table t({"deadline (x min)", "energy pJ/pass", "schedule cs"});
+    auto g = fir_filter(8);
+    std::vector<const Module*> fast(g.num_ops(), nullptr);
+    for (int i = 0; i < g.num_ops(); ++i) {
+      OpType ty = g.op(i).type;
+      if (ty != OpType::Input && ty != OpType::Const && ty != OpType::Output)
+        fast[i] = lib.fastest(ty);
+    }
+    int min_cs = asap(g, fast).length_cs;
+    for (double mult : {1.0, 1.5, 2.0, 4.0}) {
+      auto sel = select_modules(g, lib, static_cast<int>(min_cs * mult));
+      t.row({core::Table::num(mult, 1), core::Table::num(sel.energy_pj, 1),
+             std::to_string(sel.schedule_length_cs)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void bm_select_modules(benchmark::State& state) {
+  auto lib = standard_module_library();
+  auto g = fir_filter(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto sel = select_modules(g, lib, 100);
+    benchmark::DoNotOptimize(sel.energy_pj);
+  }
+}
+BENCHMARK(bm_select_modules)->Arg(8)->Arg(16);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

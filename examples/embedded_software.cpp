@@ -1,0 +1,77 @@
+// embedded_software — the §V story: instruction-level power on the DSP
+// core.  Compiles a dot-product kernel four ways (naive, power-scheduled,
+// register-starved, fully DSP-optimized) and prints cycles vs energy —
+// illustrating "faster code almost always implies lower energy".
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "sw/isa.hpp"
+#include "sw/pairing.hpp"
+#include "sw/power_model.hpp"
+#include "sw/regalloc.hpp"
+#include "sw/scheduling.hpp"
+
+int main() {
+  using namespace lps;
+  using namespace lps::sw;
+
+  const int n = 16;
+  Machine ref;
+  for (int i = 0; i < n; ++i) {
+    ref.poke(i, 3 * i + 1);
+    ref.poke(32 + i, i - 7);
+  }
+
+  auto run_result = [&](const Program& p) {
+    Machine m;
+    for (int i = 0; i < n; ++i) {
+      m.poke(i, 3 * i + 1);
+      m.poke(32 + i, i - 7);
+    }
+    m.run(p);
+    return m.mem(100);
+  };
+
+  auto naive = dot_product_naive(n, 0, 32, 100);
+  auto golden = run_result(naive);
+
+  auto scheduled = schedule_for_power(naive).program;
+  auto packed = pack_loads(naive).program;
+  auto dsp = fuse_mac(pack_loads(naive).program, 0).program;
+
+  // A register-starved variant: recompile through the allocator with only
+  // 3 physical registers (the naive kernel uses 4 virtual ones; the
+  // allocator spills).
+  VirtualProgram vp;
+  for (const auto& i : naive) {
+    Instr v = i;  // virtual ids = physical ids here (small kernel)
+    vp.push_back(v);
+  }
+  auto starved = allocate(vp, 3).program;
+
+  core::Table t(
+      {"variant", "instrs", "cycles", "energy (mA*cyc)", "result ok"});
+  auto row = [&](const std::string& name, const Program& p) {
+    auto e = program_energy(p);
+    t.row({name, std::to_string(p.size()), std::to_string(e.cycles),
+           core::Table::num(e.total_macycles(), 1),
+           run_result(p) == golden ? "yes" : "NO"});
+  };
+  row("naive", naive);
+  row("power-scheduled [40,23]", scheduled);
+  row("3-register allocation [45]", starved);
+  row("packed loads [23]", packed);
+  row("MAC-fused DSP [23]", dsp);
+  t.print(std::cout);
+
+  auto en = program_energy(naive);
+  auto ed = program_energy(dsp);
+  std::cout << "\nDSP optimization: "
+            << core::Table::pct(1.0 - ed.total_macycles() /
+                                          en.total_macycles())
+            << " energy saving, "
+            << core::Table::pct(1.0 - (double)ed.cycles / en.cycles)
+            << " cycle saving — energy tracks cycles (§V).\n";
+  return 0;
+}

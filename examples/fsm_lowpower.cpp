@@ -1,0 +1,74 @@
+// fsm_lowpower — the §III-C sequential story end to end on one FSM:
+// read (or generate) an STG, compare state encodings, synthesize with the
+// two-level minimizer, add self-loop clock gating, and report weighted
+// switching, measured power (clock included) and gate counts.
+//
+// Usage:
+//   fsm_lowpower                # built-in polling FSM
+//   fsm_lowpower machine.kiss   # your own KISS2 machine
+
+#include <fstream>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "power/activity.hpp"
+#include "seq/clock_gating.hpp"
+#include "seq/encoding.hpp"
+#include "seq/guarded_eval.hpp"
+#include "seq/stg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lps;
+  using namespace lps::seq;
+
+  Stg stg = [&] {
+    if (argc > 1) {
+      std::ifstream f(argv[1]);
+      if (!f) {
+        std::cerr << "cannot open " << argv[1] << "\n";
+        std::exit(1);
+      }
+      return read_kiss(f);
+    }
+    return polling_fsm(16);
+  }();
+  if (auto err = stg.check(); !err.empty()) {
+    std::cerr << "bad STG: " << err << "\n";
+    return 1;
+  }
+  std::cout << "FSM: " << stg.num_states() << " states, "
+            << stg.num_inputs() << " inputs, " << stg.num_outputs()
+            << " outputs, " << stg.transitions().size() << " transitions\n\n";
+
+  core::Table t({"encoding", "FF bits", "wswitch (tog/cyc)", "gates",
+                 "power uW", "gated (XOR cmp) uW", "gated (STG pred) uW"});
+  struct E {
+    std::string name;
+    Encoding enc;
+  };
+  std::vector<E> encs;
+  encs.push_back({"binary", binary_encoding(stg)});
+  encs.push_back({"one-hot", onehot_encoding(stg)});
+  encs.push_back({"gray-walk", gray_walk_encoding(stg)});
+  encs.push_back({"annealed", low_power_encoding(stg)});
+  for (auto& [name, enc] : encs) {
+    auto net = synthesize_fsm(stg, enc, name);
+    power::AnalysisOptions ao;
+    ao.n_vectors = 2048;
+    double p0 = power::analyze(net, ao).report.breakdown.total_w();
+    auto gated = net.clone();
+    gate_fsm_self_loops(gated);
+    double p1 = power::analyze(gated, ao).report.breakdown.total_w();
+    auto gated2 = net.clone();
+    gate_self_loops_from_stg(gated2, stg, enc);
+    double p2 = power::analyze(gated2, ao).report.breakdown.total_w();
+    t.row({name, std::to_string(enc.bits),
+           core::Table::num(enc.weighted_switching(stg), 3),
+           std::to_string(net.num_gates()), core::Table::num(p0 * 1e6, 2),
+           core::Table::num(p1 * 1e6, 2), core::Table::num(p2 * 1e6, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(power includes gating-aware clock-pin energy; self-loop "
+               "gating pays off when the machine often waits in place)\n";
+  return 0;
+}

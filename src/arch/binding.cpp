@@ -1,0 +1,338 @@
+#include "arch/binding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <random>
+
+namespace lps::arch {
+
+namespace {
+
+bool is_exec(OpType t) {
+  return t != OpType::Input && t != OpType::Const && t != OpType::Output;
+}
+
+// Operand traces: value of every op for each random sample.  Successive
+// DFG inputs model successive samples of a band-limited signal (the
+// delayed-tap structure of DSP datapaths): neighbouring inputs are strongly
+// correlated, which is precisely the signal correlation that the binding
+// of [33,34] exploits when deciding which operations share a unit.
+std::vector<std::vector<std::int64_t>> traces(const Dfg& g,
+                                              const BindingOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  std::vector<std::vector<std::int64_t>> tr;
+  tr.reserve(opt.trace_samples);
+  std::vector<std::int64_t> in(g.inputs().size());
+  const std::int64_t range = 1LL << opt.word_bits;
+  for (std::size_t s = 0; s < opt.trace_samples; ++s) {
+    std::int64_t cur =
+        static_cast<std::int64_t>(rng() & ((1ULL << opt.word_bits) - 1));
+    char group = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      // Inputs whose names share a leading letter belong to one signal
+      // (delayed taps of the same stream); a new letter starts an
+      // independent stream with a fresh random base.
+      const std::string& nm = g.op(g.inputs()[i]).name;
+      char gch = nm.empty() ? 0 : nm[0];
+      if (i == 0 || gch != group) {
+        group = gch;
+        cur = static_cast<std::int64_t>(rng() &
+                                        ((1ULL << opt.word_bits) - 1));
+      }
+      in[i] = cur;
+      std::int64_t delta =
+          static_cast<std::int64_t>(rng() % (range / 16)) - range / 32;
+      cur = std::clamp<std::int64_t>(cur + delta, 0, range - 1);
+    }
+    tr.push_back(g.eval(in));
+  }
+  return tr;
+}
+
+double pair_cost(const Dfg& g,
+                 const std::vector<std::vector<std::int64_t>>& tr, OpId a,
+                 OpId b, int word_bits) {
+  // Expected input-bus toggles when unit switches from op a to op b.
+  std::uint64_t mask = (1ULL << word_bits) - 1;
+  const auto& aa = g.op(a).args;
+  const auto& bb = g.op(b).args;
+  std::size_t k = std::min(aa.size(), bb.size());
+  double total = 0.0;
+  for (const auto& row : tr) {
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t va = static_cast<std::uint64_t>(row[aa[i]]) & mask;
+      std::uint64_t vb = static_cast<std::uint64_t>(row[bb[i]]) & mask;
+      total += std::popcount(va ^ vb);
+    }
+  }
+  return total / static_cast<double>(tr.size());
+}
+
+struct UnitPlan {
+  std::vector<std::vector<OpId>> unit_ops;  // per unit, ops sorted by start
+};
+
+// Cost of a plan: sum over units of consecutive-op input toggles.
+double plan_cost(const Dfg& g, const Schedule& s,
+                 const std::vector<std::vector<std::int64_t>>& tr,
+                 const UnitPlan& plan, int word_bits) {
+  double c = 0.0;
+  for (const auto& ops : plan.unit_ops) {
+    for (std::size_t i = 1; i < ops.size(); ++i)
+      c += pair_cost(g, tr, ops[i - 1], ops[i], word_bits);
+  }
+  (void)s;
+  return c;
+}
+
+Binding plan_to_binding(const Dfg& g, const UnitPlan& plan, double cost) {
+  Binding b;
+  b.unit_of.assign(g.num_ops(), -1);
+  for (std::size_t u = 0; u < plan.unit_ops.size(); ++u)
+    for (OpId op : plan.unit_ops[u]) b.unit_of[op] = static_cast<int>(u);
+  b.num_units = static_cast<int>(plan.unit_ops.size());
+  b.switched_bits = cost;
+  return b;
+}
+
+// Round-robin plan grouped by op type; ops in start-time order.  This is
+// the power-oblivious baseline: an area-driven binder balances utilization
+// across units, which interleaves unrelated value streams onto shared
+// hardware — exactly the behaviour [33,34] identify as wasteful.
+UnitPlan round_robin(const Dfg& g, const Schedule& s) {
+  UnitPlan plan;
+  std::map<OpType, std::vector<int>> units_of_type;  // -> plan indices
+  std::map<OpType, std::size_t> next_of_type;        // rotation pointer
+  std::vector<int> unit_busy_until;                  // per plan unit
+  std::vector<OpId> order;
+  for (int i = 0; i < g.num_ops(); ++i)
+    if (is_exec(g.op(i).type)) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return s.start_cs[a] < s.start_cs[b];
+  });
+  for (OpId i : order) {
+    OpType t = g.op(i).type;
+    auto& mine = units_of_type[t];
+    auto& ptr = next_of_type[t];
+    int chosen = -1;
+    for (std::size_t step = 0; step < mine.size(); ++step) {
+      int u = mine[(ptr + step) % mine.size()];
+      if (unit_busy_until[u] <= s.start_cs[i]) {
+        chosen = u;
+        ptr = (ptr + step + 1) % mine.size();
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(plan.unit_ops.size());
+      plan.unit_ops.emplace_back();
+      unit_busy_until.push_back(0);
+      mine.push_back(chosen);
+      ptr = 0;
+    }
+    plan.unit_ops[chosen].push_back(i);
+    unit_busy_until[chosen] = s.finish_cs[i];
+  }
+  return plan;
+}
+
+bool overlaps(const Schedule& s, OpId a, OpId b) {
+  return s.start_cs[a] < s.finish_cs[b] && s.start_cs[b] < s.finish_cs[a];
+}
+
+bool fits(const Dfg& g, const Schedule& s, const std::vector<OpId>& unit_ops,
+          OpId candidate, OpId ignore) {
+  for (OpId o : unit_ops) {
+    if (o == ignore) continue;
+    if (g.op(o).type != g.op(candidate).type) return false;
+    if (overlaps(s, o, candidate)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double binding_cost(const Dfg& g, const Schedule& s, const Binding& b,
+                    const BindingOptions& opt) {
+  auto tr = traces(g, opt);
+  UnitPlan plan;
+  plan.unit_ops.assign(b.num_units, {});
+  std::vector<OpId> order;
+  for (int i = 0; i < g.num_ops(); ++i)
+    if (b.unit_of[i] >= 0) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](OpId x, OpId y) {
+    return s.start_cs[x] < s.start_cs[y];
+  });
+  for (OpId i : order) plan.unit_ops[b.unit_of[i]].push_back(i);
+  return plan_cost(g, s, tr, plan, opt.word_bits);
+}
+
+Binding naive_binding(const Dfg& g, const Schedule& s,
+                      const BindingOptions& opt) {
+  auto tr = traces(g, opt);
+  UnitPlan plan = round_robin(g, s);
+  return plan_to_binding(g, plan, plan_cost(g, s, tr, plan, opt.word_bits));
+}
+
+Binding low_power_binding(const Dfg& g, const Schedule& s,
+                          const BindingOptions& opt) {
+  auto tr = traces(g, opt);
+  UnitPlan plan = round_robin(g, s);
+  double cost = plan_cost(g, s, tr, plan, opt.word_bits);
+  std::mt19937_64 rng(opt.seed ^ 0xB1D);
+
+  auto all_ops = [&]() {
+    std::vector<std::pair<int, std::size_t>> v;  // (unit, index)
+    for (std::size_t u = 0; u < plan.unit_ops.size(); ++u)
+      for (std::size_t k = 0; k < plan.unit_ops[u].size(); ++k)
+        v.push_back({static_cast<int>(u), k});
+    return v;
+  };
+
+  for (int it = 0; it < opt.exchange_iterations; ++it) {
+    auto ops = all_ops();
+    if (ops.size() < 2) break;
+    auto [u1, k1] = ops[rng() % ops.size()];
+    auto [u2, k2] = ops[rng() % ops.size()];
+    if (u1 == u2) continue;
+    OpId a = plan.unit_ops[u1][k1];
+    OpId b = plan.unit_ops[u2][k2];
+    if (g.op(a).type != g.op(b).type) continue;
+    // Try swap.
+    if (!fits(g, s, plan.unit_ops[u2], a, b) ||
+        !fits(g, s, plan.unit_ops[u1], b, a))
+      continue;
+    UnitPlan trial = plan;
+    trial.unit_ops[u1][k1] = b;
+    trial.unit_ops[u2][k2] = a;
+    // Keep per-unit start order.
+    for (auto* v : {&trial.unit_ops[u1], &trial.unit_ops[u2]})
+      std::stable_sort(v->begin(), v->end(), [&](OpId x, OpId y) {
+        return s.start_cs[x] < s.start_cs[y];
+      });
+    double c = plan_cost(g, s, tr, trial, opt.word_bits);
+    if (c < cost - 1e-12) {
+      plan = std::move(trial);
+      cost = c;
+    }
+  }
+  return plan_to_binding(g, plan, cost);
+}
+
+namespace {
+
+struct Lifetime {
+  OpId op;        // value producer
+  int birth, death;
+};
+
+// Values needing registers: results of exec ops and inputs that are used
+// after the cycle they arrive (we restrict to exec results for clarity).
+std::vector<Lifetime> lifetimes(const Dfg& g, const Schedule& s) {
+  std::vector<Lifetime> lt;
+  for (int i = 0; i < g.num_ops(); ++i) {
+    if (!is_exec(g.op(i).type)) continue;
+    int death = s.finish_cs[i];
+    for (int j = 0; j < g.num_ops(); ++j)
+      for (OpId a : g.op(j).args)
+        if (a == i) death = std::max(death, s.start_cs[j]);
+    lt.push_back({i, s.finish_cs[i], death});
+  }
+  std::sort(lt.begin(), lt.end(), [](const Lifetime& a, const Lifetime& b) {
+    if (a.birth != b.birth) return a.birth < b.birth;
+    return a.op < b.op;
+  });
+  return lt;
+}
+
+// Register-input toggles: for each register, writes in time order; cost is
+// the Hamming distance between consecutive stored values, averaged over
+// traces.
+double register_cost(const Dfg& g, const RegisterBinding& rb,
+                     const Schedule& s,
+                     const std::vector<std::vector<std::int64_t>>& tr,
+                     int word_bits) {
+  std::uint64_t mask = (1ULL << word_bits) - 1;
+  // Group writers per register, ordered by write time.
+  std::vector<std::vector<OpId>> writers(rb.num_registers);
+  for (int i = 0; i < g.num_ops(); ++i)
+    if (rb.reg_of[i] >= 0) writers[rb.reg_of[i]].push_back(i);
+  for (auto& w : writers)
+    std::sort(w.begin(), w.end(), [&](OpId a, OpId b) {
+      return s.finish_cs[a] < s.finish_cs[b];
+    });
+  double total = 0;
+  for (const auto& w : writers)
+    for (std::size_t k = 1; k < w.size(); ++k)
+      for (const auto& row : tr)
+        total += std::popcount(
+            (static_cast<std::uint64_t>(row[w[k - 1]]) ^
+             static_cast<std::uint64_t>(row[w[k]])) &
+            mask);
+  return total / static_cast<double>(tr.size());
+}
+
+RegisterBinding bind_registers(const Dfg& g, const Schedule& s,
+                               const BindingOptions& opt, bool power_aware) {
+  auto lt = lifetimes(g, s);
+  auto tr = traces(g, opt);
+  RegisterBinding rb;
+  rb.reg_of.assign(g.num_ops(), -1);
+  std::vector<int> busy_until;      // per register
+  std::vector<OpId> last_value;     // last op written per register
+  std::uint64_t mask = (1ULL << opt.word_bits) - 1;
+  for (const auto& v : lt) {
+    int chosen = -1;
+    if (power_aware) {
+      // Among free registers, pick the one whose previous value is closest
+      // in expected Hamming distance to the new value.
+      double best = 1e30;
+      for (std::size_t r = 0; r < busy_until.size(); ++r) {
+        if (busy_until[r] > v.birth) continue;
+        double d = 0;
+        for (const auto& row : tr)
+          d += std::popcount((static_cast<std::uint64_t>(row[last_value[r]]) ^
+                              static_cast<std::uint64_t>(row[v.op])) &
+                             mask);
+        if (d < best) {
+          best = d;
+          chosen = static_cast<int>(r);
+        }
+      }
+    } else {
+      // Left-edge: first free register.
+      for (std::size_t r = 0; r < busy_until.size(); ++r)
+        if (busy_until[r] <= v.birth) {
+          chosen = static_cast<int>(r);
+          break;
+        }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(busy_until.size());
+      busy_until.push_back(0);
+      last_value.push_back(v.op);
+    }
+    rb.reg_of[v.op] = chosen;
+    busy_until[chosen] = v.death;
+    last_value[chosen] = v.op;
+  }
+  rb.num_registers = static_cast<int>(busy_until.size());
+  rb.switched_bits = register_cost(g, rb, s, tr, opt.word_bits);
+  return rb;
+}
+
+}  // namespace
+
+RegisterBinding naive_register_binding(const Dfg& g, const Schedule& s,
+                                       const BindingOptions& opt) {
+  return bind_registers(g, s, opt, false);
+}
+
+RegisterBinding low_power_register_binding(const Dfg& g, const Schedule& s,
+                                           const BindingOptions& opt) {
+  return bind_registers(g, s, opt, true);
+}
+
+}  // namespace lps::arch

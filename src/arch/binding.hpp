@@ -1,0 +1,72 @@
+// binding.hpp — low-switching allocation and binding (§IV-B).
+//
+// "The decisions made during these processes, including the extent of
+// hardware sharing and the sequence of operations (variables) mapped to
+// each functional unit (register), affect the total switched capacitance in
+// the data path.  The problem of minimizing this switched capacitance,
+// while accounting for correlations between signals, is addressed in
+// [33],[34]" (Raghunathan & Jha).
+//
+// We simulate the DFG on a random input ensemble to obtain the actual
+// operand traces, then bind operations to functional units so that
+// consecutive operations sharing a unit present similar operand bit
+// patterns: the unit-input switched bits are measured from the traces, and
+// a greedy exchange search minimizes their sum.  A naive (first-fit by op
+// index) binding provides the baseline.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/dfg.hpp"
+#include "arch/scheduling.hpp"
+
+namespace lps::arch {
+
+struct Binding {
+  std::vector<int> unit_of;  // per op: functional-unit instance (-1 none)
+  int num_units = 0;
+  double switched_bits = 0.0;  // expected unit-input toggles per DFG pass
+};
+
+struct BindingOptions {
+  int word_bits = 16;
+  std::size_t trace_samples = 256;
+  std::uint64_t seed = 2718;
+  int exchange_iterations = 2000;
+};
+
+/// First-fit binding: ops of each type assigned round-robin to the minimum
+/// number of units allowed by the schedule.
+Binding naive_binding(const Dfg& g, const Schedule& s,
+                      const BindingOptions& opt = {});
+
+/// Correlation-aware binding: same unit count, operands traced, greedy
+/// pairwise-exchange minimization of unit-input switching [33,34].
+Binding low_power_binding(const Dfg& g, const Schedule& s,
+                          const BindingOptions& opt = {});
+
+/// Re-evaluate the switched-bits cost of an arbitrary binding (shared by
+/// both constructors and available for tests).
+double binding_cost(const Dfg& g, const Schedule& s, const Binding& b,
+                    const BindingOptions& opt);
+
+// ---- register binding ("variables to registers", [33,34]) ------------------
+
+struct RegisterBinding {
+  std::vector<int> reg_of;     // per op producing a value (-1 = none)
+  int num_registers = 0;
+  double switched_bits = 0.0;  // register-input toggles per DFG pass
+};
+
+/// Lifetime analysis + left-edge allocation: values (op results) that are
+/// alive simultaneously get distinct registers; the low-power variant
+/// chooses, among lifetime-compatible registers, the one whose previous
+/// value is closest in Hamming distance on the traced operand values.
+RegisterBinding naive_register_binding(const Dfg& g, const Schedule& s,
+                                       const BindingOptions& opt = {});
+RegisterBinding low_power_register_binding(const Dfg& g, const Schedule& s,
+                                           const BindingOptions& opt = {});
+
+}  // namespace lps::arch

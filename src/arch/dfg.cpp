@@ -1,0 +1,210 @@
+#include "arch/dfg.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace lps::arch {
+
+std::string to_string(OpType t) {
+  switch (t) {
+    case OpType::Input: return "in";
+    case OpType::Const: return "const";
+    case OpType::Add: return "add";
+    case OpType::Sub: return "sub";
+    case OpType::Mul: return "mul";
+    case OpType::Shift: return "shift";
+    case OpType::Cmp: return "cmp";
+    case OpType::Output: return "out";
+  }
+  return "?";
+}
+
+OpId Dfg::add_input(std::string name) {
+  ops_.push_back({OpType::Input, {}, std::move(name), 0});
+  inputs_.push_back(num_ops() - 1);
+  return num_ops() - 1;
+}
+
+OpId Dfg::add_const(std::int64_t v) {
+  ops_.push_back({OpType::Const, {}, "c" + std::to_string(v), v});
+  return num_ops() - 1;
+}
+
+OpId Dfg::add_op(OpType t, std::vector<OpId> args, std::string name) {
+  for (OpId a : args)
+    if (a < 0 || a >= num_ops()) throw std::invalid_argument("dfg: bad arg");
+  ops_.push_back({t, std::move(args), std::move(name), 0});
+  return num_ops() - 1;
+}
+
+OpId Dfg::add_output(OpId v, std::string name) {
+  ops_.push_back({OpType::Output, {v}, std::move(name), 0});
+  outputs_.push_back(num_ops() - 1);
+  return num_ops() - 1;
+}
+
+std::vector<OpId> Dfg::topo_order() const {
+  // Construction order is already topological (args must pre-exist).
+  std::vector<OpId> r(num_ops());
+  for (int i = 0; i < num_ops(); ++i) r[i] = i;
+  return r;
+}
+
+std::vector<std::pair<OpType, int>> Dfg::op_histogram() const {
+  std::map<OpType, int> h;
+  for (const auto& o : ops_)
+    if (o.type != OpType::Input && o.type != OpType::Const &&
+        o.type != OpType::Output)
+      h[o.type] += 1;
+  return {h.begin(), h.end()};
+}
+
+std::vector<std::int64_t> Dfg::eval(
+    const std::vector<std::int64_t>& in) const {
+  if (in.size() != inputs_.size())
+    throw std::invalid_argument("dfg::eval: input count mismatch");
+  std::vector<std::int64_t> v(num_ops(), 0);
+  std::size_t next_in = 0;
+  for (int i = 0; i < num_ops(); ++i) {
+    const Op& o = ops_[i];
+    switch (o.type) {
+      case OpType::Input:
+        v[i] = in[next_in++];
+        break;
+      case OpType::Const:
+        v[i] = o.const_value;
+        break;
+      case OpType::Add:
+        v[i] = v[o.args[0]] + v[o.args[1]];
+        break;
+      case OpType::Sub:
+        v[i] = v[o.args[0]] - v[o.args[1]];
+        break;
+      case OpType::Mul:
+        v[i] = v[o.args[0]] * v[o.args[1]];
+        break;
+      case OpType::Shift:
+        v[i] = v[o.args[0]] << (o.args.size() > 1 ? (v[o.args[1]] & 7) : 1);
+        break;
+      case OpType::Cmp:
+        v[i] = v[o.args[0]] > v[o.args[1]] ? 1 : 0;
+        break;
+      case OpType::Output:
+        v[i] = v[o.args[0]];
+        break;
+    }
+  }
+  return v;
+}
+
+Dfg fir_filter(int taps) {
+  Dfg g("fir" + std::to_string(taps));
+  std::vector<OpId> x, c;
+  for (int i = 0; i < taps; ++i) x.push_back(g.add_input("x" + std::to_string(i)));
+  for (int i = 0; i < taps; ++i) c.push_back(g.add_const(3 + 2 * i));
+  std::vector<OpId> prods;
+  for (int i = 0; i < taps; ++i)
+    prods.push_back(g.add_op(OpType::Mul, {x[i], c[i]}));
+  // Balanced adder tree.
+  std::vector<OpId> level = prods;
+  while (level.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(g.add_op(OpType::Add, {level[i], level[i + 1]}));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  g.add_output(level[0], "y");
+  return g;
+}
+
+Dfg iir_biquad() {
+  Dfg g("biquad");
+  OpId x = g.add_input("x");
+  OpId w1 = g.add_input("w1");  // state from previous iterations
+  OpId w2 = g.add_input("w2");
+  OpId a1 = g.add_const(-3);
+  OpId a2 = g.add_const(2);
+  OpId b0 = g.add_const(5);
+  OpId b1 = g.add_const(7);
+  OpId b2 = g.add_const(1);
+  OpId t1 = g.add_op(OpType::Mul, {a1, w1});
+  OpId t2 = g.add_op(OpType::Mul, {a2, w2});
+  OpId s1 = g.add_op(OpType::Sub, {x, t1});
+  OpId w0 = g.add_op(OpType::Sub, {s1, t2});
+  OpId u0 = g.add_op(OpType::Mul, {b0, w0});
+  OpId u1 = g.add_op(OpType::Mul, {b1, w1});
+  OpId u2 = g.add_op(OpType::Mul, {b2, w2});
+  OpId v1 = g.add_op(OpType::Add, {u0, u1});
+  OpId y = g.add_op(OpType::Add, {v1, u2});
+  g.add_output(y, "y");
+  g.add_output(w0, "w0_next");
+  return g;
+}
+
+Dfg ewf_fragment() {
+  Dfg g("ewf");
+  OpId in = g.add_input("in");
+  std::vector<OpId> s;
+  for (int i = 0; i < 4; ++i) s.push_back(g.add_input("s" + std::to_string(i)));
+  OpId k1 = g.add_const(3);
+  OpId k2 = g.add_const(5);
+  OpId a0 = g.add_op(OpType::Add, {in, s[0]});
+  OpId m0 = g.add_op(OpType::Mul, {a0, k1});
+  OpId a1 = g.add_op(OpType::Add, {m0, s[1]});
+  OpId a2 = g.add_op(OpType::Add, {a1, s[2]});
+  OpId m1 = g.add_op(OpType::Mul, {a2, k2});
+  OpId a3 = g.add_op(OpType::Add, {m1, s[3]});
+  OpId a4 = g.add_op(OpType::Add, {a3, a0});
+  OpId a5 = g.add_op(OpType::Add, {a4, m0});
+  g.add_output(a5, "out");
+  g.add_output(a2, "state_next");
+  return g;
+}
+
+Dfg dual_fir(int taps) {
+  Dfg g("dualfir" + std::to_string(taps));
+  for (int ch = 0; ch < 2; ++ch) {
+    std::vector<OpId> x, coef;
+    for (int i = 0; i < taps; ++i)
+      x.push_back(g.add_input((ch ? "y" : "x") + std::to_string(i)));
+    for (int i = 0; i < taps; ++i)
+      coef.push_back(g.add_const(3 + 2 * i));
+    std::vector<OpId> level;
+    for (int i = 0; i < taps; ++i)
+      level.push_back(g.add_op(OpType::Mul, {x[i], coef[i]}));
+    while (level.size() > 1) {
+      std::vector<OpId> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+        next.push_back(g.add_op(OpType::Add, {level[i], level[i + 1]}));
+      if (level.size() % 2) next.push_back(level.back());
+      level = std::move(next);
+    }
+    g.add_output(level[0], ch ? "yout" : "xout");
+  }
+  return g;
+}
+
+Dfg dct_butterfly() {
+  Dfg g("dct4");
+  std::vector<OpId> x;
+  for (int i = 0; i < 4; ++i) x.push_back(g.add_input("x" + std::to_string(i)));
+  OpId c1 = g.add_const(2);
+  OpId c2 = g.add_const(3);
+  OpId s0 = g.add_op(OpType::Add, {x[0], x[3]});
+  OpId s1 = g.add_op(OpType::Add, {x[1], x[2]});
+  OpId d0 = g.add_op(OpType::Sub, {x[0], x[3]});
+  OpId d1 = g.add_op(OpType::Sub, {x[1], x[2]});
+  OpId y0 = g.add_op(OpType::Add, {s0, s1});
+  OpId y2 = g.add_op(OpType::Sub, {s0, s1});
+  OpId y1 = g.add_op(OpType::Mul, {d0, c1});
+  OpId t = g.add_op(OpType::Mul, {d1, c2});
+  OpId y3 = g.add_op(OpType::Add, {y1, t});
+  g.add_output(y0, "y0");
+  g.add_output(y1, "y1");
+  g.add_output(y2, "y2");
+  g.add_output(y3, "y3");
+  return g;
+}
+
+}  // namespace lps::arch

@@ -1,0 +1,90 @@
+// dfg.hpp — data-flow graphs for behavioral synthesis (§IV-B).
+//
+// "The high-level specification is typically in the form of a data-flow
+// graph and a control-flow graph."  Operations carry types matched by the
+// module library (modules.hpp); edges carry data dependences.  Builders for
+// the standard DSP benchmarks of the cited work (FIR, IIR biquad, elliptic
+// wave filter fragment, DCT butterfly) are included so every experiment is
+// self-contained.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lps::arch {
+
+enum class OpType : std::uint8_t {
+  Input,
+  Const,
+  Add,
+  Sub,
+  Mul,
+  Shift,  // cheap constant multiply
+  Cmp,
+  Output,
+};
+
+std::string to_string(OpType t);
+
+using OpId = int;
+
+struct Op {
+  OpType type = OpType::Add;
+  std::vector<OpId> args;
+  std::string name;
+  std::int64_t const_value = 0;  // for Const
+};
+
+class Dfg {
+ public:
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  OpId add_input(std::string name);
+  OpId add_const(std::int64_t v);
+  OpId add_op(OpType t, std::vector<OpId> args, std::string name = {});
+  OpId add_output(OpId v, std::string name);
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const Op& op(OpId i) const { return ops_[i]; }
+  const std::vector<OpId>& inputs() const { return inputs_; }
+  const std::vector<OpId>& outputs() const { return outputs_; }
+
+  /// Ops in dependency order.
+  std::vector<OpId> topo_order() const;
+  /// Number of ops of each computational type (Add/Sub/Mul/Shift/Cmp).
+  std::vector<std::pair<OpType, int>> op_histogram() const;
+
+  /// Evaluate over int64 (wrap-around) — used to derive realistic operand
+  /// traces for the correlation-aware binding of [33,34].
+  std::vector<std::int64_t> eval(const std::vector<std::int64_t>& in) const;
+
+ private:
+  std::string name_;
+  std::vector<Op> ops_;
+  std::vector<OpId> inputs_;
+  std::vector<OpId> outputs_;
+};
+
+/// n-tap FIR filter: y = Σ c_i · x_i (x_i are the delayed samples, provided
+/// as separate inputs — one DFG iteration).
+Dfg fir_filter(int taps);
+
+/// Direct-form-II biquad IIR section.
+Dfg iir_biquad();
+
+/// A 10-operation fragment of the elliptic wave filter benchmark.
+Dfg ewf_fragment();
+
+/// 4-point DCT butterfly.
+Dfg dct_butterfly();
+
+/// Two independent FIR channels in one DFG (stereo processing): operations
+/// from the two channels carry uncorrelated value streams, so hardware
+/// sharing decisions have a large switched-capacitance spread — the
+/// binding experiment of [33,34].
+Dfg dual_fir(int taps);
+
+}  // namespace lps::arch

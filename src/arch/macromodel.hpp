@@ -1,0 +1,79 @@
+// macromodel.hpp — architecture-level power macro-models (§IV-A).
+//
+// Three model classes from the survey, all calibrated against this
+// library's own gate-level power analysis (the "lower level analysis tools"
+// the survey says the models are built from):
+//   - PFA [15]: one capacitance-per-activation constant per module,
+//     characterized with random input streams;
+//   - activity-sensitive black-box models [21,22]: "known signal statistics
+//     are used to obtain models that are more accurate than those obtained
+//     from using random input streams" — a linear model in the module's
+//     mean input toggle rate, fitted over a set of training statistics;
+//   - additive per-module costs [36]: module constants summed over the
+//     active modules of a computation, ignoring inter-module correlation.
+// evaluate_macromodels() reports each model's error against gate-level
+// truth on unseen input statistics — experiment E13.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::arch {
+
+/// One input-statistics point: per-PI one-probability (toggle rate for iid
+/// streams is 2p(1-p)).
+using StatPoint = std::vector<double>;
+
+struct PfaModel {
+  double cap_per_activation_ff = 0.0;  // switched capacitance per cycle
+};
+
+struct ActivityModel {
+  double c0_ff = 0.0;  // intercept
+  double c1_ff = 0.0;  // slope vs mean input toggle rate
+};
+
+/// Gate-level "truth": switched capacitance per cycle (fF) of the module
+/// under iid inputs with the given one-probabilities.
+double gate_level_cap_ff(const Netlist& module, const StatPoint& probs,
+                         std::size_t n_vectors = 4096,
+                         std::uint64_t seed = 31);
+
+PfaModel calibrate_pfa(const Netlist& module, std::size_t n_vectors = 4096);
+
+ActivityModel calibrate_activity_model(const Netlist& module,
+                                       const std::vector<StatPoint>& training,
+                                       std::size_t n_vectors = 4096);
+
+struct MacroModelEval {
+  std::string module;
+  double mean_abs_err_pfa = 0.0;       // relative error vs gate level
+  double mean_abs_err_activity = 0.0;
+};
+
+/// Fit both models on `training` statistics and score them on `test`.
+MacroModelEval evaluate_macromodels(const Netlist& module,
+                                    const std::vector<StatPoint>& training,
+                                    const std::vector<StatPoint>& test,
+                                    std::size_t n_vectors = 4096);
+
+struct AdditiveModelEval {
+  double truth_cap_ff = 0.0;       // joint gate-level simulation of A -> B
+  double additive_cap_ff = 0.0;    // PFA(A) + PFA(B), modules in isolation
+  double relative_error = 0.0;     // (additive - truth) / truth
+};
+
+/// The [36] approach: "average power costs are assigned to individual
+/// modules, in isolation from other modules ... this method ignores the
+/// correlations between the activities of different modules."  We wire
+/// module A's outputs into module B's inputs (extra B inputs stay primary),
+/// then compare the additive isolated-module estimate against joint
+/// simulation of the composed system.
+AdditiveModelEval evaluate_additive_model(const Netlist& a, const Netlist& b,
+                                          std::size_t n_vectors = 4096);
+
+}  // namespace lps::arch

@@ -1,0 +1,93 @@
+#include "arch/memory.hpp"
+
+#include <algorithm>
+
+namespace lps::arch {
+
+MemoryEnergy simulate_memory(const std::vector<std::uint32_t>& addresses,
+                             const MemoryParams& p) {
+  MemoryEnergy e;
+  std::vector<std::int64_t> tag(p.cache_lines, -1);
+  for (std::uint32_t a : addresses) {
+    std::uint32_t line_addr = a / p.words_per_line;
+    int index = static_cast<int>(line_addr % p.cache_lines);
+    ++e.accesses;
+    if (tag[index] == static_cast<std::int64_t>(line_addr)) {
+      e.energy_pj += p.e_hit_pj;
+    } else {
+      tag[index] = line_addr;
+      ++e.misses;
+      e.energy_pj +=
+          p.e_miss_pj + p.e_per_kword_size_pj * p.offchip_kwords;
+    }
+  }
+  return e;
+}
+
+std::string to_string(LoopOrder o) {
+  switch (o) {
+    case LoopOrder::IJK: return "ijk";
+    case LoopOrder::IKJ: return "ikj";
+    case LoopOrder::JKI: return "jki";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> matmul_addresses(int n, LoopOrder order) {
+  std::vector<std::uint32_t> s;
+  s.reserve(static_cast<std::size_t>(n) * n * n * 3);
+  auto A = [&](int i, int k) { return static_cast<std::uint32_t>(i * n + k); };
+  auto B = [&](int k, int j) {
+    return static_cast<std::uint32_t>(n * n + k * n + j);
+  };
+  auto C = [&](int i, int j) {
+    return static_cast<std::uint32_t>(2 * n * n + i * n + j);
+  };
+  auto body = [&](int i, int j, int k) {
+    s.push_back(A(i, k));
+    s.push_back(B(k, j));
+    s.push_back(C(i, j));  // read-modify-write counted once
+  };
+  switch (order) {
+    case LoopOrder::IJK:
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+          for (int k = 0; k < n; ++k) body(i, j, k);
+      break;
+    case LoopOrder::IKJ:
+      for (int i = 0; i < n; ++i)
+        for (int k = 0; k < n; ++k)
+          for (int j = 0; j < n; ++j) body(i, j, k);
+      break;
+    case LoopOrder::JKI:
+      for (int j = 0; j < n; ++j)
+        for (int k = 0; k < n; ++k)
+          for (int i = 0; i < n; ++i) body(i, j, k);
+      break;
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> matmul_addresses_tiled(int n, int tile) {
+  std::vector<std::uint32_t> s;
+  auto A = [&](int i, int k) { return static_cast<std::uint32_t>(i * n + k); };
+  auto B = [&](int k, int j) {
+    return static_cast<std::uint32_t>(n * n + k * n + j);
+  };
+  auto C = [&](int i, int j) {
+    return static_cast<std::uint32_t>(2 * n * n + i * n + j);
+  };
+  for (int i0 = 0; i0 < n; i0 += tile)
+    for (int j0 = 0; j0 < n; j0 += tile)
+      for (int k0 = 0; k0 < n; k0 += tile)
+        for (int i = i0; i < std::min(i0 + tile, n); ++i)
+          for (int j = j0; j < std::min(j0 + tile, n); ++j)
+            for (int k = k0; k < std::min(k0 + tile, n); ++k) {
+              s.push_back(A(i, k));
+              s.push_back(B(k, j));
+              s.push_back(C(i, j));
+            }
+  return s;
+}
+
+}  // namespace lps::arch

@@ -1,0 +1,53 @@
+// memory.hpp — memory power and control-flow transformations (§IV-B).
+//
+// Catthoor et al. [14]: "memory accesses consume a lot of power, especially
+// if the access is off-chip, and ... the greater the size of memory, the
+// greater is the capacitance that switches per access.  Control flow
+// transformations, such as loop reordering, are presented to try to
+// minimize the memory component of the overall system power."
+//
+// We model a small on-chip buffer (direct-mapped cache) in front of a large
+// off-chip memory; loop reorderings of a matrix-multiply kernel generate
+// different address streams, and the energy gap between orders is the
+// paper's effect.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lps::arch {
+
+struct MemoryParams {
+  int cache_lines = 64;
+  int words_per_line = 4;
+  double e_hit_pj = 2.0;          // on-chip buffer access
+  double e_miss_pj = 40.0;        // off-chip access (line fill)
+  double e_per_kword_size_pj = 0.2;  // size-dependent per-access adder
+  double offchip_kwords = 64.0;
+};
+
+struct MemoryEnergy {
+  std::size_t accesses = 0;
+  std::size_t misses = 0;
+  double energy_pj = 0.0;
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / accesses : 0.0;
+  }
+};
+
+/// Direct-mapped cache simulation of a word-address stream.
+MemoryEnergy simulate_memory(const std::vector<std::uint32_t>& addresses,
+                             const MemoryParams& p = {});
+
+/// Word-address streams of C = A×B for n×n matrices under different loop
+/// orders.  A at base 0, B at n², C at 2n²; row-major layout.
+enum class LoopOrder { IJK, IKJ, JKI };
+std::string to_string(LoopOrder o);
+std::vector<std::uint32_t> matmul_addresses(int n, LoopOrder order);
+
+/// Tiled (blocked) ijk with the given tile size.
+std::vector<std::uint32_t> matmul_addresses_tiled(int n, int tile);
+
+}  // namespace lps::arch

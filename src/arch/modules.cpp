@@ -1,0 +1,120 @@
+#include "arch/modules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lps::arch {
+
+std::vector<const Module*> ModuleLibrary::variants(OpType op) const {
+  std::vector<const Module*> v;
+  for (const auto& m : modules)
+    if (m.op == op) v.push_back(&m);
+  std::sort(v.begin(), v.end(), [](const Module* a, const Module* b) {
+    return a->latency_cs < b->latency_cs;
+  });
+  return v;
+}
+
+const Module* ModuleLibrary::fastest(OpType op) const {
+  auto v = variants(op);
+  return v.empty() ? nullptr : v.front();
+}
+
+const Module* ModuleLibrary::most_efficient(OpType op) const {
+  auto v = variants(op);
+  const Module* best = nullptr;
+  for (const Module* m : v)
+    if (!best || m->energy_pj < best->energy_pj) best = m;
+  return best;
+}
+
+ModuleLibrary standard_module_library() {
+  ModuleLibrary lib;
+  lib.modules = {
+      {"add_cla", OpType::Add, 1, 6.0, 2.0},
+      {"add_csel", OpType::Add, 1, 5.0, 1.6},
+      {"add_ripple", OpType::Add, 2, 3.0, 1.0},
+      {"sub_cla", OpType::Sub, 1, 6.5, 2.0},
+      {"sub_ripple", OpType::Sub, 2, 3.3, 1.0},
+      {"mul_array", OpType::Mul, 2, 40.0, 8.0},
+      {"mul_booth", OpType::Mul, 3, 28.0, 6.0},
+      {"mul_serial", OpType::Mul, 8, 18.0, 2.5},
+      {"shift_barrel", OpType::Shift, 1, 2.0, 1.2},
+      {"cmp_fast", OpType::Cmp, 1, 2.5, 0.8},
+      {"cmp_ripple", OpType::Cmp, 2, 1.4, 0.5},
+  };
+  return lib;
+}
+
+namespace {
+
+bool is_exec(OpType t) {
+  return t != OpType::Input && t != OpType::Const && t != OpType::Output;
+}
+
+int critical_path(const Dfg& g, const std::vector<const Module*>& choice) {
+  std::vector<int> finish(g.num_ops(), 0);
+  for (OpId i : g.topo_order()) {
+    const Op& o = g.op(i);
+    int start = 0;
+    for (OpId a : o.args) start = std::max(start, finish[a]);
+    int lat = is_exec(o.type) && choice[i] ? choice[i]->latency_cs : 0;
+    finish[i] = start + lat;
+  }
+  int cp = 0;
+  for (int f : finish) cp = std::max(cp, f);
+  return cp;
+}
+
+}  // namespace
+
+ModuleSelection select_modules(const Dfg& g, const ModuleLibrary& lib,
+                               int deadline_cs) {
+  ModuleSelection sel;
+  sel.choice.assign(g.num_ops(), nullptr);
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const Op& o = g.op(i);
+    if (!is_exec(o.type)) continue;
+    sel.choice[i] = lib.fastest(o.type);
+    if (!sel.choice[i])
+      throw std::invalid_argument("select_modules: no module for op type");
+  }
+  if (critical_path(g, sel.choice) > deadline_cs)
+    deadline_cs = critical_path(g, sel.choice);  // infeasible: relax to best
+
+  // Greedy demotion: at each step take the single substitution with the
+  // best energy saving that keeps the critical path within the deadline.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    double best_gain = 0.0;
+    int best_op = -1;
+    const Module* best_mod = nullptr;
+    for (int i = 0; i < g.num_ops(); ++i) {
+      if (!sel.choice[i]) continue;
+      for (const Module* m : lib.variants(g.op(i).type)) {
+        double gain = sel.choice[i]->energy_pj - m->energy_pj;
+        if (gain <= best_gain) continue;
+        const Module* old = sel.choice[i];
+        sel.choice[i] = m;
+        bool ok = critical_path(g, sel.choice) <= deadline_cs;
+        sel.choice[i] = old;
+        if (ok) {
+          best_gain = gain;
+          best_op = i;
+          best_mod = m;
+        }
+      }
+    }
+    if (best_op >= 0) {
+      sel.choice[best_op] = best_mod;
+      progress = true;
+    }
+  }
+  for (int i = 0; i < g.num_ops(); ++i)
+    if (sel.choice[i]) sel.energy_pj += sel.choice[i]->energy_pj;
+  sel.schedule_length_cs = critical_path(g, sel.choice);
+  return sel;
+}
+
+}  // namespace lps::arch

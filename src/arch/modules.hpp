@@ -1,0 +1,53 @@
+// modules.hpp — execution-unit library with power/delay variants (§IV-B).
+//
+// "If a number of modules, with a range of power/delay costs, is available
+// for implementing the given operation types, an appropriate choice of
+// modules can lead to lower power costs for the same performance"
+// (Goodby, Orailoglu & Chau [17]).  Each module implements one OpType with
+// a latency in control steps and an energy per activation; variants trade
+// the two (ripple vs carry-select adders, array vs Booth multipliers).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/dfg.hpp"
+
+namespace lps::arch {
+
+struct Module {
+  std::string name;
+  OpType op;
+  int latency_cs = 1;       // control steps per operation
+  double energy_pj = 1.0;   // energy per activation at nominal V_DD
+  double area = 1.0;
+};
+
+struct ModuleLibrary {
+  std::vector<Module> modules;
+
+  /// Variants implementing `op`, fastest first.
+  std::vector<const Module*> variants(OpType op) const;
+  const Module* fastest(OpType op) const;
+  const Module* most_efficient(OpType op) const;
+};
+
+/// Representative datapath library (16-bit units, 0.8um-class numbers):
+/// adders (ripple/select/lookahead), subtractor, multipliers (array/Booth/
+/// serial), shifter, comparator.
+ModuleLibrary standard_module_library();
+
+/// Module selection of [17]: pick, for each operation in the DFG, a module
+/// variant such that the schedule still meets `deadline_cs` control steps
+/// under unlimited resources (list scheduling re-checked after each demote),
+/// minimizing total energy per DFG evaluation.
+struct ModuleSelection {
+  std::vector<const Module*> choice;  // per op id (nullptr for non-exec ops)
+  double energy_pj = 0.0;
+  int schedule_length_cs = 0;
+};
+ModuleSelection select_modules(const Dfg& g, const ModuleLibrary& lib,
+                               int deadline_cs);
+
+}  // namespace lps::arch

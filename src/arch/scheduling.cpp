@@ -1,0 +1,152 @@
+#include "arch/scheduling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lps::arch {
+
+namespace {
+
+bool is_exec(OpType t) {
+  return t != OpType::Input && t != OpType::Const && t != OpType::Output;
+}
+
+int latency(const Dfg& g, const std::vector<const Module*>& choice, OpId i) {
+  return is_exec(g.op(i).type) && choice[i] ? choice[i]->latency_cs : 0;
+}
+
+}  // namespace
+
+Schedule asap(const Dfg& g, const std::vector<const Module*>& choice) {
+  Schedule s;
+  s.start_cs.assign(g.num_ops(), 0);
+  s.finish_cs.assign(g.num_ops(), 0);
+  for (OpId i : g.topo_order()) {
+    int st = 0;
+    for (OpId a : g.op(i).args) st = std::max(st, s.finish_cs[a]);
+    s.start_cs[i] = st;
+    s.finish_cs[i] = st + latency(g, choice, i);
+    s.length_cs = std::max(s.length_cs, s.finish_cs[i]);
+  }
+  return s;
+}
+
+Schedule alap(const Dfg& g, const std::vector<const Module*>& choice,
+              int deadline_cs) {
+  Schedule s;
+  s.start_cs.assign(g.num_ops(), deadline_cs);
+  s.finish_cs.assign(g.num_ops(), deadline_cs);
+  auto order = g.topo_order();
+  // Build user lists.
+  std::vector<std::vector<OpId>> users(g.num_ops());
+  for (OpId i : order)
+    for (OpId a : g.op(i).args) users[a].push_back(i);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    OpId i = *it;
+    int fin = deadline_cs;
+    for (OpId u : users[i]) fin = std::min(fin, s.start_cs[u]);
+    s.finish_cs[i] = fin;
+    s.start_cs[i] = fin - latency(g, choice, i);
+  }
+  s.length_cs = deadline_cs;
+  return s;
+}
+
+Schedule list_schedule(const Dfg& g, const std::vector<const Module*>& choice,
+                       const std::map<OpType, int>& limits) {
+  Schedule a = asap(g, choice);
+  Schedule l = alap(g, choice, a.length_cs);
+  Schedule s;
+  s.start_cs.assign(g.num_ops(), -1);
+  s.finish_cs.assign(g.num_ops(), -1);
+
+  // Non-exec ops are free: schedule at their dependency frontier.
+  // Candidate order: by ALAP start (least slack first), topo as tie-break,
+  // which is the classic list-scheduling priority.
+  std::vector<OpId> order = g.topo_order();
+  std::stable_sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return l.start_cs[a] < l.start_cs[b];
+  });
+  std::vector<bool> done(g.num_ops(), false);
+  int scheduled = 0, total = g.num_ops();
+
+  int cs = 0;
+  std::map<OpType, std::vector<int>> busy_until;  // per unit instance
+  for (auto& [t, k] : limits) busy_until[t].assign(k, 0);
+
+  while (scheduled < total) {
+    bool any = false;
+    for (OpId i : order) {
+      if (done[i]) continue;
+      // Dependencies done and finished by now?
+      bool ready = true;
+      int dep_fin = 0;
+      for (OpId arg : g.op(i).args) {
+        if (!done[arg]) {
+          ready = false;
+          break;
+        }
+        dep_fin = std::max(dep_fin, s.finish_cs[arg]);
+      }
+      if (!ready || dep_fin > cs) continue;
+      OpType t = g.op(i).type;
+      if (!is_exec(t)) {
+        s.start_cs[i] = cs;
+        s.finish_cs[i] = cs;
+        done[i] = true;
+        ++scheduled;
+        any = true;
+        continue;
+      }
+      int lat = latency(g, choice, i);
+      auto it = busy_until.find(t);
+      if (it == busy_until.end()) {
+        s.start_cs[i] = cs;
+        s.finish_cs[i] = cs + lat;
+        done[i] = true;
+        ++scheduled;
+        any = true;
+        continue;
+      }
+      // Find a free unit; prefer scheduling the least-slack ready op first:
+      // iterate ready ops by ALAP start.
+      int unit = -1;
+      for (std::size_t u = 0; u < it->second.size(); ++u)
+        if (it->second[u] <= cs) {
+          unit = static_cast<int>(u);
+          break;
+        }
+      if (unit < 0) continue;  // all units busy this step
+      s.start_cs[i] = cs;
+      s.finish_cs[i] = cs + lat;
+      it->second[unit] = cs + lat;
+      done[i] = true;
+      ++scheduled;
+      any = true;
+    }
+    if (!any) ++cs;
+    if (cs > 100000)
+      throw std::logic_error("list_schedule: no progress (cyclic DFG?)");
+  }
+  for (int f : s.finish_cs) s.length_cs = std::max(s.length_cs, f);
+  return s;
+}
+
+std::map<OpType, int> peak_usage(const Dfg& g,
+                                 const std::vector<const Module*>& choice,
+                                 const Schedule& s) {
+  std::map<OpType, int> peak;
+  for (int cs = 0; cs < s.length_cs; ++cs) {
+    std::map<OpType, int> now;
+    for (int i = 0; i < g.num_ops(); ++i) {
+      OpType t = g.op(i).type;
+      if (!is_exec(t)) continue;
+      if (s.start_cs[i] <= cs && cs < s.finish_cs[i]) now[t] += 1;
+    }
+    for (auto& [t, k] : now) peak[t] = std::max(peak[t], k);
+  }
+  (void)choice;
+  return peak;
+}
+
+}  // namespace lps::arch

@@ -1,0 +1,42 @@
+// scheduling.hpp — operation scheduling (§IV-B).
+//
+// ASAP/ALAP bounds and resource-constrained list scheduling.  Power enters
+// through two doors: (a) fewer control steps enable voltage scaling at
+// fixed throughput ([7]; see voltage.hpp), and (b) the schedule determines
+// how many units are simultaneously active and how values map onto shared
+// hardware (binding.hpp).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "arch/dfg.hpp"
+#include "arch/modules.hpp"
+
+namespace lps::arch {
+
+struct Schedule {
+  std::vector<int> start_cs;   // per op
+  std::vector<int> finish_cs;  // per op
+  int length_cs = 0;
+};
+
+/// As-soon-as-possible schedule with per-op module latencies.
+Schedule asap(const Dfg& g, const std::vector<const Module*>& choice);
+
+/// As-late-as-possible within `deadline_cs`.
+Schedule alap(const Dfg& g, const std::vector<const Module*>& choice,
+              int deadline_cs);
+
+/// List scheduling under resource bounds (`limits[op]` = unit count for
+/// that op type; missing entry = unlimited).  Priority = ALAP slack.
+Schedule list_schedule(const Dfg& g, const std::vector<const Module*>& choice,
+                       const std::map<OpType, int>& limits);
+
+/// Peak number of concurrently-busy units of each type.
+std::map<OpType, int> peak_usage(const Dfg& g,
+                                 const std::vector<const Module*>& choice,
+                                 const Schedule& s);
+
+}  // namespace lps::arch

@@ -1,0 +1,147 @@
+#include "arch/transforms.hpp"
+
+#include "arch/scheduling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lps::arch {
+
+Dfg unroll(const Dfg& g, int k) {
+  if (k < 1) throw std::invalid_argument("unroll: k < 1");
+  Dfg out(g.name() + "_x" + std::to_string(k));
+  for (int copy = 0; copy < k; ++copy) {
+    std::vector<OpId> map(g.num_ops(), -1);
+    for (OpId i : g.topo_order()) {
+      const Op& o = g.op(i);
+      switch (o.type) {
+        case OpType::Input:
+          map[i] = out.add_input(o.name + "_" + std::to_string(copy));
+          break;
+        case OpType::Const:
+          map[i] = out.add_const(o.const_value);
+          break;
+        case OpType::Output:
+          map[i] = out.add_output(map[o.args[0]],
+                                  o.name + "_" + std::to_string(copy));
+          break;
+        default: {
+          std::vector<OpId> args;
+          for (OpId a : o.args) args.push_back(map[a]);
+          map[i] = out.add_op(o.type, std::move(args), o.name);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dfg tree_height_reduction(const Dfg& g) {
+  // Identify maximal chains x1 + x2 + ... (+ is 2-input Add, each interior
+  // node single-use) and rebuild them as balanced trees.
+  Dfg out(g.name() + "_thr");
+  int n = g.num_ops();
+  std::vector<int> uses(n, 0);
+  for (int i = 0; i < n; ++i)
+    for (OpId a : g.op(i).args) uses[a] += 1;
+
+  std::vector<OpId> map(n, -1);
+  // Collect, for each op, the leaves of its maximal Add chain.
+  auto chain_leaves = [&](OpId root, auto&& self) -> std::vector<OpId> {
+    std::vector<OpId> leaves;
+    for (OpId a : g.op(root).args) {
+      if (g.op(a).type == OpType::Add && uses[a] == 1) {
+        auto sub = self(a, self);
+        leaves.insert(leaves.end(), sub.begin(), sub.end());
+      } else {
+        leaves.push_back(a);
+      }
+    }
+    return leaves;
+  };
+
+  std::vector<bool> absorbed(n, false);
+  // Mark interior chain nodes (they disappear into the tree rebuild).
+  for (int i = 0; i < n; ++i) {
+    if (g.op(i).type != OpType::Add) continue;
+    for (OpId a : g.op(i).args)
+      if (g.op(a).type == OpType::Add && uses[a] == 1) absorbed[a] = true;
+  }
+
+  for (OpId i : g.topo_order()) {
+    const Op& o = g.op(i);
+    if (absorbed[i]) continue;  // rebuilt inside the root's tree
+    switch (o.type) {
+      case OpType::Input:
+        map[i] = out.add_input(o.name);
+        break;
+      case OpType::Const:
+        map[i] = out.add_const(o.const_value);
+        break;
+      case OpType::Output:
+        map[i] = out.add_output(map[o.args[0]], o.name);
+        break;
+      case OpType::Add: {
+        auto leaves = chain_leaves(i, chain_leaves);
+        std::vector<OpId> level;
+        for (OpId l : leaves) level.push_back(map[l]);
+        while (level.size() > 1) {
+          std::vector<OpId> next;
+          for (std::size_t p = 0; p + 1 < level.size(); p += 2)
+            next.push_back(out.add_op(OpType::Add, {level[p], level[p + 1]}));
+          if (level.size() % 2) next.push_back(level.back());
+          level = std::move(next);
+        }
+        map[i] = level[0];
+        break;
+      }
+      default: {
+        std::vector<OpId> args;
+        for (OpId a : o.args) args.push_back(map[a]);
+        map[i] = out.add_op(o.type, std::move(args), o.name);
+      }
+    }
+  }
+  return out;
+}
+
+VoltageGain evaluate_voltage_gain(const Dfg& reference, const Dfg& transformed,
+                                  int samples_per_pass,
+                                  const ModuleLibrary& lib,
+                                  const VoltageModel& vm) {
+  auto pick_fastest = [&](const Dfg& g) {
+    std::vector<const Module*> c(g.num_ops(), nullptr);
+    for (int i = 0; i < g.num_ops(); ++i) {
+      OpType t = g.op(i).type;
+      if (t == OpType::Input || t == OpType::Const || t == OpType::Output)
+        continue;
+      c[i] = lib.fastest(t);
+    }
+    return c;
+  };
+  auto energy_of = [&](const Dfg& g, const std::vector<const Module*>& c) {
+    double e = 0;
+    for (int i = 0; i < g.num_ops(); ++i)
+      if (c[i]) e += c[i]->energy_pj;
+    return e;
+  };
+
+  VoltageGain r;
+  r.samples_per_pass = samples_per_pass;
+  auto cr = pick_fastest(reference);
+  auto ct = pick_fastest(transformed);
+  r.cs_reference = asap(reference, cr).length_cs;
+  r.cs_transformed = asap(transformed, ct).length_cs;
+  // Per-sample time budget = reference pass; transformed pass may take
+  // samples_per_pass times that budget.
+  double budget = static_cast<double>(r.cs_reference) * samples_per_pass;
+  r.slack = budget / std::max(1, r.cs_transformed);
+  r.vdd = vm.min_vdd_for_slack(r.slack);
+  double e_ref = energy_of(reference, cr);
+  double e_tr = energy_of(transformed, ct) / samples_per_pass;
+  r.capacitance_factor = e_ref > 0 ? e_tr / e_ref : 1.0;
+  r.power_ratio = r.capacitance_factor * vm.power_factor(r.vdd);
+  return r;
+}
+
+}  // namespace lps::arch

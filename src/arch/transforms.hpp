@@ -1,0 +1,51 @@
+// transforms.hpp — behavioral transformations for voltage scaling (§IV-B).
+//
+// Chandrakasan et al. [7]: "The most important transformations for fixed
+// throughput systems are those which reduce the number of control steps.
+// Slower clocks can then be used for the same throughput, enabling the use
+// of lower supply voltages."  We implement the two canonical examples on
+// the Dfg representation:
+//   - unroll(): process k samples per iteration (k parallel copies of the
+//     body — capacitance ×k, time budget per sample ×k at the same
+//     throughput, so the critical path slack grows and V_DD drops);
+//   - tree_height_reduction(): rebalance chained associative additions into
+//     a tree (critical path shrinks at equal op count).
+// evaluate_voltage_gain() combines a transformed DFG with the VoltageModel
+// to produce the paper's power ratio.
+
+#pragma once
+
+#include "arch/dfg.hpp"
+#include "arch/modules.hpp"
+#include "arch/voltage.hpp"
+
+namespace lps::arch {
+
+/// k parallel copies of the DFG body (independent samples per iteration).
+Dfg unroll(const Dfg& g, int k);
+
+/// Rebalance chains of 2-input Adds into balanced trees.  Same op count,
+/// shorter critical path.
+Dfg tree_height_reduction(const Dfg& g);
+
+struct VoltageGain {
+  int cs_reference = 0;     // control steps of the reference body
+  int cs_transformed = 0;   // control steps of the transformed body
+  int samples_per_pass = 1;
+  double slack = 1.0;       // time budget / critical path, per sample
+  double vdd = 5.0;
+  double capacitance_factor = 1.0;  // switched cap per sample vs reference
+  double power_ratio = 1.0;         // transformed power / reference power
+};
+
+/// Fixed-throughput analysis: the reference DFG at vnom sets the per-sample
+/// time budget; the transformed DFG (processing `samples_per_pass` samples)
+/// may run its longer pass over a proportionally longer window, and the
+/// leftover slack is converted to a lower V_DD.  Capacitance per sample is
+/// approximated by energy-weighted op counts from the module library.
+VoltageGain evaluate_voltage_gain(const Dfg& reference, const Dfg& transformed,
+                                  int samples_per_pass,
+                                  const ModuleLibrary& lib,
+                                  const VoltageModel& vm = {});
+
+}  // namespace lps::arch

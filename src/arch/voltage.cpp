@@ -1,0 +1,32 @@
+#include "arch/voltage.hpp"
+
+#include <cmath>
+
+namespace lps::arch {
+
+double VoltageModel::delay_factor(double v) const {
+  auto d = [&](double vdd) {
+    return vdd / std::pow(vdd - vt, alpha);
+  };
+  return d(v) / d(vnom);
+}
+
+double VoltageModel::power_factor(double v) const {
+  return (v / vnom) * (v / vnom);
+}
+
+double VoltageModel::min_vdd_for_slack(double slack) const {
+  if (slack <= 1.0) return vnom;
+  double lo = vmin, hi = vnom;
+  if (delay_factor(lo) <= slack) return lo;
+  for (int i = 0; i < 60; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (delay_factor(mid) <= slack)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace lps::arch

@@ -1,0 +1,30 @@
+// voltage.hpp — supply-voltage scaling model (§IV-B).
+//
+// "Slower clocks can then be used for the same throughput, enabling the use
+// of lower supply voltages.  The quadratic decrease in power consumption can
+// compensate for the additional capacitance introduced due to
+// transformations that increase concurrency" [7].  CMOS gate delay follows
+// the alpha-power law  d ∝ V / (V - V_t)^α; power follows C·V².
+
+#pragma once
+
+namespace lps::arch {
+
+struct VoltageModel {
+  double vnom = 5.0;   // nominal supply
+  double vt = 0.8;     // threshold voltage
+  double alpha = 1.6;  // velocity-saturation exponent
+  double vmin = 1.2;   // lowest usable supply
+
+  /// Delay at `v` relative to the delay at vnom (1.0 at vnom, grows as v
+  /// drops).
+  double delay_factor(double v) const;
+  /// Dynamic power at `v` relative to vnom for *identical* activity and
+  /// capacitance: (v / vnom)^2.
+  double power_factor(double v) const;
+  /// Lowest supply whose delay factor stays <= `slack` (bisection; returns
+  /// vnom when slack < 1).
+  double min_vdd_for_slack(double slack) const;
+};
+
+}  // namespace lps::arch

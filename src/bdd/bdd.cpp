@@ -1,0 +1,220 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lps::bdd {
+
+namespace {
+constexpr unsigned kConstVar = 0xFFFFFFFFu;  // ordering sentinel for 0/1
+}
+
+Manager::Manager(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  nodes_.push_back({kConstVar, kFalse, kFalse});  // FALSE
+  nodes_.push_back({kConstVar, kTrue, kTrue});    // TRUE
+}
+
+unsigned Manager::add_var() { return num_vars_++; }
+
+Ref Manager::mk(unsigned var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  Key k{var, lo, hi};
+  auto it = unique_.find(k);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw NodeLimitExceeded();
+  Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(k, r);
+  return r;
+}
+
+Ref Manager::var(unsigned v) {
+  assert(v < num_vars_);
+  return mk(v, kFalse, kTrue);
+}
+
+Ref Manager::nvar(unsigned v) {
+  assert(v < num_vars_);
+  return mk(v, kTrue, kFalse);
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  Key k{f, g, h};
+  if (auto it = ite_cache_.find(k); it != ite_cache_.end()) return it->second;
+
+  unsigned v = nodes_[f].var;
+  if (!is_const(g)) v = std::min(v, nodes_[g].var);
+  if (!is_const(h)) v = std::min(v, nodes_[h].var);
+
+  auto cof = [&](Ref x, bool hi) -> Ref {
+    if (is_const(x) || nodes_[x].var != v) return x;
+    return hi ? nodes_[x].hi : nodes_[x].lo;
+  };
+  Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  Ref r = mk(v, lo, hi);
+  ite_cache_.emplace(k, r);
+  return r;
+}
+
+Ref Manager::lxor(Ref f, Ref g) { return ite(f, lnot(g), g); }
+
+Ref Manager::cofactor(Ref f, unsigned v, bool value) {
+  std::unordered_map<Ref, Ref> memo;  // per-call memo keeps this linear
+  auto rec = [&](auto&& self, Ref r) -> Ref {
+    if (is_const(r)) return r;
+    // Copy fields: mk() may reallocate nodes_ during the recursion.
+    Node n = nodes_[r];
+    if (n.var > v) return r;
+    if (n.var == v) return value ? n.hi : n.lo;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    Ref lo = self(self, n.lo);
+    Ref hi = self(self, n.hi);
+    Ref out = (lo == n.lo && hi == n.hi) ? r : mk(n.var, lo, hi);
+    memo.emplace(r, out);
+    return out;
+  };
+  return rec(rec, f);
+}
+
+Ref Manager::exists(Ref f, unsigned v) {
+  return lor(cofactor(f, v, false), cofactor(f, v, true));
+}
+
+Ref Manager::forall(Ref f, unsigned v) {
+  return land(cofactor(f, v, false), cofactor(f, v, true));
+}
+
+Ref Manager::exists(Ref f, std::span<const unsigned> vars) {
+  for (unsigned v : vars) f = exists(f, v);
+  return f;
+}
+
+Ref Manager::forall(Ref f, std::span<const unsigned> vars) {
+  for (unsigned v : vars) f = forall(f, v);
+  return f;
+}
+
+Ref Manager::compose(Ref f, unsigned v, Ref g) {
+  return ite(g, cofactor(f, v, true), cofactor(f, v, false));
+}
+
+double Manager::sat_count(Ref f) {
+  std::vector<double> p(num_vars_, 0.5);
+  return probability(f, p) * std::ldexp(1.0, static_cast<int>(num_vars_));
+}
+
+double Manager::probability(Ref f, std::span<const double> p) {
+  assert(p.size() >= num_vars_);
+  std::unordered_map<Ref, double> memo;
+  auto rec = [&](auto&& self, Ref r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Node& n = nodes_[r];
+    double q =
+        (1.0 - p[n.var]) * self(self, n.lo) + p[n.var] * self(self, n.hi);
+    memo.emplace(r, q);
+    return q;
+  };
+  return rec(rec, f);
+}
+
+std::vector<unsigned> Manager::support(Ref f) {
+  std::vector<bool> seen_node(nodes_.size(), false);
+  std::vector<bool> seen_var(num_vars_, false);
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    Ref r = stack.back();
+    stack.pop_back();
+    if (is_const(r) || seen_node[r]) continue;
+    seen_node[r] = true;
+    seen_var[nodes_[r].var] = true;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < num_vars_; ++v)
+    if (seen_var[v]) vars.push_back(v);
+  return vars;
+}
+
+std::size_t Manager::size(Ref f) {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Ref> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    Ref r = stack.back();
+    stack.pop_back();
+    if (is_const(r) || seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return count;
+}
+
+std::optional<std::vector<bool>> Manager::any_sat(Ref f) {
+  if (f == kFalse) return std::nullopt;
+  std::vector<bool> a(num_vars_, false);
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      a[n.var] = true;
+      f = n.hi;
+    } else {
+      a[n.var] = false;
+      f = n.lo;
+    }
+  }
+  return a;
+}
+
+bool Manager::eval(Ref f, const std::vector<bool>& a) const {
+  while (!is_const(f)) {
+    const Node& n = nodes_[f];
+    f = a[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<std::string> Manager::cubes(Ref f, unsigned width) {
+  std::vector<std::string> out;
+  std::string cur(width, '-');
+  auto rec = [&](auto&& self, Ref r) -> void {
+    if (r == kFalse) return;
+    if (r == kTrue) {
+      out.push_back(cur);
+      return;
+    }
+    const Node& n = nodes_[r];
+    if (n.var < width) {
+      cur[n.var] = '0';
+      self(self, n.lo);
+      cur[n.var] = '1';
+      self(self, n.hi);
+      cur[n.var] = '-';
+    } else {
+      // Variable beyond the printed width: branch without recording.
+      self(self, n.lo);
+      self(self, n.hi);
+    }
+  };
+  rec(rec, f);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Manager::clear_caches() { ite_cache_.clear(); }
+
+}  // namespace lps::bdd

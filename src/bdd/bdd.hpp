@@ -1,0 +1,121 @@
+// bdd.hpp — reduced ordered binary decision diagrams.
+//
+// Several surveyed techniques are symbolic: exact signal-probability
+// computation under spatial correlation (§IV-A / [16]), controllability and
+// observability don't-care extraction (§III-A.1 / [37,38,19]), universal
+// quantification for precomputation-logic selection ([30]), and formal
+// equivalence checking of every rewrite.  This is a small, self-contained
+// ROBDD package: unique table + ITE computed table, no complement edges
+// (simplicity over peak capacity; our networks are ISCAS-scale cones).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lps::bdd {
+
+/// Index into the manager's node array.  0 = constant FALSE, 1 = TRUE.
+using Ref = std::uint32_t;
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// Thrown when a construction exceeds the manager's node budget.
+struct NodeLimitExceeded : std::runtime_error {
+  NodeLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+class Manager {
+ public:
+  /// `node_limit` bounds total allocated nodes (guards against blowup on
+  /// multiplier-like cones).
+  explicit Manager(unsigned num_vars, std::size_t node_limit = 4u << 20);
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Add another variable at the bottom of the order; returns its index.
+  unsigned add_var();
+
+  Ref var(unsigned v);   // projection function x_v
+  Ref nvar(unsigned v);  // !x_v
+
+  Ref ite(Ref f, Ref g, Ref h);
+  Ref land(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref lor(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref lnot(Ref f) { return ite(f, kFalse, kTrue); }
+  Ref lxor(Ref f, Ref g);
+  Ref lxnor(Ref f, Ref g) { return lnot(lxor(f, g)); }
+  Ref implies(Ref f, Ref g) { return ite(f, g, kTrue); }
+
+  /// Shannon cofactor with respect to x_v = value.
+  Ref cofactor(Ref f, unsigned v, bool value);
+  /// Existential / universal quantification over one variable or a set.
+  Ref exists(Ref f, unsigned v);
+  Ref forall(Ref f, unsigned v);
+  Ref exists(Ref f, std::span<const unsigned> vars);
+  Ref forall(Ref f, std::span<const unsigned> vars);
+  /// Substitute g for variable v in f.
+  Ref compose(Ref f, unsigned v, Ref g);
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  double sat_count(Ref f);
+  /// P(f = 1) when each x_v independently equals 1 with probability p[v].
+  /// This is the exact correlation-aware signal probability of [16].
+  double probability(Ref f, std::span<const double> p);
+
+  /// Variables f actually depends on.
+  std::vector<unsigned> support(Ref f);
+  /// Dag size (number of internal nodes reachable from f).
+  std::size_t size(Ref f);
+
+  /// One satisfying assignment (value per variable; unconstrained vars are
+  /// false).  Empty optional iff f == FALSE.
+  std::optional<std::vector<bool>> any_sat(Ref f);
+
+  /// Evaluate under a complete assignment.
+  bool eval(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Enumerate all satisfying minterms as cube strings over the first
+  /// `width` variables ('0'/'1'/'-').  For tests on small functions.
+  std::vector<std::string> cubes(Ref f, unsigned width);
+
+  /// Drop the operation caches (unique table stays; refs remain valid).
+  void clear_caches();
+
+  struct Node {
+    unsigned var;
+    Ref lo, hi;
+  };
+  const Node& node(Ref r) const { return nodes_[r]; }
+  bool is_const(Ref r) const { return r <= kTrue; }
+
+ private:
+  struct Key {
+    std::uint32_t a, b, c;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.a;
+      h = h * 0x9E3779B97F4A7C15ull + k.b;
+      h = h * 0x9E3779B97F4A7C15ull + k.c;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  Ref mk(unsigned var, Ref lo, Ref hi);
+
+  unsigned num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, Ref, KeyHash> unique_;     // (var, lo, hi)
+  std::unordered_map<Key, Ref, KeyHash> ite_cache_;  // (f, g, h)
+};
+
+}  // namespace lps::bdd

@@ -1,0 +1,45 @@
+// bdd_netlist.hpp — global BDDs for a gate network.
+//
+// Bridges the netlist substrate and the BDD package: builds, for every node
+// of a (combinational view of a) network, its function over the primary
+// inputs and register outputs.  Used for exact equivalence checking of
+// optimization passes, exact signal probabilities (power/probability.cpp)
+// and don't-care extraction (logicopt/dontcare.cpp).
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lps::bdd {
+
+struct NetlistBdds {
+  Manager mgr;
+  std::vector<Ref> node_fn;                     // per NodeId
+  std::unordered_map<NodeId, unsigned> var_of;  // PI / Dff output -> var
+  std::vector<NodeId> var_node;                 // var -> NodeId
+
+  NetlistBdds() : mgr(0) {}
+};
+
+/// Build global BDDs for all live nodes.  Variables are assigned to PIs and
+/// Dff outputs in topological-name order.  Throws NodeLimitExceeded if the
+/// network is too wide for the budget.
+NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit = 4u << 20);
+
+/// Exact combinational equivalence: outputs matched by position, inputs
+/// matched by position (a and b must have equally many).  Sequential
+/// elements must correspond 1:1 by position as free variables.
+bool equivalent_bdd(const Netlist& a, const Netlist& b,
+                    std::size_t node_limit = 4u << 20);
+
+/// Synthesize a BDD back into gates as a MUX tree (one MUX per BDD node,
+/// shared via memoization).  `var_to_node[v]` supplies the netlist signal
+/// for BDD variable v (must cover the support of f).
+NodeId synthesize_bdd(Netlist& net, Manager& mgr, Ref f,
+                      const std::vector<NodeId>& var_to_node);
+
+}  // namespace lps::bdd

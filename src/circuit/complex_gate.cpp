@@ -1,0 +1,237 @@
+#include "circuit/complex_gate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace lps::circuit {
+
+SwitchNet SwitchNet::leaf(int input) {
+  SwitchNet s;
+  s.kind = Kind::Leaf;
+  s.input = input;
+  return s;
+}
+
+SwitchNet SwitchNet::series(std::vector<SwitchNet> kids) {
+  SwitchNet s;
+  s.kind = Kind::Series;
+  s.kids = std::move(kids);
+  return s;
+}
+
+SwitchNet SwitchNet::parallel(std::vector<SwitchNet> kids) {
+  SwitchNet s;
+  s.kind = Kind::Parallel;
+  s.kids = std::move(kids);
+  return s;
+}
+
+int SwitchNet::num_transistors() const {
+  if (kind == Kind::Leaf) return 1;
+  int n = 0;
+  for (const auto& k : kids) n += k.num_transistors();
+  return n;
+}
+
+bool SwitchNet::conducts(std::span<const bool> inputs) const {
+  switch (kind) {
+    case Kind::Leaf:
+      return inputs[input];
+    case Kind::Series:
+      for (const auto& k : kids)
+        if (!k.conducts(inputs)) return false;
+      return true;
+    case Kind::Parallel:
+      for (const auto& k : kids)
+        if (k.conducts(inputs)) return true;
+      return false;
+  }
+  return false;
+}
+
+std::string SwitchNet::to_string() const {
+  switch (kind) {
+    case Kind::Leaf:
+      return std::string(1, static_cast<char>('a' + input));
+    case Kind::Series: {
+      std::string s;
+      for (const auto& k : kids) {
+        bool paren = k.kind == Kind::Parallel;
+        if (paren) s += '(';
+        s += k.to_string();
+        if (paren) s += ')';
+      }
+      return s;
+    }
+    case Kind::Parallel: {
+      std::string s;
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (i) s += '+';
+        s += kids[i].to_string();
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+ComplexGate::ComplexGate(int num_inputs, SwitchNet pulldown)
+    : num_inputs_(num_inputs), pulldown_(std::move(pulldown)) {
+  build(pulldown_, 0, 1);
+}
+
+void ComplexGate::build(const SwitchNet& net, int top, int bottom) {
+  switch (net.kind) {
+    case SwitchNet::Kind::Leaf:
+      transistors_.push_back({net.input, top, bottom});
+      break;
+    case SwitchNet::Kind::Series: {
+      int prev = top;
+      for (std::size_t i = 0; i < net.kids.size(); ++i) {
+        int next = (i + 1 == net.kids.size()) ? bottom : num_nodes_++;
+        build(net.kids[i], prev, next);
+        prev = next;
+      }
+      break;
+    }
+    case SwitchNet::Kind::Parallel:
+      for (const auto& k : net.kids) build(k, top, bottom);
+      break;
+  }
+}
+
+bool ComplexGate::eval(std::span<const bool> inputs) const {
+  return !pulldown_.conducts(inputs);  // static CMOS inverting gate
+}
+
+int ComplexGate::num_internal_nodes() const { return num_nodes_ - 2; }
+
+namespace {
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(int a, int b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+double ComplexGate::average_energy_fj(std::span<const double> one_prob,
+                                      const GateElectrical& e) const {
+  if (static_cast<int>(one_prob.size()) != num_inputs_)
+    throw std::invalid_argument("average_energy_fj: probability count");
+  // Monte Carlo over an input sequence with charge retention; deterministic
+  // seed so results are reproducible.
+  constexpr int kSteps = 20000;
+  std::mt19937_64 rng(0x5EEDFACE);
+  std::vector<char> charge(num_nodes_, 1);  // start fully charged
+  std::vector<bool> v(num_inputs_, false);
+  double energy_ff_v2 = 0.0;  // in fF (times V^2 applied at the end)
+  auto cap_of = [&](int node) {
+    return node == 0 ? e.c_output_ff : (node == 1 ? 0.0 : e.c_internal_ff);
+  };
+  for (int step = 0; step < kSteps; ++step) {
+    for (int i = 0; i < num_inputs_; ++i)
+      v[i] = (rng() & 0xFFFF) <
+             static_cast<std::uint64_t>(one_prob[i] * 65536.0);
+    UnionFind uf(num_nodes_);
+    for (const auto& t : transistors_)
+      if (v[t.input]) uf.unite(t.node_a, t.node_b);
+    int gnd_root = uf.find(1);
+    int out_root = uf.find(0);
+    bool out_high = gnd_root != out_root;  // pull-up wins when PDN is off
+    // Group value: GND group -> 0; output group (when high) -> 1; floating
+    // groups retain charge (any charged member charges the group).
+    std::vector<char> group_val(num_nodes_, -1);
+    for (int n = 0; n < num_nodes_; ++n) {
+      int r = uf.find(n);
+      if (r == gnd_root) {
+        group_val[r] = 0;
+      } else if (r == out_root && out_high) {
+        group_val[r] = 1;
+      } else if (charge[n]) {
+        group_val[r] = std::max<char>(group_val[r], 1);
+      } else if (group_val[r] < 0) {
+        group_val[r] = 0;
+      }
+    }
+    for (int n = 0; n < num_nodes_; ++n) {
+      char nv = group_val[uf.find(n)];
+      if (nv < 0) nv = charge[n];
+      if (nv == 1 && !charge[n]) energy_ff_v2 += cap_of(n);
+      charge[n] = nv;
+    }
+  }
+  return energy_ff_v2 * e.vdd * e.vdd / static_cast<double>(kSteps);
+}
+
+namespace {
+
+// Enumerate root-to-GND paths as input sequences (top first).
+void paths_of(const SwitchNet& net, std::vector<std::vector<int>>& acc) {
+  switch (net.kind) {
+    case SwitchNet::Kind::Leaf:
+      acc.push_back({net.input});
+      break;
+    case SwitchNet::Kind::Series: {
+      std::vector<std::vector<int>> result{{}};
+      for (const auto& k : net.kids) {
+        std::vector<std::vector<int>> sub;
+        paths_of(k, sub);
+        std::vector<std::vector<int>> next;
+        for (const auto& a : result)
+          for (const auto& b : sub) {
+            auto c = a;
+            c.insert(c.end(), b.begin(), b.end());
+            next.push_back(std::move(c));
+            if (next.size() > 4096) return;  // guard
+          }
+        result = std::move(next);
+      }
+      for (auto& p : result) acc.push_back(std::move(p));
+      break;
+    }
+    case SwitchNet::Kind::Parallel:
+      for (const auto& k : net.kids) paths_of(k, acc);
+      break;
+  }
+}
+
+}  // namespace
+
+double ComplexGate::worst_delay(std::span<const double> arrival,
+                                const GateElectrical& e) const {
+  std::vector<std::vector<int>> paths;
+  paths_of(pulldown_, paths);
+  double worst = 0.0;
+  for (const auto& p : paths) {
+    int k = static_cast<int>(p.size());
+    // Nodes strictly below the latest-arriving transistor pre-discharge
+    // while the path waits for it; when it finally conducts, the residual
+    // charge (output + internals above it) drains through the full chain.
+    // The worst case is therefore set by the bottom-most position holding
+    // the maximum arrival time.
+    double a_max = 0.0;
+    for (int q = 0; q < k; ++q) a_max = std::max(a_max, arrival[p[q]]);
+    int q_late = 1;
+    for (int q = 1; q <= k; ++q)
+      if (arrival[p[q - 1]] >= a_max - 1e-12) q_late = q;
+    double elmore = 0.0;
+    for (int j = 0; j < q_late; ++j) {
+      double c = (j == 0) ? e.c_output_ff : e.c_internal_ff;
+      elmore += c * e.r_transistor * static_cast<double>(k - j);
+    }
+    worst = std::max(worst, a_max + elmore);
+  }
+  return worst;
+}
+
+}  // namespace lps::circuit

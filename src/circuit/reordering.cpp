@@ -1,0 +1,102 @@
+#include "circuit/reordering.hpp"
+
+#include <algorithm>
+
+namespace lps::circuit {
+
+namespace {
+
+// Generate all variants of a switch net obtained by permuting the child
+// order of every Series node.  Bounded by `limit`.
+void variants_of(const SwitchNet& net, std::vector<SwitchNet>& out,
+                 std::size_t limit) {
+  switch (net.kind) {
+    case SwitchNet::Kind::Leaf:
+      out.push_back(net);
+      return;
+    case SwitchNet::Kind::Parallel:
+    case SwitchNet::Kind::Series: {
+      // Variants of each child first.
+      std::vector<std::vector<SwitchNet>> kid_vars(net.kids.size());
+      for (std::size_t i = 0; i < net.kids.size(); ++i)
+        variants_of(net.kids[i], kid_vars[i], limit);
+      // Cartesian product of child variants.
+      std::vector<std::vector<SwitchNet>> combos{{}};
+      for (const auto& kv : kid_vars) {
+        std::vector<std::vector<SwitchNet>> next;
+        for (const auto& c : combos)
+          for (const auto& v : kv) {
+            auto c2 = c;
+            c2.push_back(v);
+            next.push_back(std::move(c2));
+            if (next.size() > limit) break;
+          }
+        combos = std::move(next);
+        if (combos.size() > limit) combos.resize(limit);
+      }
+      for (auto& kids : combos) {
+        if (net.kind == SwitchNet::Kind::Parallel) {
+          out.push_back(SwitchNet::parallel(kids));
+          continue;
+        }
+        // Series: additionally permute the order.
+        std::vector<std::size_t> idx(kids.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        std::sort(idx.begin(), idx.end());
+        do {
+          std::vector<SwitchNet> ordered;
+          for (auto i : idx) ordered.push_back(kids[i]);
+          out.push_back(SwitchNet::series(std::move(ordered)));
+          if (out.size() > limit) return;
+        } while (std::next_permutation(idx.begin(), idx.end()));
+      }
+      return;
+    }
+  }
+}
+
+double score(Objective obj, double energy, double delay) {
+  switch (obj) {
+    case Objective::Power:
+      return energy;
+    case Objective::Delay:
+      return delay;
+    case Objective::PowerDelayProduct:
+      return energy * delay;
+  }
+  return energy;
+}
+
+}  // namespace
+
+ReorderResult reorder(const ComplexGate& gate,
+                      std::span<const double> one_prob,
+                      std::span<const double> arrival, Objective objective,
+                      const GateElectrical& e, std::size_t max_variants) {
+  ReorderResult r;
+  r.energy_before_fj = gate.average_energy_fj(one_prob, e);
+  r.delay_before = gate.worst_delay(arrival, e);
+  r.best_pulldown = gate.pulldown();
+
+  std::vector<SwitchNet> vars;
+  variants_of(gate.pulldown(), vars, max_variants);
+
+  double best = score(objective, r.energy_before_fj, r.delay_before);
+  r.energy_after_fj = r.energy_before_fj;
+  r.delay_after = r.delay_before;
+  for (auto& v : vars) {
+    ComplexGate g(gate.num_inputs(), v);
+    double energy = g.average_energy_fj(one_prob, e);
+    double delay = g.worst_delay(arrival, e);
+    double s = score(objective, energy, delay);
+    if (s < best) {
+      best = s;
+      r.best_pulldown = v;
+      r.energy_after_fj = energy;
+      r.delay_after = delay;
+    }
+  }
+  return r;
+}
+
+}  // namespace lps::circuit

@@ -1,0 +1,37 @@
+// reordering.hpp — transistor reordering for power and/or delay (§II-A).
+//
+// "Given g = a·b·c, any serial ordering of a, b and c can be chosen in the
+// N part of a CMOS gate implementing g.  It is well known that late arriving
+// signals should be placed closer to the output to minimize gate propagation
+// delay... Ordering of gate inputs will affect both power and delay."
+// Implements the exhaustive/greedy search of Prasad & Roy [32] and
+// Tan & Allen [42] over series-stack orderings.
+
+#pragma once
+
+#include <span>
+
+#include "circuit/complex_gate.hpp"
+
+namespace lps::circuit {
+
+enum class Objective { Power, Delay, PowerDelayProduct };
+
+struct ReorderResult {
+  SwitchNet best_pulldown;
+  double energy_before_fj = 0.0;
+  double energy_after_fj = 0.0;
+  double delay_before = 0.0;
+  double delay_after = 0.0;
+};
+
+/// Search over orderings of every series stack in the gate (exhaustive while
+/// the variant count stays under `max_variants`, then greedy prefix search).
+/// `one_prob[i]` is P(input i = 1); `arrival[i]` its arrival time.
+ReorderResult reorder(const ComplexGate& gate,
+                      std::span<const double> one_prob,
+                      std::span<const double> arrival, Objective objective,
+                      const GateElectrical& e = {},
+                      std::size_t max_variants = 20000);
+
+}  // namespace lps::circuit

@@ -1,0 +1,118 @@
+#include "coding/bus_invert.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace lps::coding {
+
+namespace {
+std::uint64_t mask_of(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+}  // namespace
+
+BusInvertEncoder::BusInvertEncoder(int width) : width_(width) {
+  if (width < 1 || width > 64)
+    throw std::invalid_argument("BusInvertEncoder: width out of range");
+}
+
+BusInvertEncoder::Symbol BusInvertEncoder::encode(std::uint64_t word) {
+  word &= mask_of(width_);
+  std::uint64_t plain = word;
+  std::uint64_t flipped = ~word & mask_of(width_);
+  int cost_plain = std::popcount(plain ^ prev_wires_) + (prev_invert_ ? 1 : 0);
+  int cost_flip =
+      std::popcount(flipped ^ prev_wires_) + (prev_invert_ ? 0 : 1);
+  Symbol s;
+  if (cost_flip < cost_plain) {
+    s.wire_word = flipped;
+    s.invert = true;
+  } else {
+    s.wire_word = plain;
+    s.invert = false;
+  }
+  prev_wires_ = s.wire_word;
+  prev_invert_ = s.invert;
+  return s;
+}
+
+std::uint64_t bus_invert_decode(std::uint64_t wire_word, bool invert,
+                                int width) {
+  return invert ? (~wire_word & mask_of(width)) : (wire_word & mask_of(width));
+}
+
+BusCodingStats evaluate_bus_invert(const sim::WordStream& s, int width) {
+  BusCodingStats st;
+  BusInvertEncoder enc(width);
+  std::uint64_t prev_raw = 0;
+  std::uint64_t prev_wires = 0;
+  bool prev_inv = false;
+  bool first = true;
+  for (auto w : s) {
+    auto sym = enc.encode(w);
+    if (!first) {
+      std::size_t raw = std::popcount((w ^ prev_raw) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1)));
+      std::size_t coded = std::popcount(sym.wire_word ^ prev_wires) +
+                          (sym.invert != prev_inv ? 1 : 0);
+      st.raw_transitions += raw;
+      st.coded_transitions += coded;
+      st.worst_cycle_raw = std::max(st.worst_cycle_raw, raw);
+      st.worst_cycle_coded = std::max(st.worst_cycle_coded, coded);
+    }
+    prev_raw = w;
+    prev_wires = sym.wire_word;
+    prev_inv = sym.invert;
+    first = false;
+  }
+  return st;
+}
+
+BusCodingStats evaluate_partitioned_bus_invert(const sim::WordStream& s,
+                                               int width, int groups) {
+  if (groups < 1) groups = 1;
+  BusCodingStats st;
+  int base = width / groups;
+  int extra = width % groups;
+  std::vector<int> gw;
+  std::vector<int> gshift;
+  int off = 0;
+  for (int g = 0; g < groups; ++g) {
+    int w = base + (g < extra ? 1 : 0);
+    if (w == 0) continue;
+    gw.push_back(w);
+    gshift.push_back(off);
+    off += w;
+  }
+  std::vector<BusInvertEncoder> encs;
+  for (int w : gw) encs.emplace_back(w);
+  std::vector<std::uint64_t> prev_wires(gw.size(), 0);
+  std::vector<bool> prev_inv(gw.size(), false);
+  std::uint64_t prev_raw = 0;
+  bool first = true;
+  for (auto word : s) {
+    std::size_t coded = 0;
+    for (std::size_t g = 0; g < gw.size(); ++g) {
+      std::uint64_t chunk = (word >> gshift[g]) & mask_of(gw[g]);
+      auto sym = encs[g].encode(chunk);
+      if (!first) {
+        coded += std::popcount(sym.wire_word ^ prev_wires[g]) +
+                 (sym.invert != prev_inv[g] ? 1 : 0);
+      }
+      prev_wires[g] = sym.wire_word;
+      prev_inv[g] = sym.invert;
+    }
+    if (!first) {
+      std::size_t raw = std::popcount((word ^ prev_raw) & mask_of(width));
+      st.raw_transitions += raw;
+      st.coded_transitions += coded;
+      st.worst_cycle_raw = std::max(st.worst_cycle_raw, raw);
+      st.worst_cycle_coded = std::max(st.worst_cycle_coded, coded);
+    }
+    prev_raw = word;
+    first = false;
+  }
+  return st;
+}
+
+}  // namespace lps::coding

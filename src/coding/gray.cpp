@@ -1,0 +1,18 @@
+#include "coding/gray.hpp"
+
+#include <bit>
+
+namespace lps::coding {
+
+GrayStats evaluate_gray(const sim::WordStream& s, int width) {
+  GrayStats st;
+  std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    st.raw_transitions += std::popcount((s[i] ^ s[i - 1]) & mask);
+    st.coded_transitions +=
+        std::popcount((gray_encode(s[i]) ^ gray_encode(s[i - 1])) & mask);
+  }
+  return st;
+}
+
+}  // namespace lps::coding

@@ -1,0 +1,36 @@
+// gray.hpp — Gray-code addressing.
+//
+// The §III-C.1 bus-encoding family includes sequence-aware codes: when a
+// bus mostly carries consecutive values (instruction addresses), Gray
+// coding makes each increment a single-wire event.  Included as the
+// reference point the bus-coding experiment sweeps against bus-invert and
+// limited-weight codes.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stimulus.hpp"
+
+namespace lps::coding {
+
+constexpr std::uint64_t gray_encode(std::uint64_t x) { return x ^ (x >> 1); }
+
+constexpr std::uint64_t gray_decode(std::uint64_t g) {
+  std::uint64_t x = 0;
+  while (g) {
+    x ^= g;
+    g >>= 1;
+  }
+  return x;
+}
+
+struct GrayStats {
+  std::size_t raw_transitions = 0;
+  std::size_t coded_transitions = 0;
+};
+
+/// Wire transitions with and without Gray coding of the stream.
+GrayStats evaluate_gray(const sim::WordStream& s, int width);
+
+}  // namespace lps::coding

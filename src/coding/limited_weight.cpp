@@ -1,0 +1,65 @@
+#include "coding/limited_weight.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace lps::coding {
+
+LimitedWeightCode::LimitedWeightCode(int source_bits, int wire_bits)
+    : m_(source_bits), n_(wire_bits) {
+  if (m_ < 1 || m_ > 20 || n_ < m_ || n_ > 24)
+    throw std::invalid_argument("LimitedWeightCode: bad parameters");
+  std::uint64_t need = 1ULL << m_;
+  // Enumerate n-bit words by increasing weight, then numeric order.
+  std::vector<std::uint64_t> words(1ULL << n_);
+  std::iota(words.begin(), words.end(), 0);
+  std::stable_sort(words.begin(), words.end(),
+                   [](std::uint64_t a, std::uint64_t b) {
+                     return std::popcount(a) < std::popcount(b);
+                   });
+  code_.assign(need, 0);
+  decode_.assign(1ULL << n_, 0);
+  for (std::uint64_t v = 0; v < need; ++v) {
+    code_[v] = words[v];
+    decode_[words[v]] = v;
+    max_weight_ = std::max(max_weight_, std::popcount(words[v]));
+  }
+}
+
+std::uint64_t LimitedWeightCode::codeword(std::uint64_t value) const {
+  return code_.at(value);
+}
+
+std::uint64_t LimitedWeightCode::decode(std::uint64_t w) const {
+  return decode_.at(w);
+}
+
+double LimitedWeightCode::average_weight() const {
+  double t = 0;
+  for (auto c : code_) t += std::popcount(c);
+  return t / static_cast<double>(code_.size());
+}
+
+LwcStats evaluate_lwc(const sim::WordStream& s, int source_bits,
+                      int wire_bits) {
+  LimitedWeightCode lwc(source_bits, wire_bits);
+  LwcStats st;
+  st.wires_raw = source_bits;
+  st.wires_coded = wire_bits;
+  std::uint64_t mask = (1ULL << source_bits) - 1;
+  std::uint64_t prev_raw = 0;
+  bool first = true;
+  for (auto w : s) {
+    std::uint64_t v = w & mask;
+    if (!first) st.raw_transitions += std::popcount((v ^ prev_raw) & mask);
+    // Transition signalling: wires toggle where the codeword has ones.
+    st.coded_transitions += std::popcount(lwc.codeword(v));
+    prev_raw = v;
+    first = false;
+  }
+  return st;
+}
+
+}  // namespace lps::coding

@@ -1,0 +1,53 @@
+// limited_weight.hpp — limited-weight codes for low-power I/O [39].
+//
+// Stan & Burleson's general framework: with transition signalling (the bus
+// carries the XOR of consecutive codewords), the number of wire transitions
+// per transfer equals the Hamming weight of the codeword.  An (n, m) LWC
+// maps 2^m source words onto n-bit codewords chosen in increasing weight
+// order, bounding and reducing average transitions at the cost of extra
+// wires.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stimulus.hpp"
+
+namespace lps::coding {
+
+class LimitedWeightCode {
+ public:
+  /// Build the codebook for m source bits on n >= m wires.
+  LimitedWeightCode(int source_bits, int wire_bits);
+
+  int source_bits() const { return m_; }
+  int wire_bits() const { return n_; }
+  int max_weight() const { return max_weight_; }
+
+  std::uint64_t codeword(std::uint64_t value) const;  // value < 2^m
+  std::uint64_t decode(std::uint64_t codeword) const;
+
+  /// Average codeword weight over all 2^m codewords (= expected transitions
+  /// per transfer for uniform data under transition signalling).
+  double average_weight() const;
+
+ private:
+  int m_, n_;
+  int max_weight_ = 0;
+  std::vector<std::uint64_t> code_;               // value -> codeword
+  std::vector<std::uint64_t> decode_;             // codeword -> value
+};
+
+struct LwcStats {
+  std::size_t raw_transitions = 0;   // binary bus, level signalling
+  std::size_t coded_transitions = 0; // LWC bus, transition signalling
+  int wires_raw = 0;
+  int wires_coded = 0;
+};
+
+/// Evaluate an (n, m) LWC on a word stream (values masked to m bits).
+LwcStats evaluate_lwc(const sim::WordStream& s, int source_bits,
+                      int wire_bits);
+
+}  // namespace lps::coding

@@ -1,0 +1,125 @@
+#include "core/flows.hpp"
+
+#include <stdexcept>
+
+#include "circuit/sizing.hpp"
+#include "core/pass.hpp"
+#include "logicopt/dontcare.hpp"
+#include "logicopt/resynth.hpp"
+#include "logicopt/path_balance.hpp"
+#include "seq/clock_gating.hpp"
+#include "seq/encoding.hpp"
+#include "seq/guarded_eval.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::core {
+
+namespace {
+
+StageReport measure(const std::string& stage, const Netlist& net,
+                    const FlowOptions& opt) {
+  power::AnalysisOptions ao;
+  ao.mode = power::ActivityMode::Timed;
+  ao.n_vectors = opt.sim_vectors;
+  ao.seed = opt.seed;
+  ao.params = opt.params;
+  auto a = power::analyze(net, ao);
+  StageReport r;
+  r.stage = stage;
+  r.power_w = a.report.breakdown.total_w();
+  r.glitch_fraction = a.glitch_fraction;
+  r.gates = net.num_gates();
+  r.delay = net.critical_delay();
+  return r;
+}
+
+}  // namespace
+
+FlowResult optimize_combinational(const Netlist& input,
+                                  const FlowOptions& opt) {
+  FlowResult res;
+  res.circuit = strash(input);
+  if (!sim::equivalent_random(input, res.circuit, 512, 17))
+    throw std::logic_error("flow: strash changed function");
+  res.stages.push_back(measure("input", input, opt));
+  res.stages.push_back(measure("strash", res.circuit, opt));
+
+  // Each stage is kept only if it actually lowers measured power — the
+  // survey repeatedly notes that overheads (buffer capacitance, gating
+  // logic) can offset the savings, so a production flow measures and backs
+  // out losing transforms.
+  auto attempt = [&](const std::string& stage, auto&& transform) {
+    Netlist before = res.circuit.clone();
+    double p_before = res.stages.back().power_w;
+    transform(res.circuit);
+    if (!sim::equivalent_random(before, res.circuit, 512, 17))
+      throw std::logic_error("flow: " + stage + " changed function");
+    StageReport rep = measure(stage, res.circuit, opt);
+    if (rep.power_w <= p_before) {
+      res.stages.push_back(rep);
+    } else {
+      res.circuit = std::move(before);
+      rep = measure(stage + " (reverted)", res.circuit, opt);
+      res.stages.push_back(rep);
+    }
+  };
+  if (opt.run_dontcare) {
+    attempt("dontcare", [&](Netlist& net) {
+      auto st = sim::measure_activity(net, 64, opt.seed);
+      logicopt::optimize_dontcare(net, st.transition_prob);
+    });
+  }
+  if (opt.run_dontcare) {
+    attempt("resynth", [&](Netlist& net) {
+      auto st = sim::measure_activity(net, 64, opt.seed);
+      logicopt::resynthesize_windows(net, st.transition_prob);
+    });
+  }
+  if (opt.run_balance) {
+    attempt("balance", [&](Netlist& net) { logicopt::full_balance(net); });
+  }
+  if (opt.run_sizing) {
+    attempt("sizing", [&](Netlist& net) {
+      power::AnalysisOptions ao;
+      ao.mode = power::ActivityMode::Timed;
+      ao.n_vectors = opt.sim_vectors;
+      ao.seed = opt.seed;
+      auto a = power::analyze(net, ao);
+      circuit::SizingParams sp;
+      sp.start_from_max = false;  // in-place: only ever removes capacitance
+      sp.min_size = 0.5;
+      sp.step = 0.25;
+      circuit::size_for_power(net, a.toggles_per_cycle, opt.params, sp);
+    });
+  }
+  return res;
+}
+
+FsmFlowResult optimize_fsm(const seq::Stg& stg, const FlowOptions& opt) {
+  FsmFlowResult r;
+  auto binary = seq::binary_encoding(stg);
+  seq::AnnealOptions an;
+  an.seed = static_cast<std::uint32_t>(opt.seed);
+  auto low = seq::low_power_encoding(stg, an);
+  r.wswitch_binary = binary.weighted_switching(stg);
+  r.wswitch_lowpower = low.weighted_switching(stg);
+
+  Netlist nb = seq::synthesize_fsm(stg, binary, stg.state_name(0) + "_bin");
+  Netlist nl = seq::synthesize_fsm(stg, low, stg.state_name(0) + "_low");
+  power::AnalysisOptions ao;
+  ao.mode = power::ActivityMode::Timed;
+  ao.n_vectors = opt.sim_vectors;
+  ao.seed = opt.seed;
+  ao.params = opt.params;
+  r.power_binary_w = power::analyze(nb, ao).report.breakdown.total_w();
+  r.power_lowpower_w = power::analyze(nl, ao).report.breakdown.total_w();
+
+  seq::gate_fsm_self_loops(nl);
+  auto patterns = seq::detect_hold_patterns(nl);
+  auto ca = seq::clock_activity(nl, patterns, opt.sim_vectors, opt.seed);
+  r.clock_saving_fraction = ca.clock_power_saving_fraction();
+  r.circuit = std::move(nl);
+  return r;
+}
+
+}  // namespace lps::core

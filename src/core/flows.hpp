@@ -1,0 +1,63 @@
+// flows.hpp — end-to-end low-power flows combining the surveyed techniques.
+//
+// The survey's thesis is that savings compose across abstraction levels.
+// These flows chain the library's passes the way a 1995 CAD system would:
+//   combinational: strash -> don't-care opt -> path balancing -> sizing,
+//   sequential (FSM): low-power encoding -> synthesis -> self-loop clock
+//   gating, with Eqn. (1) power measured between every stage.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "power/activity.hpp"
+#include "seq/stg.hpp"
+
+namespace lps::core {
+
+struct StageReport {
+  std::string stage;
+  double power_w = 0.0;
+  double glitch_fraction = 0.0;
+  std::size_t gates = 0;
+  int delay = 0;
+};
+
+struct FlowOptions {
+  std::size_t sim_vectors = 2048;
+  std::uint64_t seed = 5;
+  bool run_dontcare = true;
+  bool run_balance = true;
+  bool run_sizing = true;
+  power::PowerParams params;
+};
+
+struct FlowResult {
+  Netlist circuit;
+  std::vector<StageReport> stages;  // first entry = input circuit
+  double saving() const {
+    return stages.size() >= 2 && stages.front().power_w > 0
+               ? 1.0 - stages.back().power_w / stages.front().power_w
+               : 0.0;
+  }
+};
+
+/// Combinational low-power flow; function verified stage by stage.
+FlowResult optimize_combinational(const Netlist& input,
+                                  const FlowOptions& opt = {});
+
+struct FsmFlowResult {
+  Netlist circuit;
+  double wswitch_binary = 0.0;    // weighted FF switching, binary codes
+  double wswitch_lowpower = 0.0;  // after annealing
+  double power_binary_w = 0.0;    // measured on synthesized logic
+  double power_lowpower_w = 0.0;
+  double clock_saving_fraction = 0.0;  // from self-loop gating
+};
+
+/// FSM flow: encode (binary vs annealed), synthesize, self-loop gate.
+FsmFlowResult optimize_fsm(const seq::Stg& stg, const FlowOptions& opt = {});
+
+}  // namespace lps::core

@@ -1,0 +1,70 @@
+#include "core/pass.hpp"
+
+#include <stdexcept>
+
+#include "logicopt/dontcare.hpp"
+#include "logicopt/path_balance.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::core {
+
+std::vector<PassRecord> PassManager::run(Netlist& net) const {
+  std::vector<PassRecord> records;
+  for (const auto& p : passes_) {
+    Netlist before = verify_ ? net.clone() : Netlist{};
+    PassRecord rec;
+    rec.pass = p->name();
+    rec.summary = p->run(net);
+    if (auto err = net.check(); !err.empty())
+      throw std::logic_error("pass " + p->name() +
+                             " broke netlist invariants: " + err);
+    if (verify_) {
+      if (!sim::equivalent_random(before, net, 1024, 0xABCD))
+        throw std::logic_error("pass " + p->name() +
+                               " changed circuit function");
+      rec.verified = true;
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::unique_ptr<Pass> make_strash_pass() {
+  return std::make_unique<FnPass>("strash", [](Netlist& net) {
+    std::size_t before = net.num_gates();
+    net = strash(net);
+    return "gates " + std::to_string(before) + " -> " +
+           std::to_string(net.num_gates());
+  });
+}
+
+std::unique_ptr<Pass> make_sweep_pass() {
+  return std::make_unique<FnPass>("sweep", [](Netlist& net) {
+    std::size_t removed = net.sweep();
+    return "removed " + std::to_string(removed) + " dead nodes";
+  });
+}
+
+std::unique_ptr<Pass> make_dontcare_pass() {
+  return std::make_unique<FnPass>("dontcare", [](Netlist& net) {
+    auto st = sim::measure_activity(net, 64, 7);
+    auto res = logicopt::optimize_dontcare(net, st.transition_prob);
+    return "consts " + std::to_string(res.const_replacements) + ", merges " +
+           std::to_string(res.merges) + ", gates " +
+           std::to_string(res.gates_before) + " -> " +
+           std::to_string(res.gates_after);
+  });
+}
+
+std::unique_ptr<Pass> make_balance_pass(int buffer_budget) {
+  return std::make_unique<FnPass>("path-balance", [buffer_budget](Netlist& net) {
+    auto res = buffer_budget < 0
+                   ? logicopt::full_balance(net)
+                   : logicopt::partial_balance(net, buffer_budget);
+    return "buffers +" + std::to_string(res.buffers_inserted) + ", delay " +
+           std::to_string(res.critical_delay_before) + " -> " +
+           std::to_string(res.critical_delay_after);
+  });
+}
+
+}  // namespace lps::core

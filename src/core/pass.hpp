@@ -1,0 +1,72 @@
+// pass.hpp — pass manager for netlist-level optimization pipelines.
+//
+// Wraps the individual techniques behind a uniform interface so flows
+// (flows.hpp) and user pipelines can chain them, with optional functional
+// verification after every pass (random simulation and/or BDD equivalence
+// against the input circuit) — every rewrite in this library is supposed to
+// be safe, and the pass manager enforces it.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::core {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Transform the netlist; return a one-line human-readable summary.
+  virtual std::string run(Netlist& net) = 0;
+};
+
+/// Adapter for lambda passes.
+class FnPass final : public Pass {
+ public:
+  FnPass(std::string name, std::function<std::string(Netlist&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  std::string run(Netlist& net) override { return fn_(net); }
+
+ private:
+  std::string name_;
+  std::function<std::string(Netlist&)> fn_;
+};
+
+struct PassRecord {
+  std::string pass;
+  std::string summary;
+  bool verified = false;
+};
+
+class PassManager {
+ public:
+  /// When true (default), every pass is checked against the pre-pass
+  /// circuit with 64k random patterns; a mismatch aborts with an exception.
+  explicit PassManager(bool verify = true) : verify_(verify) {}
+
+  void add(std::unique_ptr<Pass> p) { passes_.push_back(std::move(p)); }
+  void add(std::string name, std::function<std::string(Netlist&)> fn) {
+    passes_.push_back(std::make_unique<FnPass>(std::move(name), std::move(fn)));
+  }
+
+  /// Run all passes in order; returns a record per pass.
+  std::vector<PassRecord> run(Netlist& net) const;
+
+ private:
+  bool verify_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Ready-made passes over this library's techniques.
+std::unique_ptr<Pass> make_strash_pass();
+std::unique_ptr<Pass> make_sweep_pass();
+std::unique_ptr<Pass> make_dontcare_pass();
+std::unique_ptr<Pass> make_balance_pass(int buffer_budget = -1);  // -1 = full
+
+}  // namespace lps::core

@@ -1,0 +1,64 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lps::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      os << std::left << std::setw(static_cast<int>(width[c])) << cell
+         << " | ";
+    }
+    os << '\n';
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+std::string power_line(const power::PowerBreakdown& b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << "switching "
+     << b.switching_w * 1e6 << " uW, short-circuit "
+     << b.short_circuit_w * 1e6 << " uW, leakage " << b.leakage_w * 1e6
+     << " uW (switching " << std::setprecision(1)
+     << b.switching_fraction() * 100.0 << "% of total)";
+  return os.str();
+}
+
+}  // namespace lps::core

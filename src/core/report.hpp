@@ -1,0 +1,35 @@
+// report.hpp — aligned-table reporting for experiments and examples.
+//
+// Every bench binary prints paper-style tables; this keeps the formatting
+// in one place (fixed-width columns, stream-agnostic, no I/O surprises).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+
+namespace lps::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  /// Convenience: converts doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One-line rendering of an Eqn. (1) breakdown in microwatts.
+std::string power_line(const power::PowerBreakdown& b);
+
+}  // namespace lps::core

@@ -1,0 +1,119 @@
+#include "logicopt/decompose_power.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace lps::logicopt {
+
+namespace {
+
+struct WeightedSignal {
+  NodeId node;
+  double weight;
+};
+
+struct HeavierFirst {
+  bool operator()(const WeightedSignal& a, const WeightedSignal& b) const {
+    if (a.weight != b.weight) return a.weight > b.weight;  // min-heap
+    return a.node > b.node;  // deterministic tie-break
+  }
+};
+
+GateType base_type(GateType t) {
+  switch (t) {
+    case GateType::Nand: return GateType::And;
+    case GateType::Nor: return GateType::Or;
+    case GateType::Xnor: return GateType::Xor;
+    default: return t;
+  }
+}
+
+bool inverted(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor;
+}
+
+}  // namespace
+
+DecomposeResult decompose_wide_gates(Netlist& net, DecomposeShape shape,
+                                     std::span<const double> activity) {
+  if (shape == DecomposeShape::Huffman && activity.empty())
+    throw std::invalid_argument(
+        "decompose_wide_gates: Huffman shape needs activities");
+  DecomposeResult res;
+  auto act = [&](NodeId n) {
+    return n < activity.size() ? activity[n] : 0.5;
+  };
+
+  // Collect targets first: the rewrite adds nodes.
+  std::vector<NodeId> wide;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_dead(n)) continue;
+    const Node& nd = net.node(n);
+    switch (nd.type) {
+      case GateType::And:
+      case GateType::Or:
+      case GateType::Nand:
+      case GateType::Nor:
+      case GateType::Xor:
+      case GateType::Xnor:
+        if (nd.fanins.size() > 2) wide.push_back(n);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (NodeId g : wide) {
+    GateType bt = base_type(net.node(g).type);
+    bool inv = inverted(net.node(g).type);
+    std::vector<NodeId> fanins = net.node(g).fanins;
+    std::size_t before = net.num_gates();
+
+    NodeId root = kNoNode;
+    switch (shape) {
+      case DecomposeShape::Chain: {
+        root = fanins[0];
+        for (std::size_t i = 1; i < fanins.size(); ++i)
+          root = net.add_gate(bt, {root, fanins[i]});
+        break;
+      }
+      case DecomposeShape::Balanced: {
+        std::vector<NodeId> level = fanins;
+        while (level.size() > 1) {
+          std::vector<NodeId> next;
+          for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(net.add_gate(bt, {level[i], level[i + 1]}));
+          if (level.size() % 2) next.push_back(level.back());
+          level = std::move(next);
+        }
+        root = level[0];
+        break;
+      }
+      case DecomposeShape::Huffman: {
+        std::priority_queue<WeightedSignal, std::vector<WeightedSignal>,
+                            HeavierFirst>
+            heap;
+        for (NodeId f : fanins) heap.push({f, act(f)});
+        while (heap.size() > 1) {
+          auto a = heap.top();
+          heap.pop();
+          auto b = heap.top();
+          heap.pop();
+          NodeId t = net.add_gate(bt, {a.node, b.node});
+          heap.push({t, a.weight + b.weight});
+        }
+        root = heap.top().node;
+        break;
+      }
+    }
+    if (inv) root = net.add_not(root);
+    net.substitute(g, root);
+    ++res.gates_decomposed;
+    res.gates_added += static_cast<int>(net.num_gates() - before);
+  }
+  net.sweep();
+  return res;
+}
+
+}  // namespace lps::logicopt

@@ -1,0 +1,44 @@
+// decompose_power.hpp — technology decomposition targeting low power.
+//
+// §III-B cites Tsui, Pedram & Despain, "Technology Decomposition and
+// Mapping Targeting Low Power Dissipation" [48]: before mapping, wide gates
+// are decomposed into 2-input trees, and the *shape* of that tree fixes how
+// much internal switched capacitance the mapped netlist can ever reach.
+// The low-power decomposition is a Huffman-style construction: repeatedly
+// combine the two least-active signals, so high-activity inputs enter the
+// tree as late (as close to the root) as possible and drive the fewest
+// internal nodes.
+//
+// decompose_balanced() and decompose_chain() provide the power-oblivious
+// baselines the [48] experiments compare against.
+
+#pragma once
+
+#include <span>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::logicopt {
+
+enum class DecomposeShape {
+  Chain,     // left-deep chain in fanin order
+  Balanced,  // minimum-depth tree
+  Huffman,   // activity-ordered (low-power) tree [48]
+};
+
+struct DecomposeResult {
+  int gates_decomposed = 0;  // wide gates rewritten
+  int gates_added = 0;       // 2-input gates created
+};
+
+/// Rewrite every AND/OR/NAND/NOR/XOR/XNOR gate with more than two fanins
+/// into a tree of 2-input gates of the given shape.  For the Huffman shape,
+/// `activity` supplies per-node toggle rates (e.g. from
+/// sim::measure_activity) used as the combining weights; signal activity of
+/// an internal node is estimated as the sum of its children's weights
+/// (conservative, monotone — sufficient for ordering).  Function is
+/// preserved exactly.
+DecomposeResult decompose_wide_gates(Netlist& net, DecomposeShape shape,
+                                     std::span<const double> activity = {});
+
+}  // namespace lps::logicopt

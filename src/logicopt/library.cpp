@@ -1,0 +1,171 @@
+#include "logicopt/library.hpp"
+
+#include <stdexcept>
+
+namespace lps::logicopt {
+
+Pattern Pattern::leaf() { return Pattern{}; }
+
+Pattern Pattern::inv(Pattern a) {
+  Pattern p;
+  p.kind = Kind::Inv;
+  p.kids.push_back(std::move(a));
+  return p;
+}
+
+Pattern Pattern::nand(Pattern a, Pattern b) {
+  Pattern p;
+  p.kind = Kind::Nand;
+  p.kids.push_back(std::move(a));
+  p.kids.push_back(std::move(b));
+  return p;
+}
+
+int Pattern::num_leaves() const {
+  if (kind == Kind::Leaf) return 1;
+  int n = 0;
+  for (const auto& k : kids) n += k.num_leaves();
+  return n;
+}
+
+Library standard_library() {
+  using P = Pattern;
+  Library lib;
+  auto L = [] { return P::leaf(); };
+  auto add = [&](std::string name, Pattern p, double area, double delay,
+                 double cin, double cout) {
+    lib.gates.push_back(
+        {std::move(name), std::move(p), area, delay, cin, cout});
+  };
+
+  // Inverters/buffers at three drive strengths: larger drive = faster but
+  // more input capacitance (the §II-B tradeoff at cell granularity).
+  add("INVx1", P::inv(L()), 1.0, 1.0, 6.0, 4.0);
+  add("INVx2", P::inv(L()), 1.5, 0.7, 11.0, 5.0);
+  add("INVx4", P::inv(L()), 2.5, 0.5, 20.0, 7.0);
+
+  add("NAND2x1", P::nand(L(), L()), 2.0, 1.2, 8.0, 6.0);
+  add("NAND2x2", P::nand(L(), L()), 3.0, 0.9, 14.0, 8.0);
+  // NAND3 = NAND2 feeding INV feeding NAND2: pattern
+  // nand(inv(nand(a,b)), c).
+  add("NAND3x1", P::nand(P::inv(P::nand(L(), L())), L()), 3.0, 1.6, 9.0, 8.0);
+  add("NAND4x1",
+      P::nand(P::inv(P::nand(L(), L())), P::inv(P::nand(L(), L()))), 4.0, 2.0,
+      10.0, 10.0);
+
+  // AND2 = inv(nand2).
+  add("AND2x1", P::inv(P::nand(L(), L())), 2.5, 1.5, 8.0, 6.0);
+
+  // NOR2 = nand(inv a, inv b); OR2 = inv(nor2).
+  add("NOR2x1", P::nand(P::inv(L()), P::inv(L())), 2.0, 1.4, 8.0, 6.0);
+  add("NOR2x2", P::nand(P::inv(L()), P::inv(L())), 3.0, 1.0, 14.0, 8.0);
+  add("OR2x1", P::inv(P::nand(P::inv(L()), P::inv(L()))), 2.5, 1.7, 8.0, 6.0);
+
+  // AOI21: !(a*b + c) = nand(nand(a,b), inv(c)).
+  add("AOI21x1", P::nand(P::nand(L(), L()), P::inv(L())), 3.0, 1.6, 9.0, 7.0);
+  // OAI21: !((a+b)*c) = nand(inv(nand(inv a, inv b)), c)
+  add("OAI21x1",
+      P::nand(P::inv(P::nand(P::inv(L()), P::inv(L()))), L()), 3.0, 1.7, 9.0,
+      7.0);
+
+  // XOR2/XNOR2 on the canonical 4/5-NAND decomposition:
+  // xor(a,b) = nand(nand(a, nand(a,b)), nand(b, nand(a,b))) — the DAG form
+  // shares the inner NAND, but the *tree* pattern duplicates leaves, which
+  // is exactly how DAGON matches it on a tree decomposition.
+  {
+    auto inner1 = P::nand(L(), L());
+    auto x = P::nand(P::nand(L(), P::nand(L(), L())),
+                     P::nand(L(), P::nand(L(), L())));
+    add("XOR2x1", std::move(x), 4.5, 2.1, 10.0, 9.0);
+    (void)inner1;
+  }
+
+  return lib;
+}
+
+Netlist decompose_nand2(const Netlist& src) {
+  Netlist dst(src.name() + "_nand2");
+  std::vector<NodeId> map(src.size(), kNoNode);
+
+  auto inv = [&](NodeId a) { return dst.add_not(a); };
+  auto nand2 = [&](NodeId a, NodeId b) { return dst.add_nand(a, b); };
+  auto and2 = [&](NodeId a, NodeId b) { return inv(nand2(a, b)); };
+  auto or2 = [&](NodeId a, NodeId b) { return nand2(inv(a), inv(b)); };
+  auto xor2 = [&](NodeId a, NodeId b) {
+    NodeId m = nand2(a, b);
+    return nand2(nand2(a, m), nand2(b, m));
+  };
+
+  auto reduce = [&](const std::vector<NodeId>& xs, auto&& op2) {
+    NodeId acc = xs[0];
+    for (std::size_t i = 1; i < xs.size(); ++i) acc = op2(acc, xs[i]);
+    return acc;
+  };
+
+  // Dffs first (placeholder D), patched after logic is built.
+  for (NodeId n : src.topo_order()) {
+    const Node& nd = src.node(n);
+    if (nd.type == GateType::Input)
+      map[n] = dst.add_input(nd.name);
+    else if (nd.type == GateType::Const0)
+      map[n] = dst.add_const(false);
+    else if (nd.type == GateType::Const1)
+      map[n] = dst.add_const(true);
+    else if (nd.type == GateType::Dff) {
+      map[n] = dst.add_dff(dst.add_const(false), nd.init_value, nd.name);
+      if (nd.fanins.size() == 2)
+        dst.set_dff_enable(map[n], dst.add_const(false));
+    }
+  }
+  for (NodeId n : src.topo_order()) {
+    const Node& nd = src.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    std::vector<NodeId> fi;
+    for (NodeId f : nd.fanins) fi.push_back(map[f]);
+    switch (nd.type) {
+      case GateType::Buf:
+        map[n] = inv(inv(fi[0]));
+        break;
+      case GateType::Not:
+        map[n] = inv(fi[0]);
+        break;
+      case GateType::And:
+        map[n] = reduce(fi, and2);
+        break;
+      case GateType::Nand:
+        map[n] = fi.size() == 2 ? nand2(fi[0], fi[1])
+                                : inv(reduce(fi, and2));
+        break;
+      case GateType::Or:
+        map[n] = reduce(fi, or2);
+        break;
+      case GateType::Nor:
+        map[n] = inv(reduce(fi, or2));
+        break;
+      case GateType::Xor:
+        map[n] = reduce(fi, xor2);
+        break;
+      case GateType::Xnor:
+        map[n] = inv(reduce(fi, xor2));
+        break;
+      case GateType::Mux: {
+        // s ? b : a  =  nand(nand(!s, a), nand(s, b))
+        NodeId s = fi[0];
+        map[n] = nand2(nand2(inv(s), fi[1]), nand2(s, fi[2]));
+        break;
+      }
+      default:
+        throw std::logic_error("decompose_nand2: unexpected gate");
+    }
+  }
+  for (NodeId d : src.dffs())
+    for (std::size_t k = 0; k < src.node(d).fanins.size(); ++k)
+      dst.replace_fanin(map[d], k, map[src.node(d).fanins[k]]);
+  const auto& outs = src.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    dst.add_output(map[outs[i]], src.output_names()[i]);
+  dst.sweep();
+  return dst;
+}
+
+}  // namespace lps::logicopt

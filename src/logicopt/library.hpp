@@ -1,0 +1,56 @@
+// library.hpp — technology library for graph-covering technology mapping.
+//
+// §III-B: "A typical library will contain hundreds of gates with different
+// transistor sizes.  Modern technology mapping methods use a graph covering
+// formulation, originally presented in [20] (DAGON)."  Library cells are
+// described as pattern trees over the NAND2/INV subject-graph basis, with
+// area, pin-to-pin delay, input capacitance and output drive parameters.
+// standard_library() provides a representative static-CMOS cell set with
+// several drive strengths per function (the power/area/delay tradeoff the
+// mapper explores).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::logicopt {
+
+/// Pattern tree over the subject basis.  Leaf matches any signal.
+struct Pattern {
+  enum class Kind { Leaf, Inv, Nand };
+  Kind kind = Kind::Leaf;
+  std::vector<Pattern> kids;
+
+  static Pattern leaf();
+  static Pattern inv(Pattern a);
+  static Pattern nand(Pattern a, Pattern b);
+  int num_leaves() const;
+};
+
+struct LibGate {
+  std::string name;
+  Pattern pattern;
+  double area = 1.0;      // relative cell area
+  double delay = 1.0;     // pin-to-output delay
+  double cin_ff = 10.0;   // capacitance presented per input pin
+  double cout_ff = 8.0;   // parasitic output capacitance of the cell
+};
+
+struct Library {
+  std::vector<LibGate> gates;
+};
+
+/// A representative 1995-era standard-cell set: INV/NAND/NOR/AND/OR in 2-3
+/// input flavours, AOI21/OAI21, XOR2/XNOR2 composites, and x1/x2/x4 drive
+/// variants of the workhorses.
+Library standard_library();
+
+/// Decompose an arbitrary netlist into the NAND2/INV subject basis
+/// (functionally equivalent; Dffs and PIs/POs preserved).
+Netlist decompose_nand2(const Netlist& net);
+
+}  // namespace lps::logicopt

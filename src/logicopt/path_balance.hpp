@@ -1,0 +1,37 @@
+// path_balance.hpp — buffer insertion to suppress spurious transitions.
+//
+// §III-A.2: "In order to reduce spurious switching activity, the delays of
+// paths that converge at each gate in the circuit should be roughly equal.
+// By selectively adding unit-delay buffers to the inputs of gates ... the
+// delays of all paths in the circuit can be made equal.  This addition will
+// not increase the critical delay of the circuit, and will effectively
+// eliminate spurious transitions.  However, the addition of buffers
+// increases capacitance which may offset the reduction."
+//
+// full_balance() equalizes every reconvergent path (zero glitches under the
+// unit/assigned delay model); partial_balance() inserts at most a budget of
+// buffers, targeting the fanin skews that feed the most downstream
+// capacitance first — the "reduce rather than completely eliminate" variant
+// the survey describes (cf. the multiplier of Lemonds & Mahant-Shetti [25]).
+
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace lps::logicopt {
+
+struct BalanceResult {
+  int buffers_inserted = 0;
+  int critical_delay_before = 0;
+  int critical_delay_after = 0;
+};
+
+/// Pad every gate fanin so all of the gate's input arrival times are equal.
+/// The circuit function and critical delay are preserved.
+BalanceResult full_balance(Netlist& net);
+
+/// Insert at most `buffer_budget` buffers, greedily flattening the largest
+/// capacitance-weighted arrival skews.
+BalanceResult partial_balance(Netlist& net, int buffer_budget);
+
+}  // namespace lps::logicopt

@@ -1,0 +1,39 @@
+// power_factor.hpp — netlist bridges for (power-aware) factoring.
+//
+// Connects the SOP algebra of sop/ to the gate-network world so the E6
+// experiment can compare literal-count factoring against activity-weighted
+// factoring (§III-A.3, SYCLOP [35]) on equal terms: both forms are built
+// into netlists and measured with the same simulator and power model.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sop/factoring.hpp"
+
+namespace lps::logicopt {
+
+/// Build a flat two-level netlist (AND-OR) computing the SOP.
+Netlist sop_to_netlist(const sop::Sop& f, const std::string& name = "sop");
+
+/// Build a netlist computing the factored expression over `num_vars` inputs.
+Netlist expr_to_netlist(const sop::Expr& e, unsigned num_vars,
+                        const std::string& name = "factored");
+
+struct FactoringComparison {
+  Netlist flat;          // two-level
+  Netlist literal_form;  // classic factoring
+  Netlist power_form;    // activity-weighted factoring
+  unsigned lits_flat = 0;
+  unsigned lits_literal = 0;
+  unsigned lits_power = 0;
+};
+
+/// Run both factorings of `f` given per-input one-probabilities (weights are
+/// the input toggle rates 2p(1-p)).
+FactoringComparison compare_factorings(const sop::Sop& f,
+                                       const std::vector<double>& one_prob);
+
+}  // namespace lps::logicopt

@@ -1,0 +1,200 @@
+#include "logicopt/resynth.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "bdd/bdd_netlist.hpp"
+#include "sop/factoring.hpp"
+#include "sop/minimize.hpp"
+
+namespace lps::logicopt {
+
+namespace {
+
+// Two-level fanin window around `n`: interior = {n} ∪ gate fanins that are
+// themselves logic gates; boundary = everything feeding the interior from
+// outside.  Returns false if the boundary exceeds the budget.
+bool build_window(const Netlist& net, NodeId n, int max_inputs,
+                  std::vector<NodeId>& interior,
+                  std::vector<NodeId>& boundary) {
+  interior.clear();
+  boundary.clear();
+  std::set<NodeId> in_set{n};
+  for (NodeId f : net.node(n).fanins) {
+    const Node& fd = net.node(f);
+    if (!is_source(fd.type) && fd.type != GateType::Dff &&
+        fd.fanins.size() <= 4)
+      in_set.insert(f);
+  }
+  std::set<NodeId> bset;
+  for (NodeId m : in_set)
+    for (NodeId f : net.node(m).fanins)
+      if (!in_set.count(f)) bset.insert(f);
+  if (static_cast<int>(bset.size()) > max_inputs) {
+    // Retry with the one-level window (just the node itself).
+    in_set = {n};
+    bset.clear();
+    for (NodeId f : net.node(n).fanins) bset.insert(f);
+    if (static_cast<int>(bset.size()) > max_inputs) return false;
+  }
+  interior.assign(in_set.begin(), in_set.end());
+  boundary.assign(bset.begin(), bset.end());
+  return true;
+}
+
+// Evaluate node `n` for one boundary assignment (scalar window simulation
+// over `window_order`, the interior nodes in topological order).
+bool eval_window(const Netlist& net, NodeId n,
+                 const std::vector<NodeId>& window_order,
+                 const std::vector<NodeId>& boundary, unsigned minterm) {
+  std::vector<std::uint64_t> value(net.size(), 0);
+  for (std::size_t i = 0; i < boundary.size(); ++i)
+    value[boundary[i]] = (minterm >> i & 1) ? ~0ULL : 0ULL;
+  for (NodeId id : window_order) {
+    const Node& nd = net.node(id);
+    std::vector<std::uint64_t> w;
+    for (NodeId f : nd.fanins) w.push_back(value[f]);
+    value[id] = eval_gate(nd.type, w);
+  }
+  return (value[n] & 1ULL) != 0;
+}
+
+}  // namespace
+
+namespace {
+
+// Gate cost of realizing a factored expression: one literal per AND/OR
+// input plus one single-input gate per negated literal.
+int expr_cost(const sop::Expr& e) {
+  switch (e.kind) {
+    case sop::Expr::Kind::Const0:
+    case sop::Expr::Kind::Const1:
+      return 0;
+    case sop::Expr::Kind::Lit:
+      return e.negated ? 2 : 1;
+    default: {
+      int c = 0;
+      for (const auto& k : e.kids) c += expr_cost(k);
+      return c;
+    }
+  }
+}
+
+}  // namespace
+
+ResynthResult resynthesize_windows(Netlist& net,
+                                   const std::vector<double>& toggles,
+                                   const ResynthOptions& opt) {
+  ResynthResult res;
+  res.gates_before = net.num_gates();
+  auto tog = [&](NodeId id) {
+    return id < toggles.size() ? toggles[id] : 0.0;
+  };
+
+  // Rewrites create nodes the current BDDs don't cover, so run rounds to a
+  // fixpoint, rebuilding the symbolic view between rounds.
+  bool round_changed = true;
+  int rounds = 0;
+  while (round_changed && rounds++ < 4 &&
+         res.nodes_rewritten < opt.max_rewrites) {
+  round_changed = false;
+  bdd::NetlistBdds bdds;
+  try {
+    bdds = bdd::build_bdds(net, opt.bdd_limit);
+  } catch (const bdd::NodeLimitExceeded&) {
+    res.gates_after = net.num_gates();
+    return res;  // circuit too wide for exact local DCs
+  }
+  auto& m = bdds.mgr;
+
+  // Candidate list fixed per round; rewrites only add nodes.
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_dead(n)) continue;
+    const Node& nd = net.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    candidates.push_back(n);
+  }
+
+  for (NodeId n : candidates) {
+    if (res.nodes_rewritten >= opt.max_rewrites) break;
+    if (net.is_dead(n)) continue;  // consumed by an earlier rewrite
+    std::vector<NodeId> interior, boundary;
+    if (!build_window(net, n, opt.max_window_inputs, interior, boundary))
+      continue;
+    // Rewrites may have created nodes without BDDs; skip such windows.
+    bool have_bdds = true;
+    for (NodeId b : boundary)
+      if (b >= bdds.node_fn.size()) have_bdds = false;
+    if (!have_bdds) continue;
+    ++res.windows_examined;
+
+    unsigned k = static_cast<unsigned>(boundary.size());
+    sop::Sop onset(k), dcset(k);
+    // Replacement-cost baseline: the node's own literals plus those of
+    // interior helpers that exist only for this node (single fanout).
+    int window_lits = static_cast<int>(net.node(n).fanins.size());
+    for (NodeId w : interior) {
+      if (w == n) continue;
+      if (net.node(w).fanouts.size() == 1)
+        window_lits += static_cast<int>(net.node(w).fanins.size());
+    }
+    // Interior nodes in dependency order for the window simulator.
+    std::vector<NodeId> window_order;
+    {
+      std::set<NodeId> in_set(interior.begin(), interior.end());
+      for (NodeId id : net.topo_order())
+        if (in_set.count(id)) window_order.push_back(id);
+    }
+
+    for (unsigned minterm = 0; minterm < (1u << k); ++minterm) {
+      sop::Cube c(k);
+      for (unsigned i = 0; i < k; ++i) {
+        if (minterm >> i & 1)
+          c.set_pos(i);
+        else
+          c.set_neg(i);
+      }
+      // Controllability DC: can any PI assignment realize this boundary
+      // pattern?  Conjunction of (boundary fn XNOR bit).
+      bdd::Ref reach = bdd::kTrue;
+      for (unsigned i = 0; i < k && reach != bdd::kFalse; ++i) {
+        bdd::Ref f = bdds.node_fn[boundary[i]];
+        reach = m.land(reach, (minterm >> i & 1) ? f : m.lnot(f));
+      }
+      if (reach == bdd::kFalse) {
+        dcset.add_cube(c);
+        continue;
+      }
+      if (eval_window(net, n, window_order, boundary, minterm))
+        onset.add_cube(c);
+    }
+
+    auto cover = sop::minimize(onset, dcset);
+    sop::Expr expr;
+    if (opt.power_aware) {
+      std::vector<double> w(k);
+      for (unsigned i = 0; i < k; ++i) w[i] = 0.05 + tog(boundary[i]);
+      expr = sop::factor_weighted(cover, w);
+    } else {
+      expr = sop::factor(cover);
+    }
+    // Keep only if strictly cheaper than the window it replaces (negated
+    // literals cost an inverter each, so count them).
+    if (expr_cost(expr) >= window_lits) continue;
+
+    NodeId rebuilt = sop::build_expr(net, expr, boundary);
+    if (rebuilt == n) continue;
+    // build_expr may return a boundary node itself (constant/wire case);
+    // otherwise it is freshly constructed logic.
+    net.substitute(n, rebuilt);
+    net.sweep();
+    ++res.nodes_rewritten;
+    round_changed = true;
+  }
+  }  // rounds
+  res.gates_after = net.num_gates();
+  return res;
+}
+
+}  // namespace lps::logicopt

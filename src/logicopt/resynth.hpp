@@ -1,0 +1,51 @@
+// resynth.hpp — window-based node resynthesis with local don't-cares.
+//
+// The §III-A.1 papers operate on *local* functions: Savoj/Brayton/Touati
+// [37] extract local don't-cares for network optimization, Shen et al. [38]
+// and Iman & Pedram [19] re-express nodes inside that freedom to reduce
+// switching activity.  This pass implements the window form of the idea:
+//
+//   1. around each gate, take the two-level fanin window and its boundary
+//      cut (<= max_window_inputs signals);
+//   2. tabulate the node's local function over boundary minterms;
+//   3. compute the local *controllability* don't-cares — boundary patterns
+//      no primary-input assignment can produce (exact, via global BDDs);
+//   4. minimize the local cover against those don't-cares (sop::minimize),
+//      factor it (activity-weighted when power_aware), and rebuild;
+//   5. keep the rewrite when it lowers the cost (literals, or
+//      activity-weighted literals).
+//
+// Function preservation is exact: the rewritten node agrees with the old
+// one on every *reachable* boundary pattern.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::logicopt {
+
+struct ResynthOptions {
+  int max_window_inputs = 8;
+  int max_rewrites = 200;
+  bool power_aware = true;  // weigh literals by boundary-signal activity
+  std::size_t bdd_limit = 1u << 22;
+};
+
+struct ResynthResult {
+  int windows_examined = 0;
+  int nodes_rewritten = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+};
+
+/// Rewrite nodes in place.  `toggles_per_cycle` supplies activities (e.g.
+/// from sim::measure_activity) for the power-aware cost; may be shorter
+/// than net.size() (new nodes default to inactive).
+ResynthResult resynthesize_windows(Netlist& net,
+                                   const std::vector<double>& toggles_per_cycle,
+                                   const ResynthOptions& opt = {});
+
+}  // namespace lps::logicopt

@@ -1,0 +1,239 @@
+#include "logicopt/techmap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/logicsim.hpp"
+
+namespace lps::logicopt {
+
+Netlist subject_graph(const Netlist& net) { return strash(decompose_nand2(net)); }
+
+namespace {
+
+struct TreeInfo {
+  std::vector<bool> is_root;  // per subject node
+};
+
+TreeInfo partition_trees(const Netlist& s) {
+  TreeInfo t;
+  t.is_root.assign(s.size(), false);
+  for (NodeId o : s.outputs()) t.is_root[o] = true;
+  for (NodeId d : s.dffs())
+    for (NodeId f : s.node(d).fanins) t.is_root[f] = true;
+  for (NodeId n = 0; n < s.size(); ++n) {
+    if (s.is_dead(n)) continue;
+    const Node& nd = s.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    if (nd.fanouts.size() != 1) t.is_root[n] = true;
+  }
+  return t;
+}
+
+// Try to overlay `p` rooted at subject node n.  Internal pattern nodes may
+// only cover subject nodes private to this tree position (single fanout and
+// not a tree root).  Appends matched leaves in pattern order.
+bool match(const Netlist& s, const TreeInfo& t, const Pattern& p, NodeId n,
+           bool at_root, std::vector<NodeId>& leaves) {
+  if (p.kind == Pattern::Kind::Leaf) {
+    leaves.push_back(n);
+    return true;
+  }
+  const Node& nd = s.node(n);
+  if (!at_root && (t.is_root[n] || is_source(nd.type) ||
+                   nd.type == GateType::Dff))
+    return false;
+  if (p.kind == Pattern::Kind::Inv) {
+    if (nd.type != GateType::Not) return false;
+    return match(s, t, p.kids[0], nd.fanins[0], false, leaves);
+  }
+  // Nand.
+  if (nd.type != GateType::Nand || nd.fanins.size() != 2) return false;
+  std::size_t mark = leaves.size();
+  if (match(s, t, p.kids[0], nd.fanins[0], false, leaves) &&
+      match(s, t, p.kids[1], nd.fanins[1], false, leaves))
+    return true;
+  leaves.resize(mark);
+  if (match(s, t, p.kids[0], nd.fanins[1], false, leaves) &&
+      match(s, t, p.kids[1], nd.fanins[0], false, leaves))
+    return true;
+  leaves.resize(mark);
+  return false;
+}
+
+}  // namespace
+
+MapResult tech_map(const Netlist& net, const Library& lib,
+                   MapObjective objective,
+                   std::span<const double> subject_activity) {
+  Netlist s = subject_graph(net);
+  TreeInfo trees = partition_trees(s);
+
+  std::vector<double> activity;
+  if (!subject_activity.empty()) {
+    if (subject_activity.size() != s.size())
+      throw std::invalid_argument("tech_map: activity size mismatch");
+    activity.assign(subject_activity.begin(), subject_activity.end());
+  } else {
+    auto st = sim::measure_activity(s, 64, 1);
+    activity = st.transition_prob;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  struct Choice {
+    const LibGate* cell = nullptr;
+    std::vector<NodeId> leaves;
+  };
+  std::vector<double> best_cost(s.size(), kInf);
+  std::vector<double> best_arrival(s.size(), 0.0);
+  std::vector<Choice> best_choice(s.size());
+
+  auto order = s.topo_order();
+  for (NodeId n : order) {
+    const Node& nd = s.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) {
+      best_cost[n] = 0.0;
+      best_arrival[n] = 0.0;
+      continue;
+    }
+    for (const auto& g : lib.gates) {
+      std::vector<NodeId> leaves;
+      if (!match(s, trees, g.pattern, n, true, leaves)) continue;
+      double cost = 0.0;
+      double arr = 0.0;
+      for (NodeId leaf : leaves) {
+        cost += best_cost[leaf];
+        arr = std::max(arr, best_arrival[leaf]);
+        if (objective == MapObjective::Power)
+          cost += activity[leaf] * g.cin_ff;
+      }
+      arr += g.delay;
+      switch (objective) {
+        case MapObjective::Area:
+          cost += g.area;
+          break;
+        case MapObjective::Delay:
+          cost = 0.0;
+          for (NodeId leaf : leaves) cost += 1e-4 * best_cost[leaf];
+          cost += arr;  // lexicographic-ish: arrival dominates
+          break;
+        case MapObjective::Power:
+          cost += activity[n] * g.cout_ff;
+          break;
+      }
+      if (cost < best_cost[n]) {
+        best_cost[n] = cost;
+        best_arrival[n] = arr;
+        best_choice[n] = Choice{&g, std::move(leaves)};
+      }
+    }
+    if (best_cost[n] == kInf)
+      throw std::logic_error("tech_map: node has no matching cell");
+  }
+
+  // Collect instances by backtracking from tree roots.
+  MapResult r;
+  std::vector<bool> emitted(s.size(), false);
+  std::vector<NodeId> work;
+  for (NodeId n = 0; n < s.size(); ++n) {
+    if (s.is_dead(n)) continue;
+    const Node& nd = s.node(n);
+    if (trees.is_root[n] && !is_source(nd.type) && nd.type != GateType::Dff)
+      work.push_back(n);
+  }
+  while (!work.empty()) {
+    NodeId n = work.back();
+    work.pop_back();
+    if (emitted[n]) continue;
+    const Node& nd = s.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    emitted[n] = true;
+    const Choice& c = best_choice[n];
+    r.instances.push_back({c.cell, n, c.leaves});
+    for (NodeId leaf : c.leaves) work.push_back(leaf);
+  }
+
+  // Metrics for the final cover (all three, regardless of objective).
+  std::vector<double> arrival(s.size(), 0.0);
+  // Instances are discovered roots-first; evaluate in subject topo order.
+  std::vector<const MappedInstance*> by_root(s.size(), nullptr);
+  for (const auto& inst : r.instances) by_root[inst.root] = &inst;
+  for (NodeId n : order) {
+    const MappedInstance* inst = by_root[n];
+    if (!inst) continue;
+    double a = 0.0;
+    for (NodeId leaf : inst->leaves) a = std::max(a, arrival[leaf]);
+    arrival[n] = a + inst->cell->delay;
+    r.total_area += inst->cell->area;
+    r.switched_cap_ff += activity[n] * inst->cell->cout_ff;
+    for (NodeId leaf : inst->leaves)
+      r.switched_cap_ff += activity[leaf] * inst->cell->cin_ff;
+    r.cell_histogram[inst->cell->name] += 1;
+    r.arrival = std::max(r.arrival, arrival[n]);
+  }
+  return r;
+}
+
+Netlist MapResult::to_netlist(const Netlist& subject) const {
+  Netlist dst(subject.name() + "_mapped");
+  std::vector<NodeId> map(subject.size(), kNoNode);
+  for (NodeId n : subject.topo_order()) {
+    const Node& nd = subject.node(n);
+    if (nd.type == GateType::Input)
+      map[n] = dst.add_input(nd.name);
+    else if (nd.type == GateType::Const0)
+      map[n] = dst.add_const(false);
+    else if (nd.type == GateType::Const1)
+      map[n] = dst.add_const(true);
+    else if (nd.type == GateType::Dff) {
+      map[n] = dst.add_dff(dst.add_const(false), nd.init_value, nd.name);
+      if (nd.fanins.size() == 2)
+        dst.set_dff_enable(map[n], dst.add_const(false));
+    }
+  }
+  // Expand instances in subject topological order.
+  std::vector<const MappedInstance*> by_root(subject.size(), nullptr);
+  for (const auto& inst : instances) by_root[inst.root] = &inst;
+
+  // Recursive pattern expansion.
+  auto expand = [&](auto&& self, const Pattern& p, const MappedInstance& inst,
+                    std::size_t& leaf_idx) -> NodeId {
+    switch (p.kind) {
+      case Pattern::Kind::Leaf: {
+        NodeId leaf = inst.leaves[leaf_idx++];
+        NodeId mapped = map[leaf];
+        if (mapped == kNoNode)
+          throw std::logic_error("to_netlist: leaf not yet mapped");
+        return mapped;
+      }
+      case Pattern::Kind::Inv: {
+        NodeId a = self(self, p.kids[0], inst, leaf_idx);
+        return dst.add_not(a);
+      }
+      case Pattern::Kind::Nand: {
+        NodeId a = self(self, p.kids[0], inst, leaf_idx);
+        NodeId b = self(self, p.kids[1], inst, leaf_idx);
+        return dst.add_nand(a, b);
+      }
+    }
+    return kNoNode;
+  };
+
+  for (NodeId n : subject.topo_order()) {
+    const MappedInstance* inst = by_root[n];
+    if (!inst) continue;
+    std::size_t leaf_idx = 0;
+    map[n] = expand(expand, inst->cell->pattern, *inst, leaf_idx);
+  }
+  for (NodeId d : subject.dffs())
+    for (std::size_t k = 0; k < subject.node(d).fanins.size(); ++k)
+      dst.replace_fanin(map[d], k, map[subject.node(d).fanins[k]]);
+  const auto& outs = subject.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    dst.add_output(map[outs[i]], subject.output_names()[i]);
+  dst.sweep();
+  return dst;
+}
+
+}  // namespace lps::logicopt

@@ -1,0 +1,59 @@
+// techmap.hpp — DAGON-style tree-covering technology mapping for area,
+// delay, or power.
+//
+// §III-B: "The graph covering formulation of [20] has been extended to the
+// power cost function.  Under the zero delay model, the optimal mapping of
+// a tree can be determined in polynomial time."  This implements that
+// dynamic program: the NAND2/INV subject graph is split into trees at
+// multi-fanout points, each tree is covered optimally by library patterns,
+// and three cost functions are offered:
+//   Area  — sum of cell areas (the classic objective);
+//   Delay — arrival-time minimization along the covered tree;
+//   Power — activity-weighted switched capacitance, N(root)·C_out(cell) +
+//           Σ N(leaf)·C_in(cell), i.e. the zero-delay power cost of Tiwari,
+//           Ashar & Malik [43] / Tsui, Pedram & Despain [48].
+
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logicopt/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lps::logicopt {
+
+enum class MapObjective { Area, Delay, Power };
+
+struct MappedInstance {
+  const LibGate* cell = nullptr;
+  NodeId root = kNoNode;            // subject node the cell output drives
+  std::vector<NodeId> leaves;       // subject nodes at the cell inputs
+};
+
+struct MapResult {
+  std::vector<MappedInstance> instances;
+  double total_area = 0.0;
+  double arrival = 0.0;             // critical path through mapped cells
+  double switched_cap_ff = 0.0;     // Σ activity·cap over mapped pins
+  std::map<std::string, int> cell_histogram;
+
+  /// Rebuild a plain netlist from the chosen cells (each cell expands to
+  /// its pattern logic) — used to verify the mapping preserves function.
+  Netlist to_netlist(const Netlist& subject) const;
+};
+
+/// Map `net` (any gate mix; it is decomposed internally).  `activity` gives
+/// toggles-per-cycle for the *subject* netlist nodes; pass empty to let the
+/// mapper simulate the subject graph itself (2048 random vectors, seed 1).
+MapResult tech_map(const Netlist& net, const Library& lib,
+                   MapObjective objective,
+                   std::span<const double> subject_activity = {});
+
+/// The subject graph the mapper used (deterministic; exposed so callers can
+/// compute their own activities or inspect coverage).
+Netlist subject_graph(const Netlist& net);
+
+}  // namespace lps::logicopt

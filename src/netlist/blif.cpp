@@ -1,0 +1,317 @@
+#include "netlist/blif.hpp"
+
+#include <bit>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lps::blif {
+
+namespace {
+
+struct NamesTable {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::string> cubes;    // rows "01-" with output value appended
+  std::vector<char> out_values;
+};
+
+struct LatchDecl {
+  std::string input, output;
+  bool init = false;
+};
+
+// Tokenize one logical line (with '\' continuations already folded).
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
+Netlist read(std::istream& is) {
+  std::string model = "blif";
+  std::vector<std::string> inputs, outputs;
+  std::vector<NamesTable> tables;
+  std::vector<LatchDecl> latches;
+
+  std::string raw, line;
+  int lineno = 0;
+  NamesTable* open_table = nullptr;
+  auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("blif line " + std::to_string(lineno) + ": " +
+                             msg);
+  };
+
+  while (std::getline(is, raw)) {
+    ++lineno;
+    // Strip comments, fold continuations.
+    if (auto p = raw.find('#'); p != std::string::npos) raw.resize(p);
+    line += raw;
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      continue;
+    }
+    auto toks = split(line);
+    line.clear();
+    if (toks.empty()) continue;
+
+    const std::string& kw = toks[0];
+    if (kw == ".model") {
+      if (toks.size() >= 2) model = toks[1];
+      open_table = nullptr;
+    } else if (kw == ".inputs") {
+      inputs.insert(inputs.end(), toks.begin() + 1, toks.end());
+      open_table = nullptr;
+    } else if (kw == ".outputs") {
+      outputs.insert(outputs.end(), toks.begin() + 1, toks.end());
+      open_table = nullptr;
+    } else if (kw == ".names") {
+      if (toks.size() < 2) fail(".names needs at least an output");
+      tables.emplace_back();
+      tables.back().signals.assign(toks.begin() + 1, toks.end());
+      open_table = &tables.back();
+    } else if (kw == ".latch") {
+      if (toks.size() < 3) fail(".latch needs input and output");
+      LatchDecl l;
+      l.input = toks[1];
+      l.output = toks[2];
+      // Optional: [type] [control] [init]; init is the last numeric token.
+      if (toks.size() > 3) {
+        const std::string& last = toks.back();
+        if (last == "1") l.init = true;
+      }
+      latches.push_back(std::move(l));
+      open_table = nullptr;
+    } else if (kw == ".end") {
+      break;
+    } else if (kw[0] == '.') {
+      open_table = nullptr;  // ignore .clock, .exdc etc.
+    } else {
+      // Cube row inside an open .names.
+      if (!open_table) fail("cube row outside .names");
+      std::size_t nin = open_table->signals.size() - 1;
+      if (nin == 0) {
+        if (toks.size() != 1 || (toks[0] != "0" && toks[0] != "1"))
+          fail("constant table row must be 0 or 1");
+        open_table->cubes.push_back("");
+        open_table->out_values.push_back(toks[0][0]);
+      } else {
+        if (toks.size() != 2) fail("cube row must be <mask> <value>");
+        if (toks[0].size() != nin) fail("cube width mismatch");
+        open_table->cubes.push_back(toks[0]);
+        open_table->out_values.push_back(toks[1][0]);
+      }
+    }
+  }
+
+  Netlist n(model);
+  std::map<std::string, NodeId> sig;
+  for (const auto& name : inputs) sig[name] = n.add_input(name);
+
+  // Pre-create latch outputs so logic can reference them; D patched later.
+  NodeId scratch = kNoNode;
+  auto get_scratch = [&]() {
+    if (scratch == kNoNode) scratch = n.add_const(false);
+    return scratch;
+  };
+  for (const auto& l : latches) sig[l.output] = n.add_dff(get_scratch(), l.init, l.output);
+
+  // Build tables in dependency order (iterate until all resolved).
+  std::vector<bool> done(tables.size(), false);
+  std::size_t remaining = tables.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (done[t]) continue;
+      const NamesTable& tab = tables[t];
+      std::size_t nin = tab.signals.size() - 1;
+      bool ready = true;
+      for (std::size_t i = 0; i < nin; ++i)
+        if (!sig.count(tab.signals[i])) {
+          ready = false;
+          break;
+        }
+      if (!ready) continue;
+
+      // All rows must share the same output value in valid BLIF.
+      bool on_set = tab.out_values.empty() || tab.out_values[0] == '1';
+      std::vector<NodeId> or_terms;
+      for (const auto& cube : tab.cubes) {
+        std::vector<NodeId> and_terms;
+        for (std::size_t i = 0; i < cube.size(); ++i) {
+          if (cube[i] == '-') continue;
+          NodeId s = sig.at(tab.signals[i]);
+          and_terms.push_back(cube[i] == '1' ? s : n.add_not(s));
+        }
+        if (and_terms.empty())
+          or_terms.push_back(n.add_const(true));
+        else if (and_terms.size() == 1)
+          or_terms.push_back(and_terms[0]);
+        else
+          or_terms.push_back(n.add_gate(GateType::And, std::move(and_terms)));
+      }
+      NodeId out;
+      if (or_terms.empty())
+        out = n.add_const(false);  // empty table = constant 0
+      else if (or_terms.size() == 1)
+        out = or_terms[0];
+      else
+        out = n.add_gate(GateType::Or, std::move(or_terms));
+      if (!on_set) out = n.add_not(out);
+      const std::string& oname = tab.signals.back();
+      if (n.node(out).name.empty() && n.node(out).type != GateType::Input)
+        n.node(out).name = oname;
+      sig[oname] = out;
+      done[t] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress)
+      throw std::runtime_error("blif: unresolved signal dependency cycle");
+  }
+
+  // Patch latch D inputs.
+  for (const auto& l : latches) {
+    auto it = sig.find(l.input);
+    if (it == sig.end())
+      throw std::runtime_error("blif: latch input " + l.input + " undefined");
+    n.replace_fanin(sig.at(l.output), 0, it->second);
+  }
+  for (const auto& o : outputs) {
+    auto it = sig.find(o);
+    if (it == sig.end()) throw std::runtime_error("blif: output " + o +
+                                                  " undefined");
+    n.add_output(it->second, o);
+  }
+  n.sweep();
+  return n;
+}
+
+Netlist read_string(const std::string& text) {
+  std::istringstream is(text);
+  return read(is);
+}
+
+Netlist read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("blif: cannot open " + path);
+  return read(f);
+}
+
+namespace {
+
+std::string node_ref(const Netlist& n, NodeId id) {
+  const Node& nd = n.node(id);
+  if (!nd.name.empty()) return nd.name;
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+void write(std::ostream& os, const Netlist& n) {
+  os << ".model " << (n.name().empty() ? "lps" : n.name()) << "\n.inputs";
+  for (NodeId i : n.inputs()) os << ' ' << node_ref(n, i);
+  os << "\n.outputs";
+  for (const auto& name : n.output_names()) os << ' ' << name;
+  os << '\n';
+  for (NodeId d : n.dffs()) {
+    const Node& nd = n.node(d);
+    std::string din = node_ref(n, nd.fanins[0]);
+    if (nd.fanins.size() == 2) {
+      // Load-enabled register: emit the hold mux explicitly, since BLIF
+      // latches have no enable pin.  next = EN ? D : Q.
+      std::string mux = node_ref(n, d) + "_le";
+      os << ".names " << node_ref(n, nd.fanins[1]) << ' ' << din << ' '
+         << node_ref(n, d) << ' ' << mux << "\n11- 1\n0-1 1\n";
+      din = mux;
+    }
+    os << ".latch " << din << ' ' << node_ref(n, d) << ' '
+       << (nd.init_value ? 1 : 0) << '\n';
+  }
+
+  for (NodeId id : n.topo_order()) {
+    const Node& nd = n.node(id);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    os << ".names";
+    for (NodeId f : nd.fanins) os << ' ' << node_ref(n, f);
+    os << ' ' << node_ref(n, id) << '\n';
+    std::size_t k = nd.fanins.size();
+    switch (nd.type) {
+      case GateType::Buf:
+        os << "1 1\n";
+        break;
+      case GateType::Not:
+        os << "0 1\n";
+        break;
+      case GateType::And:
+        os << std::string(k, '1') << " 1\n";
+        break;
+      case GateType::Nand:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '0';
+          os << row << " 1\n";
+        }
+        break;
+      case GateType::Or:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '1';
+          os << row << " 1\n";
+        }
+        break;
+      case GateType::Nor:
+        os << std::string(k, '0') << " 1\n";
+        break;
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Enumerate minterms with the right parity (fanin counts are small).
+        bool want_odd = nd.type == GateType::Xor;
+        for (std::size_t m = 0; m < (1ull << k); ++m) {
+          bool odd = (std::popcount(m) % 2) == 1;
+          if (odd != want_odd) continue;
+          std::string row(k, '0');
+          for (std::size_t b = 0; b < k; ++b)
+            if (m >> b & 1) row[b] = '1';
+          os << row << " 1\n";
+        }
+        break;
+      }
+      case GateType::Mux:
+        os << "01- 1\n"
+           << "1-1 1\n";
+        break;
+      default:
+        break;
+    }
+  }
+  // Constants referenced by outputs or as latch inputs.
+  for (NodeId id : n.topo_order()) {
+    const Node& nd = n.node(id);
+    if (nd.type == GateType::Const1)
+      os << ".names " << node_ref(n, id) << "\n1\n";
+    else if (nd.type == GateType::Const0)
+      os << ".names " << node_ref(n, id) << "\n";
+  }
+  // Outputs that alias internal signals with a different name.
+  const auto& outs = n.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (n.output_names()[i] != node_ref(n, outs[i]))
+      os << ".names " << node_ref(n, outs[i]) << ' ' << n.output_names()[i]
+         << "\n1 1\n";
+  }
+  os << ".end\n";
+}
+
+std::string write_string(const Netlist& n) {
+  std::ostringstream os;
+  write(os, n);
+  return os.str();
+}
+
+}  // namespace lps::blif

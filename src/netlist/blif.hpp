@@ -1,0 +1,32 @@
+// blif.hpp — Berkeley Logic Interchange Format reader/writer.
+//
+// The surveyed logic-synthesis work (SIS, MIS, DAGON, ...) exchanged circuits
+// as BLIF; the public ISCAS85/89 benchmarks circulate in BLIF form.  We read
+// the combinational + latch subset:
+//
+//   .model/.inputs/.outputs/.names/.latch/.end
+//
+// Each .names table is converted into AND/OR/NOT gates (one AND per cube,
+// one OR across cubes), which is exactly the two-level-into-network reading
+// SIS performs before decomposition.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::blif {
+
+/// Parse BLIF text.  Throws std::runtime_error with a line-numbered message
+/// on malformed input.
+Netlist read(std::istream& is);
+Netlist read_string(const std::string& text);
+Netlist read_file(const std::string& path);
+
+/// Write the network as BLIF (gates become single-output .names tables).
+void write(std::ostream& os, const Netlist& n);
+std::string write_string(const Netlist& n);
+
+}  // namespace lps::blif

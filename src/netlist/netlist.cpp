@@ -1,0 +1,654 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace lps {
+
+std::string_view to_string(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Or: return "OR";
+    case GateType::Nand: return "NAND";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+    case GateType::Dff: return "DFF";
+  }
+  return "?";
+}
+
+std::uint64_t eval_gate(GateType t, std::span<const std::uint64_t> w) {
+  switch (t) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ULL;
+    case GateType::Input:
+    case GateType::Buf:
+    case GateType::Dff:
+      return w[0];
+    case GateType::Not: return ~w[0];
+    case GateType::And: {
+      std::uint64_t r = ~0ULL;
+      for (auto x : w) r &= x;
+      return r;
+    }
+    case GateType::Or: {
+      std::uint64_t r = 0;
+      for (auto x : w) r |= x;
+      return r;
+    }
+    case GateType::Nand: {
+      std::uint64_t r = ~0ULL;
+      for (auto x : w) r &= x;
+      return ~r;
+    }
+    case GateType::Nor: {
+      std::uint64_t r = 0;
+      for (auto x : w) r |= x;
+      return ~r;
+    }
+    case GateType::Xor: {
+      std::uint64_t r = 0;
+      for (auto x : w) r ^= x;
+      return r;
+    }
+    case GateType::Xnor: {
+      std::uint64_t r = 0;
+      for (auto x : w) r ^= x;
+      return ~r;
+    }
+    case GateType::Mux:
+      return (~w[0] & w[1]) | (w[0] & w[2]);
+  }
+  return 0;
+}
+
+bool eval_gate_scalar(GateType t, std::span<const bool> fanins) {
+  std::uint64_t words[8];
+  std::size_t n = fanins.size();
+  assert(n <= 8);
+  for (std::size_t i = 0; i < n; ++i) words[i] = fanins[i] ? ~0ULL : 0;
+  return (eval_gate(t, {words, n}) & 1ULL) != 0;
+}
+
+namespace {
+
+std::size_t min_arity(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff:
+      return 1;
+    case GateType::Mux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+std::size_t max_arity(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    case GateType::Dff:
+      return 2;  // optional enable pin
+    case GateType::Mux:
+      return 3;
+    default:
+      return SIZE_MAX;
+  }
+}
+
+}  // namespace
+
+NodeId Netlist::add_input(std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.type = GateType::Input;
+  n.name = std::move(name);
+  n.delay = 0;
+  nodes_.push_back(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(bool value) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.type = value ? GateType::Const1 : GateType::Const0;
+  n.delay = 0;
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+NodeId Netlist::add_gate(GateType t, std::vector<NodeId> fanins,
+                         std::string name) {
+  if (fanins.size() < min_arity(t) || fanins.size() > max_arity(t))
+    throw std::invalid_argument("add_gate: bad arity for " +
+                                std::string(to_string(t)));
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.type = t;
+  n.fanins = std::move(fanins);
+  n.name = std::move(name);
+  n.delay = (t == GateType::Buf) ? 1 : 1;
+  nodes_.push_back(std::move(n));
+  for (NodeId f : nodes_[id].fanins) link_fanin(id, f);
+  return id;
+}
+
+NodeId Netlist::add_dff(NodeId d, bool init, std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.type = GateType::Dff;
+  n.fanins = {d};
+  n.name = std::move(name);
+  n.init_value = init;
+  n.delay = 0;
+  nodes_.push_back(std::move(n));
+  link_fanin(id, d);
+  return id;
+}
+
+void Netlist::set_dff_enable(NodeId dff, NodeId enable) {
+  Node& n = nodes_[dff];
+  if (n.type != GateType::Dff || n.fanins.size() != 1)
+    throw std::invalid_argument("set_dff_enable: plain Dff expected");
+  n.fanins.push_back(enable);
+  link_fanin(dff, enable);
+}
+
+void Netlist::add_output(NodeId n, std::string name) {
+  outputs_.push_back(n);
+  if (name.empty()) {
+    name = nodes_[n].name.empty() ? ("po" + std::to_string(outputs_.size() - 1))
+                                  : nodes_[n].name;
+  }
+  output_names_.push_back(std::move(name));
+}
+
+std::vector<NodeId> Netlist::dffs() const {
+  std::vector<NodeId> r;
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && nodes_[i].type == GateType::Dff) r.push_back(i);
+  return r;
+}
+
+std::size_t Netlist::num_live() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_)
+    if (!n.dead) ++c;
+  return c;
+}
+
+std::size_t Netlist::num_gates() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_)
+    if (!n.dead && !is_source(n.type) && n.type != GateType::Dff) ++c;
+  return c;
+}
+
+std::size_t Netlist::num_literals() const {
+  std::size_t c = 0;
+  for (const auto& n : nodes_)
+    if (!n.dead && !is_source(n.type) && n.type != GateType::Dff)
+      c += n.fanins.size();
+  return c;
+}
+
+std::optional<NodeId> Netlist::find(std::string_view name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && nodes_[i].name == name) return i;
+  return std::nullopt;
+}
+
+void Netlist::link_fanin(NodeId user, NodeId used) {
+  nodes_[used].fanouts.push_back(user);
+}
+
+void Netlist::unlink_fanin(NodeId user, NodeId used) {
+  auto& fo = nodes_[used].fanouts;
+  auto it = std::find(fo.begin(), fo.end(), user);
+  assert(it != fo.end());
+  fo.erase(it);  // removes one occurrence only (multi-edges are legal)
+}
+
+void Netlist::substitute(NodeId old_node, NodeId new_node) {
+  assert(old_node != new_node);
+  // Redirect fanins of every user.  Copy the fanout list since we mutate it.
+  std::vector<NodeId> users = nodes_[old_node].fanouts;
+  for (NodeId u : users) {
+    auto& f = nodes_[u].fanins;
+    for (std::size_t k = 0; k < f.size(); ++k) {
+      if (f[k] == old_node) {
+        f[k] = new_node;
+        unlink_fanin(u, old_node);
+        link_fanin(u, new_node);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    if (outputs_[i] == old_node) outputs_[i] = new_node;
+  remove(old_node);
+}
+
+void Netlist::replace_fanin(NodeId n, std::size_t k, NodeId nf) {
+  NodeId old = nodes_[n].fanins.at(k);
+  if (old == nf) return;
+  nodes_[n].fanins[k] = nf;
+  unlink_fanin(n, old);
+  link_fanin(n, nf);
+}
+
+void Netlist::remove(NodeId n) {
+  assert(!nodes_[n].dead);
+  assert(nodes_[n].fanouts.empty());
+  for (NodeId f : nodes_[n].fanins) unlink_fanin(n, f);
+  nodes_[n].fanins.clear();
+  nodes_[n].dead = true;
+  if (nodes_[n].type == GateType::Input) {
+    auto it = std::find(inputs_.begin(), inputs_.end(), n);
+    if (it != inputs_.end()) inputs_.erase(it);
+  }
+}
+
+std::size_t Netlist::sweep() {
+  // Mark everything reachable backwards from POs and Dff D-inputs.
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  auto push = [&](NodeId n) {
+    if (!live[n] && !nodes_[n].dead) {
+      live[n] = true;
+      stack.push_back(n);
+    }
+  };
+  for (NodeId o : outputs_) push(o);
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && nodes_[i].type == GateType::Dff) push(i);
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId f : nodes_[n].fanins) push(f);
+  }
+  // Remove dead gates in reverse topological order (fanout-free first).
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      Node& nd = nodes_[i];
+      if (nd.dead || live[i] || nd.type == GateType::Input) continue;
+      if (nd.fanouts.empty()) {
+        remove(i);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<NodeId> Netlist::compact() {
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<Node> fresh;
+  fresh.reserve(num_live());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dead) continue;
+    remap[i] = static_cast<NodeId>(fresh.size());
+    fresh.push_back(std::move(nodes_[i]));
+  }
+  for (auto& n : fresh) {
+    for (auto& f : n.fanins) f = remap[f];
+    for (auto& f : n.fanouts) f = remap[f];
+  }
+  for (auto& i : inputs_) i = remap[i];
+  for (auto& o : outputs_) o = remap[o];
+  nodes_ = std::move(fresh);
+  return remap;
+}
+
+std::vector<NodeId> Netlist::topo_order() const {
+  std::vector<NodeId> order;
+  order.reserve(num_live());
+  std::vector<std::uint8_t> state(nodes_.size(), 0);  // 0=unseen 1=open 2=done
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < nodes_.size(); ++root) {
+    if (nodes_[root].dead || state[root] == 2) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      if (state[n] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[n] == 1) {
+        state[n] = 2;
+        order.push_back(n);
+        stack.pop_back();
+        continue;
+      }
+      state[n] = 1;
+      // Dff is a sequential source; its D-fanin is not a combinational dep.
+      if (nodes_[n].type != GateType::Dff) {
+        for (NodeId f : nodes_[n].fanins) {
+          if (state[f] == 0) stack.push_back(f);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> Netlist::levels() const {
+  std::vector<int> lv(nodes_.size(), 0);
+  for (NodeId n : topo_order()) {
+    const Node& nd = nodes_[n];
+    if (is_source(nd.type) || nd.type == GateType::Dff) {
+      lv[n] = 0;
+      continue;
+    }
+    int m = 0;
+    for (NodeId f : nd.fanins) m = std::max(m, lv[f] + 1);
+    lv[n] = m;
+  }
+  return lv;
+}
+
+std::vector<int> Netlist::arrival_times() const {
+  std::vector<int> at(nodes_.size(), 0);
+  for (NodeId n : topo_order()) {
+    const Node& nd = nodes_[n];
+    if (is_source(nd.type) || nd.type == GateType::Dff) {
+      at[n] = 0;
+      continue;
+    }
+    int m = 0;
+    for (NodeId f : nd.fanins) m = std::max(m, at[f]);
+    at[n] = m + nd.delay;
+  }
+  return at;
+}
+
+int Netlist::critical_delay() const {
+  auto at = arrival_times();
+  int m = 0;
+  for (NodeId o : outputs_) m = std::max(m, at[o]);
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && nodes_[i].type == GateType::Dff)
+      for (NodeId f : nodes_[i].fanins) m = std::max(m, at[f]);
+  return m;
+}
+
+std::vector<int> Netlist::required_times(int deadline) const {
+  auto at = arrival_times();
+  if (deadline < 0) deadline = critical_delay();
+  std::vector<int> rq(nodes_.size(), INT32_MAX);
+  auto order = topo_order();
+  for (NodeId o : outputs_) rq[o] = std::min(rq[o], deadline);
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && nodes_[i].type == GateType::Dff)
+      for (NodeId f : nodes_[i].fanins) rq[f] = std::min(rq[f], deadline);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId n = *it;
+    const Node& nd = nodes_[n];
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    if (rq[n] == INT32_MAX) continue;  // dangling
+    for (NodeId f : nd.fanins) rq[f] = std::min(rq[f], rq[n] - nd.delay);
+  }
+  // Dangling nodes: required = deadline (fully slack).
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].dead && rq[i] == INT32_MAX) rq[i] = deadline;
+  return rq;
+}
+
+std::vector<bool> Netlist::cone_of(std::span<const NodeId> roots) const {
+  std::vector<bool> mask(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    if (!mask[r]) {
+      mask[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (nodes_[n].type == GateType::Dff) continue;
+    for (NodeId f : nodes_[n].fanins) {
+      if (!mask[f]) {
+        mask[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return mask;
+}
+
+std::string Netlist::check() const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.dead) {
+      if (!n.fanouts.empty())
+        return "dead node " + std::to_string(i) + " has fanouts";
+      continue;
+    }
+    if (n.fanins.size() < min_arity(n.type) ||
+        n.fanins.size() > max_arity(n.type))
+      return "node " + std::to_string(i) + " arity violation";
+    for (NodeId f : n.fanins) {
+      if (f >= nodes_.size()) return "fanin out of range";
+      if (nodes_[f].dead)
+        return "node " + std::to_string(i) + " references dead fanin";
+      const auto& fo = nodes_[f].fanouts;
+      auto count_user =
+          static_cast<std::size_t>(std::count(fo.begin(), fo.end(), i));
+      auto count_edge = static_cast<std::size_t>(
+          std::count(n.fanins.begin(), n.fanins.end(), f));
+      if (count_user != count_edge)
+        return "fanout bookkeeping mismatch at node " + std::to_string(i);
+    }
+  }
+  // Acyclicity: topo_order must enumerate all live nodes with fanins first.
+  auto order = topo_order();
+  if (order.size() != num_live()) return "combinational cycle (order short)";
+  std::vector<int> pos(nodes_.size(), -1);
+  for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = (int)k;
+  for (NodeId n : order) {
+    if (nodes_[n].type == GateType::Dff) continue;
+    for (NodeId f : nodes_[n].fanins)
+      if (pos[f] > pos[n]) return "combinational cycle (order violated)";
+  }
+  for (NodeId o : outputs_)
+    if (o >= nodes_.size() || nodes_[o].dead) return "dead primary output";
+  return {};
+}
+
+Netlist Netlist::clone() const { return *this; }
+
+namespace {
+
+bool commutative(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Or:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct StrashKey {
+  GateType type;
+  std::vector<NodeId> fanins;
+  bool operator==(const StrashKey&) const = default;
+};
+
+struct StrashKeyHash {
+  std::size_t operator()(const StrashKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.type) * 0x9E3779B97F4A7C15ull;
+    for (NodeId f : k.fanins) h = h * 0x100000001B3ull ^ f;
+    return h;
+  }
+};
+
+}  // namespace
+
+Netlist strash(const Netlist& src) {
+  Netlist dst(src.name());
+  std::vector<NodeId> map(src.size(), kNoNode);
+  std::unordered_map<StrashKey, NodeId, StrashKeyHash> table;
+  NodeId c0 = kNoNode, c1 = kNoNode;
+  auto get_const = [&](bool v) -> NodeId {
+    NodeId& c = v ? c1 : c0;
+    if (c == kNoNode) c = dst.add_const(v);
+    return c;
+  };
+
+  // Two passes so Dff outputs exist before combinational logic that reads
+  // them; Dff D-inputs are patched afterwards.
+  for (NodeId n : src.topo_order()) {
+    const Node& nd = src.node(n);
+    if (nd.type == GateType::Input) {
+      map[n] = dst.add_input(nd.name);
+      dst.node(map[n]).size = nd.size;
+    } else if (nd.type == GateType::Const0) {
+      map[n] = get_const(false);
+    } else if (nd.type == GateType::Const1) {
+      map[n] = get_const(true);
+    } else if (nd.type == GateType::Dff) {
+      // Temporarily wire D (and EN) to a placeholder; patched below.
+      NodeId ph = get_const(false);
+      map[n] = dst.add_dff(ph, nd.init_value, nd.name);
+      if (nd.fanins.size() == 2) dst.set_dff_enable(map[n], ph);
+    }
+  }
+  for (NodeId n : src.topo_order()) {
+    const Node& nd = src.node(n);
+    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+    std::vector<NodeId> fi;
+    fi.reserve(nd.fanins.size());
+    for (NodeId f : nd.fanins) fi.push_back(map[f]);
+
+    // Constant folding and single-input simplification.
+    GateType t = nd.type;
+    auto is_c = [&](NodeId x, bool v) { return x == (v ? c1 : c0); };
+    if (t == GateType::Buf) {
+      map[n] = fi[0];
+      continue;
+    }
+    if (t == GateType::Not) {
+      if (is_c(fi[0], false)) {
+        map[n] = get_const(true);
+        continue;
+      }
+      if (is_c(fi[0], true)) {
+        map[n] = get_const(false);
+        continue;
+      }
+    }
+    if (t == GateType::And || t == GateType::Or || t == GateType::Nand ||
+        t == GateType::Nor) {
+      bool absorbing = (t == GateType::And || t == GateType::Nand) ? false
+                                                                   : true;
+      bool identity = !absorbing;
+      bool hit_absorbing = false;
+      std::vector<NodeId> keep;
+      for (NodeId x : fi) {
+        if (is_c(x, absorbing)) {
+          hit_absorbing = true;
+          break;
+        }
+        if (is_c(x, identity)) continue;
+        keep.push_back(x);
+      }
+      bool invert = (t == GateType::Nand || t == GateType::Nor);
+      if (hit_absorbing) {
+        map[n] = get_const(absorbing != invert);
+        continue;
+      }
+      if (keep.empty()) {
+        map[n] = get_const(identity != invert);
+        continue;
+      }
+      if (keep.size() == 1) {
+        if (!invert) {
+          map[n] = keep[0];
+        } else {
+          StrashKey key{GateType::Not, keep};
+          auto it = table.find(key);
+          map[n] = (it != table.end())
+                       ? it->second
+                       : (table[key] = dst.add_gate(GateType::Not, keep));
+        }
+        continue;
+      }
+      fi = std::move(keep);
+    }
+
+    if (commutative(t)) std::sort(fi.begin(), fi.end());
+    StrashKey key{t, fi};
+    auto it = table.find(key);
+    if (it != table.end()) {
+      map[n] = it->second;
+    } else {
+      NodeId g = dst.add_gate(t, fi);
+      dst.node(g).size = nd.size;
+      dst.node(g).delay = nd.delay;
+      table.emplace(std::move(key), g);
+      map[n] = g;
+    }
+  }
+  // Patch Dff D (and EN) inputs.
+  for (NodeId n = 0; n < src.size(); ++n) {
+    if (src.is_dead(n) || src.node(n).type != GateType::Dff) continue;
+    for (std::size_t k = 0; k < src.node(n).fanins.size(); ++k)
+      dst.replace_fanin(map[n], k, map[src.node(n).fanins[k]]);
+  }
+  const auto& outs = src.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    dst.add_output(map[outs[i]], src.output_names()[i]);
+  dst.sweep();
+  return dst;
+}
+
+std::ostream& operator<<(std::ostream& os, const Netlist& n) {
+  os << "# netlist " << n.name() << ": " << n.inputs().size() << " PI, "
+     << n.outputs().size() << " PO, " << n.num_gates() << " gates, "
+     << n.dffs().size() << " FF\n";
+  for (NodeId i = 0; i < n.size(); ++i) {
+    if (n.is_dead(i)) continue;
+    const Node& nd = n.node(i);
+    os << i << ": " << to_string(nd.type);
+    if (!nd.name.empty()) os << " \"" << nd.name << '"';
+    if (!nd.fanins.empty()) {
+      os << " <-";
+      for (NodeId f : nd.fanins) os << ' ' << f;
+    }
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace lps

@@ -1,0 +1,196 @@
+// netlist.hpp — gate-level Boolean network substrate.
+//
+// Every optimization surveyed in Devadas & Malik (DAC'95) operates on a
+// technology-independent or mapped gate network.  This module provides that
+// substrate: a DAG of typed logic gates with named primary inputs/outputs,
+// optional D flip-flops (for the sequential techniques of §III-C), per-node
+// drive size (for §II-B transistor sizing) and per-node delay (for §III-A.2
+// path balancing and the event-driven glitch simulator).
+//
+// Design notes
+//  - Nodes live in a flat vector and are addressed by NodeId; deletion marks
+//    a tombstone so ids stay stable across passes (compact() renumbers).
+//  - Fanouts are maintained incrementally so passes can query them cheaply.
+//  - The network owns no technology information; the power model assigns
+//    capacitance from gate type, size and fanout count (see power/).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lps {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+enum class GateType : std::uint8_t {
+  Input,   // primary input; no fanins
+  Const0,  // constant 0
+  Const1,  // constant 1
+  Buf,     // 1 fanin
+  Not,     // 1 fanin
+  And,     // >= 2 fanins
+  Or,      // >= 2 fanins
+  Nand,    // >= 2 fanins
+  Nor,     // >= 2 fanins
+  Xor,     // >= 2 fanins (odd parity)
+  Xnor,    // >= 2 fanins (even parity)
+  Mux,     // 3 fanins: s, a, b -> s ? b : a
+  Dff,     // 1 fanin (D) or 2 (D, EN): load-enabled register.  With an EN
+           // pin the register keeps its value on EN=0 — the survey's "LE"
+           // registers (Figure 1) and gated-clock banks, modelled inside
+           // the flip-flop instead of as an external recirculating mux.
+};
+
+/// Printable mnemonic, e.g. "AND".
+std::string_view to_string(GateType t);
+
+/// True for Input/Const0/Const1 (gates with no logic fanin).
+constexpr bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// Evaluate one gate over 64 parallel bit patterns.  Dff is evaluated as a
+/// buffer (the timed semantics live in the simulator).
+std::uint64_t eval_gate(GateType t, std::span<const std::uint64_t> fanin_words);
+
+/// Evaluate one gate over scalar booleans.
+bool eval_gate_scalar(GateType t, std::span<const bool> fanins);
+
+struct Node {
+  GateType type = GateType::Input;
+  std::vector<NodeId> fanins;
+  std::vector<NodeId> fanouts;  // maintained by Netlist mutators
+  std::string name;             // unique when non-empty
+  double size = 1.0;            // relative drive strength (transistor sizing)
+  int delay = 1;                // gate delay in integer time units
+  bool init_value = false;      // Dff reset state
+  bool dead = false;            // tombstone after remove()
+};
+
+/// A gate-level Boolean network with named PIs and POs.
+///
+/// Invariants (checked by check()):
+///  - fanin counts match gate arity rules above;
+///  - fanin/fanout cross-references are consistent;
+///  - the combinational part (ignoring Dff Q->D closure) is acyclic;
+///  - no live node references a dead node.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -------------------------------------------------------
+  NodeId add_input(std::string name);
+  NodeId add_const(bool value);
+  NodeId add_gate(GateType t, std::vector<NodeId> fanins, std::string name = {});
+  NodeId add_dff(NodeId d, bool init = false, std::string name = {});
+  /// Attach a load-enable pin to a plain Dff (EN=1 loads, EN=0 holds).
+  void set_dff_enable(NodeId dff, NodeId enable);
+  /// True when the Dff has a load-enable pin.
+  bool dff_has_enable(NodeId dff) const {
+    return nodes_[dff].type == GateType::Dff && nodes_[dff].fanins.size() == 2;
+  }
+  /// Mark an existing node as a primary output (a node may drive several
+  /// outputs under different names).
+  void add_output(NodeId n, std::string name = {});
+
+  // Convenience builders for 2-input logic.
+  NodeId add_and(NodeId a, NodeId b) { return add_gate(GateType::And, {a, b}); }
+  NodeId add_or(NodeId a, NodeId b) { return add_gate(GateType::Or, {a, b}); }
+  NodeId add_xor(NodeId a, NodeId b) { return add_gate(GateType::Xor, {a, b}); }
+  NodeId add_xnor(NodeId a, NodeId b) { return add_gate(GateType::Xnor, {a, b}); }
+  NodeId add_nand(NodeId a, NodeId b) { return add_gate(GateType::Nand, {a, b}); }
+  NodeId add_nor(NodeId a, NodeId b) { return add_gate(GateType::Nor, {a, b}); }
+  NodeId add_not(NodeId a) { return add_gate(GateType::Not, {a}); }
+  NodeId add_buf(NodeId a) { return add_gate(GateType::Buf, {a}); }
+  NodeId add_mux(NodeId s, NodeId a, NodeId b) {
+    return add_gate(GateType::Mux, {s, a, b});
+  }
+
+  // ---- access -------------------------------------------------------------
+  std::size_t size() const { return nodes_.size(); }  // includes tombstones
+  const Node& node(NodeId n) const { return nodes_[n]; }
+  Node& node(NodeId n) { return nodes_[n]; }
+  bool is_dead(NodeId n) const { return nodes_[n].dead; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<std::string>& output_names() const { return output_names_; }
+  std::vector<NodeId> dffs() const;
+
+  /// Number of live (non-tombstone) nodes.
+  std::size_t num_live() const;
+  /// Live nodes that are neither sources nor Dffs (i.e. logic gates).
+  std::size_t num_gates() const;
+  /// Total literal count (sum of fanin counts over live logic gates).
+  std::size_t num_literals() const;
+
+  std::optional<NodeId> find(std::string_view name) const;
+
+  // ---- mutation -----------------------------------------------------------
+  /// Redirect every use of `old_node` (fanins of other gates and POs) to
+  /// `new_node`, then remove `old_node`.
+  void substitute(NodeId old_node, NodeId new_node);
+  /// Replace one fanin slot: node n's fanin at position k becomes `nf`.
+  void replace_fanin(NodeId n, std::size_t k, NodeId nf);
+  /// Remove a node with no fanouts and no PO reference.
+  void remove(NodeId n);
+  /// Remove all dead logic: gates with no path to a PO or a Dff input.
+  std::size_t sweep();
+  /// Renumber nodes to eliminate tombstones.  Returns old->new id map.
+  std::vector<NodeId> compact();
+
+  // ---- analysis -----------------------------------------------------------
+  /// Topological order over live nodes; Dffs are treated as sources (their
+  /// D-input closes the cycle and is not followed).
+  std::vector<NodeId> topo_order() const;
+  /// level[n] = longest path (in gate counts, Dff/PI = 0) from any source.
+  std::vector<int> levels() const;
+  /// arrival[n] = longest path in *delay units* using Node::delay.
+  std::vector<int> arrival_times() const;
+  /// required[n] given each PO required at `deadline` (default: critical
+  /// arrival).  slack = required - arrival.
+  std::vector<int> required_times(int deadline = -1) const;
+  /// Critical (max) arrival time over POs and Dff D inputs.
+  int critical_delay() const;
+  /// Transitive fanin cone of `roots`, as a node mask.
+  std::vector<bool> cone_of(std::span<const NodeId> roots) const;
+
+  /// Validate invariants; returns an error description or empty string.
+  std::string check() const;
+
+  /// Deep structural clone.
+  Netlist clone() const;
+
+ private:
+  void link_fanin(NodeId user, NodeId used);
+  void unlink_fanin(NodeId user, NodeId used);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_names_;
+};
+
+/// Structural hashing: rebuilds the network bottom-up, merging structurally
+/// identical gates (same type + same fanin list after canonical sorting of
+/// commutative inputs) and folding constants.  Returns the hashed copy.
+Netlist strash(const Netlist& n);
+
+/// Human-readable dump for debugging.
+std::ostream& operator<<(std::ostream& os, const Netlist& n);
+
+}  // namespace lps

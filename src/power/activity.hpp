@@ -1,0 +1,51 @@
+// activity.hpp — one-call power analysis driver.
+//
+// Ties the simulators (sim/) to the Eqn. (1) model (power_model.hpp).  Two
+// activity sources are offered:
+//   ZeroDelay — functional toggles only (what logic-level estimators count);
+//   Timed     — event-driven with glitches (what the circuit dissipates).
+// The gap between them is the spurious-switching power of §III-A.2.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "sim/eventsim.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::power {
+
+enum class ActivityMode { ZeroDelay, Timed };
+
+struct AnalysisOptions {
+  ActivityMode mode = ActivityMode::Timed;
+  std::size_t n_vectors = 2048;  // timed vectors (ZeroDelay uses /64 frames)
+  std::uint64_t seed = 0xC0FFEE;
+  std::vector<double> pi_one_prob;  // empty = 0.5 everywhere
+  PowerParams params;
+};
+
+struct Analysis {
+  PowerReport report;
+  std::vector<double> toggles_per_cycle;  // per node (mode-dependent)
+  double glitch_fraction = 0.0;           // only meaningful in Timed mode
+  double glitch_power_w = 0.0;            // switching power due to glitches
+  double clock_power_w = 0.0;             // clock-pin power (gating-aware);
+                                          // already included in report totals
+};
+
+/// Simulate and evaluate Eqn. (1).  Deterministic in `seed`.
+Analysis analyze(const Netlist& net, const AnalysisOptions& opt = {});
+
+/// Power under a *user-specified* input sequence rather than random
+/// vectors — the sequential-estimation setting of Monteiro & Devadas [28]
+/// ("power estimation ... under user-specified input sequences and
+/// programs").  `sequence[t][i]` is the value of net.inputs()[i] in cycle
+/// t; the event-driven simulator runs the exact trace.
+Analysis analyze_sequence(const Netlist& net,
+                          const std::vector<std::vector<bool>>& sequence,
+                          const PowerParams& params = {});
+
+}  // namespace lps::power

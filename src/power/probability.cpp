@@ -1,0 +1,161 @@
+#include "power/probability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bdd/bdd_netlist.hpp"
+
+namespace lps::power {
+
+namespace {
+
+double and_prob(const std::vector<double>& p, const Node& nd) {
+  double q = 1.0;
+  for (NodeId f : nd.fanins) q *= p[f];
+  return q;
+}
+
+double or_prob(const std::vector<double>& p, const Node& nd) {
+  double q = 1.0;
+  for (NodeId f : nd.fanins) q *= (1.0 - p[f]);
+  return 1.0 - q;
+}
+
+std::vector<double> pi_probability_vector(const Netlist& net,
+                                          std::span<const double> pi_prob) {
+  std::vector<double> p(net.inputs().size(), 0.5);
+  if (!pi_prob.empty()) {
+    if (pi_prob.size() != p.size())
+      throw std::invalid_argument("pi probability vector size mismatch");
+    p.assign(pi_prob.begin(), pi_prob.end());
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> signal_probs_independent(const Netlist& net,
+                                             std::span<const double> pi_prob) {
+  auto pip = pi_probability_vector(net, pi_prob);
+  std::vector<double> p(net.size(), 0.0);
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    p[net.inputs()[i]] = pip[i];
+  for (NodeId id : net.topo_order()) {
+    const Node& nd = net.node(id);
+    switch (nd.type) {
+      case GateType::Input:
+        break;
+      case GateType::Dff:
+        p[id] = 0.5;
+        break;
+      case GateType::Const0:
+        p[id] = 0.0;
+        break;
+      case GateType::Const1:
+        p[id] = 1.0;
+        break;
+      case GateType::Buf:
+        p[id] = p[nd.fanins[0]];
+        break;
+      case GateType::Not:
+        p[id] = 1.0 - p[nd.fanins[0]];
+        break;
+      case GateType::And:
+        p[id] = and_prob(p, nd);
+        break;
+      case GateType::Nand:
+        p[id] = 1.0 - and_prob(p, nd);
+        break;
+      case GateType::Or:
+        p[id] = or_prob(p, nd);
+        break;
+      case GateType::Nor:
+        p[id] = 1.0 - or_prob(p, nd);
+        break;
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // P(odd parity) via the product identity: prod(1 - 2 p_i).
+        double m = 1.0;
+        for (NodeId f : nd.fanins) m *= (1.0 - 2.0 * p[f]);
+        double odd = 0.5 * (1.0 - m);
+        p[id] = nd.type == GateType::Xor ? odd : 1.0 - odd;
+        break;
+      }
+      case GateType::Mux: {
+        double s = p[nd.fanins[0]];
+        p[id] = (1.0 - s) * p[nd.fanins[1]] + s * p[nd.fanins[2]];
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<double> signal_probs_exact(const Netlist& net,
+                                       std::span<const double> pi_prob) {
+  auto pip = pi_probability_vector(net, pi_prob);
+  auto bdds = bdd::build_bdds(net);
+  std::vector<double> var_p(bdds.mgr.num_vars(), 0.5);
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    var_p[bdds.var_of.at(net.inputs()[i])] = pip[i];
+  std::vector<double> p(net.size(), 0.0);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (net.is_dead(id)) continue;
+    p[id] = bdds.mgr.probability(bdds.node_fn[id], var_p);
+  }
+  return p;
+}
+
+std::vector<double> toggle_rate_from_probs(std::span<const double> probs) {
+  std::vector<double> n(probs.size(), 0.0);
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    n[i] = 2.0 * probs[i] * (1.0 - probs[i]);
+  return n;
+}
+
+std::vector<double> transition_density(const Netlist& net,
+                                       std::span<const double> pi_prob,
+                                       std::span<const double> pi_density) {
+  auto pip = pi_probability_vector(net, pi_prob);
+  std::vector<double> dens(net.inputs().size(), 0.5);
+  if (!pi_density.empty()) {
+    if (pi_density.size() != dens.size())
+      throw std::invalid_argument("pi density vector size mismatch");
+    dens.assign(pi_density.begin(), pi_density.end());
+  }
+  auto bdds = bdd::build_bdds(net);
+  auto& m = bdds.mgr;
+  std::vector<double> var_p(m.num_vars(), 0.5);
+  std::vector<double> var_d(m.num_vars(), 0.5);
+  for (std::size_t i = 0; i < net.inputs().size(); ++i) {
+    unsigned v = bdds.var_of.at(net.inputs()[i]);
+    var_p[v] = pip[i];
+    var_d[v] = dens[i];
+  }
+  std::vector<double> d(net.size(), 0.0);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (net.is_dead(id)) continue;
+    const Node& nd = net.node(id);
+    bdd::Ref f = bdds.node_fn[id];
+    if (is_source(nd.type)) {
+      d[id] = nd.type == GateType::Input
+                  ? var_d[bdds.var_of.at(id)]
+                  : 0.0;
+      continue;
+    }
+    if (nd.type == GateType::Dff) {
+      d[id] = var_d[bdds.var_of.at(id)];
+      continue;
+    }
+    // D(y) = sum over support vars of P(boolean difference) * D(x).
+    double acc = 0.0;
+    for (unsigned v : m.support(f)) {
+      bdd::Ref diff = m.lxor(m.cofactor(f, v, false), m.cofactor(f, v, true));
+      acc += m.probability(diff, var_p) * var_d[v];
+    }
+    d[id] = acc;
+  }
+  return d;
+}
+
+}  // namespace lps::power

@@ -1,0 +1,49 @@
+// probability.hpp — probabilistic switching-activity estimation.
+//
+// §IV-A and Najm's companion survey [31]: synthesis-time power estimation
+// cannot afford full simulation, so activities are computed analytically.
+// Three estimators of increasing fidelity:
+//
+//  1. signal_probs_independent — topological propagation assuming spatially
+//     independent fanins (fast, inaccurate on reconvergence);
+//  2. signal_probs_exact — global-BDD evaluation, exact under temporally
+//     independent inputs (the method of Ghosh et al. [16] restricted to
+//     combinational logic);
+//  3. transition_density — Najm's density propagation
+//         D(y) = sum_i P(dy/dx_i) * D(x_i)
+//     with the Boolean difference computed exactly on global BDDs.
+//
+// Toggle rates from (2)/(3) feed compute_power() exactly like simulated
+// activities, which is how the estimation-accuracy experiment (E13) compares
+// model classes.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::power {
+
+/// P(node = 1) assuming independent fanins.  `pi_prob[i]` matches
+/// net.inputs()[i] (empty = 0.5); register outputs get probability 0.5.
+std::vector<double> signal_probs_independent(
+    const Netlist& net, std::span<const double> pi_prob = {});
+
+/// Exact P(node = 1) via global BDDs (inputs temporally/spatially
+/// independent with the given one-probabilities).
+std::vector<double> signal_probs_exact(const Netlist& net,
+                                       std::span<const double> pi_prob = {});
+
+/// Zero-delay toggle rate from signal probability under the lag-one
+/// independence assumption: N(n) = 2 p (1-p).
+std::vector<double> toggle_rate_from_probs(std::span<const double> probs);
+
+/// Najm transition densities.  `pi_density[i]` is the expected toggles per
+/// cycle of input i (empty = 0.5, the density of an iid 0.5 stream).
+std::vector<double> transition_density(const Netlist& net,
+                                       std::span<const double> pi_prob = {},
+                                       std::span<const double> pi_density = {});
+
+}  // namespace lps::power

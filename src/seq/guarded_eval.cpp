@@ -1,0 +1,133 @@
+#include "seq/guarded_eval.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "seq/seq_circuit.hpp"
+
+namespace lps::seq {
+
+namespace {
+
+struct ArmCone {
+  std::set<NodeId> interior;  // logic nodes of the arm
+  std::vector<NodeId> regs;   // boundary registers feeding it exclusively
+  bool valid = false;
+};
+
+// Collect the arm cone rooted at `arm`: logic whose only escape is the mux.
+ArmCone collect_arm(const Netlist& net, NodeId mux, NodeId arm,
+                    const std::set<NodeId>& already_guarded) {
+  ArmCone c;
+  if (net.node(arm).type == GateType::Dff || is_source(net.node(arm).type))
+    return c;  // nothing to freeze behind a bare signal
+  // TFI stopping at Dffs/PIs/consts.
+  std::vector<NodeId> stack{arm};
+  std::set<NodeId> seen{arm};
+  std::set<NodeId> boundary;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    const Node& nd = net.node(n);
+    if (nd.type == GateType::Dff) {
+      boundary.insert(n);
+      continue;
+    }
+    if (is_source(nd.type)) continue;
+    c.interior.insert(n);
+    for (NodeId f : nd.fanins)
+      if (seen.insert(f).second) stack.push_back(f);
+  }
+  // Escape check: interior fanouts stay inside; the arm root feeds only the
+  // mux; boundary registers feed only the interior; none is a PO.
+  for (NodeId n : c.interior) {
+    for (NodeId fo : net.node(n).fanouts) {
+      if (n == arm) {
+        if (fo != mux) return c;
+      } else if (!c.interior.count(fo)) {
+        return c;
+      }
+    }
+    for (NodeId o : net.outputs())
+      if (o == n) return c;
+  }
+  for (NodeId r : boundary) {
+    if (already_guarded.count(r)) return c;
+    if (net.node(r).fanins.size() != 1) return c;  // already load-enabled
+    for (NodeId fo : net.node(r).fanouts)
+      if (!c.interior.count(fo)) return c;
+    for (NodeId o : net.outputs())
+      if (o == r) return c;
+    c.regs.push_back(r);
+  }
+  c.valid = !c.regs.empty();
+  return c;
+}
+
+}  // namespace
+
+std::vector<GuardedRegion> guard_mux_arms(Netlist& net) {
+  std::vector<GuardedRegion> out;
+  std::set<NodeId> guarded;
+  std::vector<NodeId> muxes;
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (!net.is_dead(n) && net.node(n).type == GateType::Mux) muxes.push_back(n);
+
+  for (NodeId m : muxes) {
+    const Node& mn = net.node(m);
+    NodeId sel = mn.fanins[0];
+    // The guard must be known one cycle before the arm value is consumed:
+    // require select = Dff(pi), and guard with the pi directly.
+    if (net.node(sel).type != GateType::Dff) continue;
+    NodeId sel_pi = net.node(sel).fanins[0];
+    if (net.node(sel_pi).type != GateType::Input) continue;
+
+    NodeId arm_a = mn.fanins[1];  // consumed when select = 0
+    NodeId arm_b = mn.fanins[2];  // consumed when select = 1
+    ArmCone ca = collect_arm(net, m, arm_a, guarded);
+    ArmCone cb = collect_arm(net, m, arm_b, guarded);
+    if (!ca.valid && !cb.valid) continue;
+
+    GuardedRegion region;
+    region.mux = m;
+    region.select = sel;
+    if (ca.valid) {
+      // Arm a is consumed next cycle iff sel_pi = 0 now: load on NOT sel_pi.
+      NodeId en = net.add_not(sel_pi);
+      for (NodeId r : ca.regs) {
+        net.set_dff_enable(r, en);
+        guarded.insert(r);
+      }
+      region.frozen_registers_a = static_cast<int>(ca.regs.size());
+    }
+    if (cb.valid) {
+      for (NodeId r : cb.regs) {
+        net.set_dff_enable(r, sel_pi);
+        guarded.insert(r);
+      }
+      region.frozen_registers_b = static_cast<int>(cb.regs.size());
+    }
+    out.push_back(region);
+  }
+  return out;
+}
+
+SelfLoopGatingResult gate_fsm_self_loops(Netlist& net) {
+  SelfLoopGatingResult r;
+  auto dffs = net.dffs();
+  r.state_bits = static_cast<int>(dffs.size());
+  if (dffs.empty()) return r;
+  std::size_t gates_before = net.num_gates();
+  // change = OR over bits of (Q XOR next); state registers load only when
+  // the machine leaves the current state.
+  std::vector<NodeId> diffs;
+  for (NodeId d : dffs) diffs.push_back(net.add_xor(d, net.node(d).fanins[0]));
+  NodeId change = diffs.size() == 1
+                      ? diffs[0]
+                      : net.add_gate(GateType::Or, std::move(diffs));
+  for (NodeId d : dffs) net.set_dff_enable(d, change);
+  r.comparator_gates = static_cast<int>(net.num_gates() - gates_before);
+  return r;
+}
+
+}  // namespace lps::seq

@@ -1,0 +1,53 @@
+// guarded_eval.hpp — guarded evaluation [44] and FSM self-loop gating [4].
+//
+// §III-C.4: "Given a combinational circuit, algorithms to determine the
+// subcircuits to be turned off, and the logic required to perform the
+// disabling are presented in [30] and [44]... A method to reduce switching
+// activity in finite state machines by checking for loop-edges in the State
+// Transition Graph ... and disabling the computation of the next state for
+// these edges is presented in [4]."
+//
+// guard_mux_arms(): for every 2:1 mux in a registered design whose arms are
+// single-fanout cones, the unselected arm's input registers are frozen by
+// the (one-cycle-early) select — Tiwari/Malik/Ashar guarded evaluation with
+// registers standing in for the paper's transparent latches.
+//
+// gate_fsm_self_loops(): adds a next-state == state comparator to an encoded
+// FSM and holds the state registers on self-loops (Benini & De Micheli).
+
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::seq {
+
+struct GuardedRegion {
+  NodeId mux = kNoNode;
+  NodeId select = kNoNode;
+  int frozen_registers_a = 0;  // arm taken when select = 0
+  int frozen_registers_b = 0;
+};
+
+/// Find 2:1 muxes whose data arms are fed (exclusively) by distinct input
+/// registers, and freeze each arm's registers when the select — registered
+/// one cycle early, matching the arm actually consumed — points away from
+/// it.  Returns the regions transformed.  I/O behaviour is preserved.
+std::vector<GuardedRegion> guard_mux_arms(Netlist& net);
+
+struct SelfLoopGatingResult {
+  int state_bits = 0;
+  int comparator_gates = 0;
+};
+
+/// Add hold-on-self-loop gating to an FSM netlist produced by
+/// synthesize_fsm(): state registers keep their value when the computed next
+/// state equals the current state.  (Functionally a no-op; the power win is
+/// the gated clock on the state register bank, measured via clock_activity.)
+/// This generic variant detects the condition with an XOR comparator between
+/// state and next-state — always applicable, but the comparator itself
+/// burns power.
+SelfLoopGatingResult gate_fsm_self_loops(Netlist& net);
+
+}  // namespace lps::seq

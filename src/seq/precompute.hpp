@@ -1,0 +1,56 @@
+// precompute.hpp — precomputation-based sequential power-down (§III-C.4).
+//
+// The Figure 1 architecture of Alidina et al. [1]: a single-output
+// combinational block f(x) is registered on all inputs; a small subset S of
+// inputs additionally feeds *precomputation logic* evaluated one cycle
+// early:
+//     g1 = ∀_{x∉S} f      (f is 1 whatever the other inputs are)
+//     g0 = ∀_{x∉S} ¬f     (f is 0 whatever the other inputs are)
+//     LE = ¬(g1 ∨ g0)
+// When LE = 0 the registers of the non-subset inputs are disabled; f still
+// produces the correct value because it does not depend on them in that
+// region.  For the n-bit comparator of Figure 1 with S = {C[n-1], D[n-1]},
+// g1 = C[n-1]·¬D[n-1], g0 = ¬C[n-1]·D[n-1] and LE reduces to the XNOR the
+// paper shows.  Universal quantification follows Monteiro et al. [30];
+// subset selection maximizes P(g1) + P(g0).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd_netlist.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lps::seq {
+
+struct PrecomputeSelection {
+  std::vector<NodeId> subset;   // chosen PIs of the combinational block
+  double hit_probability = 0.0;  // P(g1) + P(g0) under uniform inputs
+};
+
+/// Exhaustively evaluate all PI subsets of size `k` (or the best greedy
+/// chain when C(n,k) exceeds `max_subsets`) and return the one whose
+/// precomputation logic disables the rest most often.
+PrecomputeSelection select_precompute_inputs(const Netlist& comb, int k,
+                                             std::size_t max_subsets = 20000);
+
+struct PrecomputeResult {
+  Netlist circuit;       // sequential: input registers + LE + f
+  double hit_probability = 0.0;
+  int precompute_gates = 0;  // overhead logic size
+};
+
+/// Build the Figure 1(b) architecture for single-output `comb` with the
+/// given subset.  The produced circuit has the same PIs as `comb`, one
+/// output (registered f with one cycle latency), and load-enabled registers
+/// on the non-subset inputs.
+PrecomputeResult apply_precomputation(const Netlist& comb,
+                                      std::span<const NodeId> subset);
+
+/// Baseline for comparison: same registering (all inputs + output) without
+/// precomputation logic.
+Netlist registered_baseline(const Netlist& comb);
+
+}  // namespace lps::seq

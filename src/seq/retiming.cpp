@@ -1,0 +1,311 @@
+#include "seq/retiming.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "power/activity.hpp"
+
+namespace lps::seq {
+
+int RetimeGraph::add_vertex(int delay) {
+  delay_.push_back(delay);
+  return num_vertices() - 1;
+}
+
+void RetimeGraph::add_edge(int from, int to, int weight) {
+  edges_.push_back({from, to, weight});
+}
+
+int RetimeGraph::period() const {
+  // Longest zero-weight path: relax V times; a growing value after V passes
+  // means a zero-weight cycle (illegal graph) — report "infinite".
+  int n = num_vertices();
+  std::vector<int> delta(n);
+  for (int v = 0; v < n; ++v) delta[v] = delay_[v];
+  for (int pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const auto& e : edges_) {
+      if (e.weight != 0) continue;
+      int cand = delta[e.from] + delay_[e.to];
+      if (cand > delta[e.to]) {
+        delta[e.to] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (pass == n - 1) return std::numeric_limits<int>::max();
+  }
+  int p = 0;
+  for (int v = 0; v < n; ++v) p = std::max(p, delta[v]);
+  return p;
+}
+
+void RetimeGraph::wd_matrices(std::vector<std::vector<int>>& W,
+                              std::vector<std::vector<int>>& D) const {
+  int n = num_vertices();
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  // Lexicographic shortest paths on (w, -d(u)) per Leiserson–Saxe.
+  std::vector<std::vector<std::pair<int, int>>> dist(
+      n, std::vector<std::pair<int, int>>(n, {kInf, 0}));
+  for (int v = 0; v < n; ++v) dist[v][v] = {0, -delay_[v]};
+  // Floyd–Warshall over the edge relation (u -> v costs (w, -d(u))).
+  // Initialize direct edges.
+  for (const auto& e : edges_) {
+    std::pair<int, int> c{e.weight, -delay_[e.from] - delay_[e.to]};
+    // Path u->v accumulates -d over *all* vertices on the path; we start
+    // from -d(u) at the diagonal, so an edge adds (w(e), -d(v)).
+    (void)c;
+  }
+  for (const auto& e : edges_) {
+    std::pair<int, int> cand{dist[e.from][e.from].first + e.weight,
+                             dist[e.from][e.from].second - delay_[e.to]};
+    if (cand < dist[e.from][e.to]) dist[e.from][e.to] = cand;
+  }
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      if (dist[i][k].first >= kInf) continue;
+      for (const auto& e : edges_) {
+        if (e.from != k) continue;
+        std::pair<int, int> cand{dist[i][k].first + e.weight,
+                                 dist[i][k].second - delay_[e.to]};
+        if (cand < dist[i][e.to]) dist[i][e.to] = cand;
+      }
+    }
+  // One extra round of relaxation sweeps to reach a fixpoint (the k-loop
+  // above relaxes in edge order; repeat until stable for robustness).
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ <= n + 2) {
+    changed = false;
+    for (int i = 0; i < n; ++i)
+      for (const auto& e : edges_) {
+        if (dist[i][e.from].first >= kInf) continue;
+        std::pair<int, int> cand{dist[i][e.from].first + e.weight,
+                                 dist[i][e.from].second - delay_[e.to]};
+        if (cand < dist[i][e.to]) {
+          dist[i][e.to] = cand;
+          changed = true;
+        }
+      }
+  }
+  W.assign(n, std::vector<int>(n, kInf));
+  D.assign(n, std::vector<int>(n, -1));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (dist[i][j].first >= kInf) continue;
+      W[i][j] = dist[i][j].first;
+      D[i][j] = -dist[i][j].second;
+    }
+}
+
+std::optional<std::vector<int>> RetimeGraph::feasible_retiming(
+    int target) const {
+  int n = num_vertices();
+  std::vector<std::vector<int>> W, D;
+  wd_matrices(W, D);
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  // Difference constraints r(u) - r(v) <= c  ==> edge v -> u with cost c.
+  struct C {
+    int v, u, c;
+  };
+  std::vector<C> cons;
+  for (const auto& e : edges_) cons.push_back({e.to, e.from, e.weight});
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      if (W[u][v] >= kInf || u == v) continue;
+      if (D[u][v] > target) cons.push_back({v, u, W[u][v] - 1});
+    }
+  // Bellman–Ford from a virtual source connected to all vertices with 0.
+  std::vector<int> r(n, 0);
+  for (int pass = 0; pass <= n; ++pass) {
+    bool changed = false;
+    for (const auto& c : cons) {
+      if (r[c.v] + c.c < r[c.u]) {
+        r[c.u] = r[c.v] + c.c;
+        changed = true;
+      }
+    }
+    if (!changed) return r;
+  }
+  return std::nullopt;  // negative cycle
+}
+
+std::pair<int, std::vector<int>> RetimeGraph::min_period_retiming() const {
+  std::vector<std::vector<int>> W, D;
+  wd_matrices(W, D);
+  std::set<int> cand;
+  for (const auto& row : D)
+    for (int d : row)
+      if (d >= 0) cand.insert(d);
+  std::vector<int> cs(cand.begin(), cand.end());
+  int lo = 0, hi = static_cast<int>(cs.size()) - 1, best = -1;
+  std::vector<int> best_r;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    auto r = feasible_retiming(cs[mid]);
+    if (r) {
+      best = cs[mid];
+      best_r = *r;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (best < 0) return {period(), std::vector<int>(num_vertices(), 0)};
+  return {best, best_r};
+}
+
+RetimeGraph RetimeGraph::retimed(const std::vector<int>& r) const {
+  RetimeGraph g;
+  for (int v = 0; v < num_vertices(); ++v) g.add_vertex(delay_[v]);
+  for (const auto& e : edges_)
+    g.add_edge(e.from, e.to, e.weight + r[e.to] - r[e.from]);
+  return g;
+}
+
+// ---- netlist-level power retiming ------------------------------------------
+
+namespace {
+
+// Scalar settled evaluation of a gate under constant inputs.
+bool const_eval(const Netlist& net, NodeId g, const std::vector<bool>& vals) {
+  const Node& nd = net.node(g);
+  std::vector<std::uint64_t> w;
+  for (std::size_t i = 0; i < nd.fanins.size(); ++i)
+    w.push_back(vals[i] ? ~0ULL : 0ULL);
+  return (eval_gate(nd.type, w) & 1ULL) != 0;
+}
+
+// Forward move: all fanins of g are Dffs, each with single fanout (g).
+bool try_forward(Netlist& net, NodeId g) {
+  const Node& nd = net.node(g);
+  if (is_source(nd.type) || nd.type == GateType::Dff) return false;
+  if (nd.fanins.empty()) return false;
+  std::vector<NodeId> regs = nd.fanins;
+  std::vector<bool> inits;
+  for (NodeId f : regs) {
+    const Node& fn = net.node(f);
+    if (fn.type != GateType::Dff || fn.fanins.size() != 1) return false;
+    // Count fanout references to g only.
+    for (NodeId fo : fn.fanouts)
+      if (fo != g) return false;
+    for (NodeId o : net.outputs())
+      if (o == f) return false;
+    inits.push_back(fn.init_value);
+  }
+  // Distinct registers required (a shared register would need cloning).
+  std::set<NodeId> uniq(regs.begin(), regs.end());
+  if (uniq.size() != regs.size()) return false;
+
+  bool q_init = const_eval(net, g, inits);
+  // Copy fields before mutating: node references go stale on growth.
+  GateType gtype = nd.type;
+  int gdelay = nd.delay;
+  double gsize = nd.size;
+  // Build the moved gate on the registers' D inputs, register its output,
+  // and splice it in place of g.
+  std::vector<NodeId> new_fi;
+  for (NodeId f : regs) new_fi.push_back(net.node(f).fanins[0]);
+  NodeId g2 = net.add_gate(gtype, std::move(new_fi));
+  net.node(g2).delay = gdelay;
+  net.node(g2).size = gsize;
+  NodeId q = net.add_dff(g2, q_init);
+  net.substitute(g, q);  // also removes g; old regs become floating
+  net.sweep();
+  return true;
+}
+
+// Backward move: every fanout of g is a Dff, none is a PO, all inits equal;
+// an input init assignment realizing that output init must exist.
+bool try_backward(Netlist& net, NodeId g) {
+  const Node& nd = net.node(g);
+  if (is_source(nd.type) || nd.type == GateType::Dff) return false;
+  if (nd.fanouts.empty() || nd.fanins.empty()) return false;
+  if (nd.fanins.size() > 12) return false;
+  for (NodeId o : net.outputs())
+    if (o == g) return false;
+  std::vector<NodeId> regs = nd.fanouts;
+  bool v = false;
+  for (std::size_t k = 0; k < regs.size(); ++k) {
+    const Node& rn = net.node(regs[k]);
+    if (rn.type != GateType::Dff || rn.fanins.size() != 1) return false;
+    if (k == 0)
+      v = rn.init_value;
+    else if (rn.init_value != v)
+      return false;
+  }
+  std::set<NodeId> uniq(regs.begin(), regs.end());
+  regs.assign(uniq.begin(), uniq.end());
+
+  // Find input inits with f(init) = v.
+  std::size_t k = nd.fanins.size();
+  std::vector<bool> inits(k, false);
+  bool found = false;
+  for (std::uint64_t m = 0; m < (1ULL << k); ++m) {
+    for (std::size_t i = 0; i < k; ++i) inits[i] = (m >> i & 1) != 0;
+    if (const_eval(net, g, inits) == v) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+
+  // Insert a register on each fanin of g.
+  for (std::size_t i = 0; i < k; ++i) {
+    NodeId src = net.node(g).fanins[i];
+    NodeId r = net.add_dff(src, inits[i]);
+    net.replace_fanin(g, i, r);
+  }
+  // Each old output register collapses onto g.
+  for (NodeId r : regs) net.substitute(r, g);
+  net.sweep();
+  return true;
+}
+
+}  // namespace
+
+PowerRetimeResult retime_for_power(Netlist& net,
+                                   const PowerRetimeOptions& opt) {
+  PowerRetimeResult res;
+  power::AnalysisOptions ao;
+  ao.mode = power::ActivityMode::Timed;
+  ao.n_vectors = opt.sim_vectors;
+  ao.seed = opt.seed;
+  ao.params = opt.params;
+  res.power_before_w = power::analyze(net, ao).report.breakdown.total_w();
+  res.period_before = net.critical_delay();
+  double cur = res.power_before_w;
+  int period = res.period_before;
+
+  bool changed = true;
+  while (changed && res.moves < opt.max_moves) {
+    changed = false;
+    for (NodeId g = 0; g < net.size() && res.moves < opt.max_moves; ++g) {
+      if (net.is_dead(g)) continue;
+      const Node& nd = net.node(g);
+      if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        Netlist trial = net.clone();
+        bool moved =
+            dir == 0 ? try_forward(trial, g) : try_backward(trial, g);
+        if (!moved) continue;
+        if (trial.critical_delay() > period) continue;
+        double p = power::analyze(trial, ao).report.breakdown.total_w();
+        if (p < cur * (1.0 - 1e-6)) {
+          net = std::move(trial);
+          cur = p;
+          ++res.moves;
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;  // node ids shifted; restart scan
+    }
+  }
+  res.power_after_w = cur;
+  res.period_after = net.critical_delay();
+  return res;
+}
+
+}  // namespace lps::seq

@@ -1,0 +1,353 @@
+#include "seq/stg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace lps::seq {
+
+int Stg::add_state(std::string name) {
+  state_names_.push_back(std::move(name));
+  return num_states() - 1;
+}
+
+int Stg::state_index(const std::string& name) const {
+  for (int s = 0; s < num_states(); ++s)
+    if (state_names_[s] == name) return s;
+  return -1;
+}
+
+void Stg::add_transition(const std::string& input_cube, int from, int to,
+                         const std::string& output_bits) {
+  if (static_cast<int>(input_cube.size()) != num_inputs_)
+    throw std::invalid_argument("stg: input cube width mismatch");
+  if (static_cast<int>(output_bits.size()) != num_outputs_)
+    throw std::invalid_argument("stg: output width mismatch");
+  trans_.push_back({input_cube, from, to, output_bits});
+}
+
+namespace {
+
+// Number of minterms covered by a cube string.
+double cube_weight(const std::string& cube) {
+  int dashes = 0;
+  for (char c : cube)
+    if (c == '-') ++dashes;
+  return std::ldexp(1.0, dashes);  // 2^dashes
+}
+
+bool cubes_intersect(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> Stg::transition_matrix() const {
+  int n = num_states();
+  double total = std::ldexp(1.0, num_inputs_);
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  std::vector<double> covered(n, 0.0);
+  for (const auto& t : trans_) {
+    double w = cube_weight(t.input) / total;
+    m[t.from][t.to] += w;
+    covered[t.from] += w;
+  }
+  // Unspecified input space self-loops (machine holds state).
+  for (int s = 0; s < n; ++s) {
+    double rest = 1.0 - covered[s];
+    if (rest > 1e-12) m[s][s] += rest;
+  }
+  return m;
+}
+
+std::vector<double> Stg::steady_state(int iterations) const {
+  int n = num_states();
+  auto m = transition_matrix();
+  std::vector<double> pi(n, 0.0), acc(n, 0.0);
+  pi[reset_state_] = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(n, 0.0);
+    for (int s = 0; s < n; ++s) {
+      if (pi[s] == 0.0) continue;
+      for (int q = 0; q < n; ++q) next[q] += pi[s] * m[s][q];
+    }
+    pi = std::move(next);
+    // Cesàro average over the tail to damp periodic chains.
+    if (it >= iterations / 2)
+      for (int s = 0; s < n; ++s) acc[s] += pi[s];
+  }
+  double total = 0.0;
+  for (double x : acc) total += x;
+  if (total <= 0) return pi;
+  for (double& x : acc) x /= total;
+  return acc;
+}
+
+std::vector<std::vector<double>> Stg::edge_weights() const {
+  auto m = transition_matrix();
+  auto pi = steady_state();
+  int n = num_states();
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (int s = 0; s < n; ++s)
+    for (int q = 0; q < n; ++q) w[s][q] = pi[s] * m[s][q];
+  return w;
+}
+
+std::string Stg::check() const {
+  for (const auto& t : trans_) {
+    if (t.from < 0 || t.from >= num_states() || t.to < 0 ||
+        t.to >= num_states())
+      return "transition references unknown state";
+  }
+  for (std::size_t i = 0; i < trans_.size(); ++i)
+    for (std::size_t j = i + 1; j < trans_.size(); ++j) {
+      if (trans_[i].from != trans_[j].from) continue;
+      if (cubes_intersect(trans_[i].input, trans_[j].input) &&
+          (trans_[i].to != trans_[j].to ||
+           trans_[i].output != trans_[j].output))
+        return "nondeterministic transitions from state " +
+               state_names_[trans_[i].from];
+    }
+  return {};
+}
+
+Stg read_kiss(std::istream& is) {
+  int ni = 0, no = 0, ns = 0;
+  std::string reset_name;
+  std::vector<std::array<std::string, 4>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto p = line.find('#'); p != std::string::npos) line.resize(p);
+    std::istringstream ls(line);
+    std::string a;
+    if (!(ls >> a)) continue;
+    if (a == ".i") {
+      ls >> ni;
+    } else if (a == ".o") {
+      ls >> no;
+    } else if (a == ".s") {
+      ls >> ns;
+    } else if (a == ".p") {
+      int np;
+      ls >> np;
+    } else if (a == ".r") {
+      ls >> reset_name;
+    } else if (a == ".e" || a == ".end") {
+      break;
+    } else {
+      std::array<std::string, 4> row;
+      row[0] = a;
+      if (!(ls >> row[1] >> row[2] >> row[3]))
+        throw std::runtime_error("kiss: malformed transition line");
+      rows.push_back(std::move(row));
+    }
+  }
+  Stg g(ni, no);
+  auto state_of = [&](const std::string& name) {
+    int s = g.state_index(name);
+    return s >= 0 ? s : g.add_state(name);
+  };
+  for (const auto& r : rows) {
+    int from = state_of(r[1]);
+    int to = state_of(r[2]);
+    g.add_transition(r[0], from, to, r[3]);
+  }
+  if (!reset_name.empty()) {
+    int rs = g.state_index(reset_name);
+    if (rs >= 0) g.set_reset_state(rs);
+  }
+  (void)ns;
+  return g;
+}
+
+Stg read_kiss_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_kiss(is);
+}
+
+void write_kiss(std::ostream& os, const Stg& g) {
+  os << ".i " << g.num_inputs() << "\n.o " << g.num_outputs() << "\n.s "
+     << g.num_states() << "\n.p " << g.transitions().size() << "\n.r "
+     << g.state_name(g.reset_state()) << '\n';
+  for (const auto& t : g.transitions())
+    os << t.input << ' ' << g.state_name(t.from) << ' ' << g.state_name(t.to)
+       << ' ' << t.output << '\n';
+  os << ".e\n";
+}
+
+Stg counter_fsm(int n) {
+  int obits = 1;
+  while ((1 << obits) < n) ++obits;
+  Stg g(1, obits);
+  for (int s = 0; s < n; ++s) g.add_state("s" + std::to_string(s));
+  auto bits = [&](int s) {
+    std::string b(obits, '0');
+    for (int i = 0; i < obits; ++i)
+      if (s >> i & 1) b[obits - 1 - i] = '1';
+    return b;
+  };
+  for (int s = 0; s < n; ++s) {
+    g.add_transition("1", s, (s + 1) % n, bits((s + 1) % n));
+    g.add_transition("0", s, (s + n - 1) % n, bits((s + n - 1) % n));
+  }
+  return g;
+}
+
+Stg sequence_detector(const std::string& pattern) {
+  int n = static_cast<int>(pattern.size());
+  Stg g(1, 1);
+  for (int s = 0; s <= n - 1; ++s) g.add_state("m" + std::to_string(s));
+  // State s = length of matched prefix; on full match emit 1 and fall back
+  // via the KMP failure function.
+  auto failure = [&](int matched, char next) {
+    std::string str = pattern.substr(0, matched) + next;
+    for (int k = std::min<int>(n - 1, static_cast<int>(str.size()));
+         k > 0; --k)
+      if (str.substr(str.size() - k) == pattern.substr(0, k)) return k;
+    return 0;
+  };
+  for (int s = 0; s < n; ++s) {
+    for (char c : {'0', '1'}) {
+      bool match = pattern[s] == c;
+      int next;
+      bool emit = false;
+      if (match && s == n - 1) {
+        next = failure(s, c);
+        emit = true;
+      } else if (match) {
+        next = s + 1;
+      } else {
+        next = failure(s, c);
+      }
+      g.add_transition(std::string(1, c), s, next, emit ? "1" : "0");
+    }
+  }
+  return g;
+}
+
+Stg random_fsm(int n_states, int n_inputs, int n_outputs,
+               std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Stg g(n_inputs, n_outputs);
+  for (int s = 0; s < n_states; ++s) g.add_state("s" + std::to_string(s));
+  int combos = 1 << n_inputs;
+  for (int s = 0; s < n_states; ++s) {
+    for (int m = 0; m < combos; ++m) {
+      std::string cube(n_inputs, '0');
+      for (int b = 0; b < n_inputs; ++b)
+        if (m >> b & 1) cube[b] = '1';
+      // Bias toward nearby states so the chain is strongly connected and
+      // non-uniform (gives encoding something to exploit).
+      int to = (rng() % 3 == 0) ? static_cast<int>(rng() % n_states)
+                                : (s + 1 + static_cast<int>(rng() % 2)) %
+                                      n_states;
+      std::string out(n_outputs, '0');
+      for (int b = 0; b < n_outputs; ++b)
+        if (rng() & 1) out[b] = '1';
+      g.add_transition(cube, s, to, out);
+    }
+  }
+  return g;
+}
+
+Stg bursty_fsm(int hot, int cold, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Stg g(1, 1);
+  int n = hot + cold;
+  for (int s = 0; s < n; ++s) g.add_state("s" + std::to_string(s));
+  // Hot ring: the machine circulates among the hot states; only state 0
+  // can escape (on input 1) into the cold tail, which walks back to the
+  // ring.  With uniform inputs the ring holds ~hot/(1+cold/2/hot) of the
+  // probability mass — strongly hot-dominated for small tails.
+  for (int s = 0; s < hot; ++s) {
+    g.add_transition("0", s, (s + 1) % hot, s % 2 ? "1" : "0");
+    if (s == 0 && cold > 0) {
+      int escape = hot + static_cast<int>(rng() % std::max(1, cold));
+      g.add_transition("1", s, escape, "0");
+    } else {
+      g.add_transition("1", s, (s + 1) % hot, s % 2 ? "1" : "0");
+    }
+  }
+  for (int s = hot; s < n; ++s) {
+    int back = (s + 1 < n) ? s + 1 : 0;
+    g.add_transition("-", s, back, "0");
+  }
+  return g;
+}
+
+Stg polling_fsm(int n_states) {
+  Stg g(1, 1);
+  for (int s = 0; s < n_states; ++s) g.add_state("p" + std::to_string(s));
+  for (int s = 0; s < n_states; ++s) {
+    g.add_transition("0", s, s, "0");  // wait for the event: self-loop
+    g.add_transition("1", s, (s + 1) % n_states,
+                     s == n_states - 1 ? "1" : "0");
+  }
+  return g;
+}
+
+namespace {
+
+// dk27 (MCNC): 1 input, 2 outputs, 7 states — the classic tiny encoding
+// benchmark.  Transition list per the public KISS2 distribution.
+const char* kDk27 = R"(
+.i 1
+.o 2
+.s 7
+.p 14
+.r START
+0 START state6 00
+1 START state4 00
+0 state2 state5 00
+1 state2 state3 00
+0 state3 state5 00
+1 state3 state7 00
+0 state4 state6 00
+1 state4 state6 10
+0 state5 START 10
+1 state5 state2 10
+0 state6 START 01
+1 state6 state2 01
+0 state7 state6 01
+1 state7 state6 11
+.e
+)";
+
+// A bus-arbiter fragment in the style of bbara (MCNC): two request lines,
+// one grant output, states IDLE / GRANT0 / GRANT1 / TURN.
+const char* kArbiter = R"(
+.i 2
+.o 2
+.s 4
+.p 16
+.r IDLE
+00 IDLE IDLE 00
+10 IDLE G0 10
+01 IDLE G1 01
+11 IDLE G0 10
+00 G0 IDLE 00
+10 G0 G0 10
+01 G0 G1 01
+11 G0 TURN 10
+00 G1 IDLE 00
+10 G1 G0 10
+01 G1 G1 01
+11 G1 TURN 01
+00 TURN IDLE 00
+10 TURN G0 10
+01 TURN G1 01
+11 TURN G1 01
+.e
+)";
+
+}  // namespace
+
+Stg mcnc_dk27() { return read_kiss_string(kDk27); }
+Stg mcnc_bbara_fragment() { return read_kiss_string(kArbiter); }
+
+}  // namespace lps::seq

@@ -1,0 +1,102 @@
+// stg.hpp — State Transition Graphs (FSMs) and their statistics.
+//
+// §III-C.1 works "at the State Transition Graph level": low-power state
+// encoding needs, for every pair of states, the probability that the machine
+// crosses that edge in steady state.  This module provides the STG data
+// structure (KISS2 I/O, the format of the MCNC FSM benchmarks the cited
+// papers use), the steady-state distribution of the induced Markov chain
+// under uniform inputs, and deterministic FSM generators for experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lps::seq {
+
+struct StgTransition {
+  std::string input;  // cube over the FSM inputs, e.g. "1-0"
+  int from = 0;       // state index
+  int to = 0;
+  std::string output;  // bits '0'/'1'/'-' per FSM output
+};
+
+class Stg {
+ public:
+  Stg(int num_inputs, int num_outputs)
+      : num_inputs_(num_inputs), num_outputs_(num_outputs) {}
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  int num_states() const { return static_cast<int>(state_names_.size()); }
+  int reset_state() const { return reset_state_; }
+  void set_reset_state(int s) { reset_state_ = s; }
+
+  int add_state(std::string name);
+  int state_index(const std::string& name) const;  // -1 if absent
+  const std::string& state_name(int s) const { return state_names_[s]; }
+
+  void add_transition(const std::string& input_cube, int from, int to,
+                      const std::string& output_bits);
+  const std::vector<StgTransition>& transitions() const { return trans_; }
+
+  /// Per-state-pair one-step probability P(to | from), assuming uniformly
+  /// distributed inputs.  Unspecified input combinations self-loop.
+  std::vector<std::vector<double>> transition_matrix() const;
+
+  /// Stationary distribution of the Markov chain (power iteration from the
+  /// reset state; handles periodic chains by averaging).
+  std::vector<double> steady_state(int iterations = 2000) const;
+
+  /// Edge weights w(s,q) = pi(s) * P(q|s) — the "weighted switching
+  /// activity" objective of §III-C.1.
+  std::vector<std::vector<double>> edge_weights() const;
+
+  /// Validate: deterministic (no two transitions from a state with
+  /// intersecting input cubes) and complete references.  Returns error text
+  /// or empty.
+  std::string check() const;
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  int reset_state_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<StgTransition> trans_;
+};
+
+/// KISS2 reader/writer (.i/.o/.s/.p/.r headers + transition lines).
+Stg read_kiss(std::istream& is);
+Stg read_kiss_string(const std::string& text);
+void write_kiss(std::ostream& os, const Stg& stg);
+
+// ---- generators -----------------------------------------------------------
+
+/// Modulo-n up/down counter FSM: input u (1=up), outputs = state index bits.
+Stg counter_fsm(int n);
+
+/// Sequence detector for a given pattern over a 1-bit input (Mealy).
+Stg sequence_detector(const std::string& pattern);
+
+/// Random connected FSM: `n_states`, `n_inputs` input bits, deterministic
+/// and complete by construction.
+Stg random_fsm(int n_states, int n_inputs, int n_outputs, std::uint32_t seed);
+
+/// A "bursty" FSM with a hot loop of `hot` states visited most of the time
+/// and a cold tail — the structure where low-power encoding shines.
+Stg bursty_fsm(int hot, int cold, std::uint32_t seed);
+
+/// A polling/handshake FSM: every state self-loops until its "event" input
+/// bit fires, then advances around the ring.  Heavy on self-loop edges —
+/// the structure exploited by the gated-clock FSM transformation of [4].
+Stg polling_fsm(int n_states);
+
+/// Small real-world machines in KISS2 form (the MCNC FSM benchmark family
+/// the cited encoding papers evaluate on): dk27-style shifter control and
+/// a bbara-style bus arbiter fragment.
+Stg mcnc_dk27();
+Stg mcnc_bbara_fragment();
+
+}  // namespace lps::seq

@@ -1,0 +1,173 @@
+#include "sim/eventsim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <map>
+#include <random>
+#include <stdexcept>
+
+namespace lps::sim {
+
+double TimedStats::sum_total() const {
+  double s = 0;
+  for (double x : total_toggles) s += x;
+  return s;
+}
+
+double TimedStats::sum_functional() const {
+  double s = 0;
+  for (double x : functional_toggles) s += x;
+  return s;
+}
+
+double TimedStats::glitch_fraction() const {
+  double t = sum_total();
+  if (t <= 0) return 0.0;
+  return (t - sum_functional()) / t;
+}
+
+EventSim::EventSim(const Netlist& net)
+    : net_(&net), order_(net.topo_order()), dffs_(net.dffs()) {
+  reset();
+}
+
+void EventSim::clear_stats() {
+  stats_.total_toggles.assign(net_->size(), 0.0);
+  stats_.functional_toggles.assign(net_->size(), 0.0);
+  stats_.vectors = 0;
+}
+
+void EventSim::reset() {
+  const Netlist& n = *net_;
+  value_.assign(n.size(), 0);
+  state_.assign(n.size(), 0);
+  for (NodeId d : dffs_) state_[d] = n.node(d).init_value ? 1 : 0;
+  // Settle the all-zero vector functionally (no event counting).
+  std::vector<std::uint64_t> scratch;
+  for (NodeId id : order_) {
+    const Node& nd = n.node(id);
+    switch (nd.type) {
+      case GateType::Input:
+        value_[id] = 0;
+        break;
+      case GateType::Dff:
+        value_[id] = state_[id];
+        break;
+      case GateType::Const0:
+        value_[id] = 0;
+        break;
+      case GateType::Const1:
+        value_[id] = 1;
+        break;
+      default: {
+        scratch.assign(nd.fanins.size(), 0);
+        for (std::size_t j = 0; j < nd.fanins.size(); ++j)
+          scratch[j] = value_[nd.fanins[j]] ? ~0ULL : 0ULL;
+        value_[id] = (eval_gate(nd.type, scratch) & 1ULL) ? 1 : 0;
+      }
+    }
+  }
+  lsv_ = value_;
+  settled_ = value_;
+  primed_ = true;
+  clear_stats();
+}
+
+void EventSim::settle(std::vector<std::pair<NodeId, bool>> initial_changes) {
+  const Netlist& n = *net_;
+  // time -> list of (node, new value).  Transport delay: every scheduled
+  // transition is applied (no inertial filtering), so glitches propagate.
+  std::map<int, std::vector<std::pair<NodeId, bool>>> wheel;
+  wheel[0] = std::move(initial_changes);
+  std::vector<std::uint64_t> scratch;
+  std::vector<NodeId> touched;
+
+  while (!wheel.empty()) {
+    auto it = wheel.begin();
+    int t = it->first;
+    auto changes = std::move(it->second);
+    wheel.erase(it);
+
+    touched.clear();
+    for (auto [node, v] : changes) {
+      if ((value_[node] != 0) == v) continue;
+      value_[node] = v ? 1 : 0;
+      stats_.total_toggles[node] += 1.0;
+      for (NodeId fo : n.node(node).fanouts) {
+        if (n.node(fo).type == GateType::Dff) continue;  // clocked boundary
+        touched.push_back(fo);
+      }
+    }
+    // Evaluate each affected gate once per time step.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (NodeId g : touched) {
+      const Node& nd = n.node(g);
+      scratch.assign(nd.fanins.size(), 0);
+      for (std::size_t j = 0; j < nd.fanins.size(); ++j)
+        scratch[j] = value_[nd.fanins[j]] ? ~0ULL : 0ULL;
+      bool v = (eval_gate(nd.type, scratch) & 1ULL) != 0;
+      if ((lsv_[g] != 0) != v) {
+        lsv_[g] = v ? 1 : 0;
+        wheel[t + std::max(1, nd.delay)].emplace_back(g, v);
+      }
+    }
+  }
+}
+
+void EventSim::apply(std::span<const bool> pi_values) {
+  const Netlist& n = *net_;
+  if (pi_values.size() != n.inputs().size())
+    throw std::invalid_argument("EventSim::apply: PI count mismatch");
+  std::vector<std::pair<NodeId, bool>> init;
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    NodeId pi = n.inputs()[i];
+    bool v = pi_values[i];
+    if ((value_[pi] != 0) != v) {
+      init.emplace_back(pi, v);
+      lsv_[pi] = v ? 1 : 0;
+    }
+  }
+  // Clock edge: register outputs change to the captured next state
+  // (load-enabled registers hold their value when EN was 0).
+  for (NodeId d : dffs_) {
+    const Node& nd = n.node(d);
+    bool next = value_[nd.fanins[0]] != 0;  // D at end of prior cycle
+    if (nd.fanins.size() == 2 && value_[nd.fanins[1]] == 0)
+      next = value_[d] != 0;  // hold
+    if ((value_[d] != 0) != next) {
+      init.emplace_back(d, next);
+      lsv_[d] = next ? 1 : 0;
+    }
+    state_[d] = next ? 1 : 0;
+  }
+  settle(std::move(init));
+  // Functional toggles: settled value differs from previous settled value.
+  for (NodeId id = 0; id < n.size(); ++id) {
+    if (n.is_dead(id)) continue;
+    if (value_[id] != settled_[id]) stats_.functional_toggles[id] += 1.0;
+  }
+  settled_ = value_;
+  ++stats_.vectors;
+}
+
+TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
+                                  std::uint64_t seed,
+                                  std::span<const double> pi_one_prob) {
+  EventSim sim(net);
+  std::mt19937_64 rng(seed);
+  std::vector<char> v(net.inputs().size());
+  std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, v.size())]);
+  for (std::size_t k = 0; k < n_vectors; ++k) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      buf[i] = (rng() & 0xFFFF) < static_cast<std::uint64_t>(
+                                      (pi_one_prob.empty() ? 0.5
+                                                           : pi_one_prob[i]) *
+                                      65536.0);
+    }
+    sim.apply({buf.get(), v.size()});
+  }
+  return sim.stats();
+}
+
+}  // namespace lps::sim

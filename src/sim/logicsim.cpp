@@ -1,0 +1,172 @@
+#include "sim/logicsim.hpp"
+
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+namespace lps::sim {
+
+LogicSim::LogicSim(const Netlist& net)
+    : net_(&net), order_(net.topo_order()), dff_list_(net.dffs()) {}
+
+Frame LogicSim::eval(std::span<const std::uint64_t> pi_words,
+                     std::span<const std::uint64_t> dff_words) const {
+  const Netlist& n = *net_;
+  if (pi_words.size() != n.inputs().size())
+    throw std::invalid_argument("LogicSim::eval: PI word count mismatch");
+  Frame f(n.size(), 0);
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    f[n.inputs()[i]] = pi_words[i];
+  for (std::size_t i = 0; i < dff_list_.size(); ++i) {
+    const Node& d = n.node(dff_list_[i]);
+    f[dff_list_[i]] = dff_words.empty()
+                          ? (d.init_value ? ~0ULL : 0ULL)
+                          : dff_words[i];
+  }
+  std::uint64_t fin[64];
+  for (NodeId id : order_) {
+    const Node& nd = n.node(id);
+    switch (nd.type) {
+      case GateType::Input:
+      case GateType::Dff:
+        break;
+      case GateType::Const0:
+        f[id] = 0;
+        break;
+      case GateType::Const1:
+        f[id] = ~0ULL;
+        break;
+      default: {
+        std::size_t k = nd.fanins.size();
+        if (k <= 64) {
+          for (std::size_t j = 0; j < k; ++j) fin[j] = f[nd.fanins[j]];
+          f[id] = eval_gate(nd.type, {fin, k});
+        } else {
+          std::vector<std::uint64_t> big(k);
+          for (std::size_t j = 0; j < k; ++j) big[j] = f[nd.fanins[j]];
+          f[id] = eval_gate(nd.type, big);
+        }
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<std::uint64_t> LogicSim::outputs_of(const Frame& f) const {
+  std::vector<std::uint64_t> r;
+  r.reserve(net_->outputs().size());
+  for (NodeId o : net_->outputs()) r.push_back(f[o]);
+  return r;
+}
+
+std::vector<std::uint64_t> LogicSim::next_state_of(const Frame& f) const {
+  std::vector<std::uint64_t> r;
+  r.reserve(dff_list_.size());
+  for (NodeId d : dff_list_) {
+    const Node& nd = net_->node(d);
+    std::uint64_t next = f[nd.fanins[0]];
+    if (nd.fanins.size() == 2) {
+      std::uint64_t en = f[nd.fanins[1]];
+      next = (en & next) | (~en & f[d]);  // hold on EN = 0
+    }
+    r.push_back(next);
+  }
+  return r;
+}
+
+namespace {
+
+// Word whose bits are 1 with probability p (16-bit resolution).
+std::uint64_t biased_word(std::mt19937_64& rng, double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~0ULL;
+  std::uint64_t w = 0;
+  auto thr = static_cast<std::uint32_t>(p * 65536.0);
+  for (int b = 0; b < 64; ++b)
+    if ((rng() & 0xFFFF) < thr) w |= 1ULL << b;
+  return w;
+}
+
+}  // namespace
+
+ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
+                               std::uint64_t seed,
+                               std::span<const double> pi_one_prob) {
+  LogicSim sim(net);
+  std::mt19937_64 rng(seed);
+  const auto& pis = net.inputs();
+  auto dffs = net.dffs();
+
+  ActivityStats st;
+  st.signal_prob.assign(net.size(), 0.0);
+  st.transition_prob.assign(net.size(), 0.0);
+
+  std::vector<std::uint64_t> pi_words(pis.size());
+  std::vector<std::uint64_t> state(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
+
+  std::vector<std::uint64_t> ones(net.size(), 0);
+  std::vector<std::uint64_t> toggles(net.size(), 0);
+  Frame prev;
+  bool have_prev = false;
+
+  for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
+      pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
+    }
+    Frame f = sim.eval(pi_words, state);
+    for (NodeId id = 0; id < net.size(); ++id) {
+      if (net.is_dead(id)) continue;
+      ones[id] += std::popcount(f[id]);
+      // Each of the 64 bit lanes carries an independent trajectory;
+      // transitions are counted per lane between consecutive frames.  This
+      // is exact for sequential circuits and, with iid inputs, for
+      // combinational ones too.
+      if (have_prev) toggles[id] += std::popcount(f[id] ^ prev[id]);
+    }
+    state = sim.next_state_of(f);
+    prev = std::move(f);
+    have_prev = true;
+  }
+
+  double total = static_cast<double>(n_frames) * 64.0;
+  double seams =
+      n_frames > 1 ? static_cast<double>(n_frames - 1) * 64.0 : 0.0;
+  st.patterns = static_cast<std::size_t>(total);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    st.signal_prob[id] = total > 0 ? ones[id] / total : 0.0;
+    st.transition_prob[id] = seams > 0 ? toggles[id] / seams : 0.0;
+  }
+  return st;
+}
+
+bool equivalent_random(const Netlist& a, const Netlist& b,
+                       std::size_t n_frames, std::uint64_t seed) {
+  if (a.inputs().size() != b.inputs().size()) return false;
+  if (a.outputs().size() != b.outputs().size()) return false;
+  LogicSim sa(a), sb(b);
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> pi(a.inputs().size());
+  auto da = a.dffs(), db = b.dffs();
+  std::vector<std::uint64_t> qa(da.size()), qb(db.size());
+  for (std::size_t i = 0; i < da.size(); ++i)
+    qa[i] = a.node(da[i]).init_value ? ~0ULL : 0ULL;
+  for (std::size_t i = 0; i < db.size(); ++i)
+    qb[i] = b.node(db[i]).init_value ? ~0ULL : 0ULL;
+  for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    for (auto& w : pi) w = rng();
+    Frame fa = sa.eval(pi, qa);
+    Frame fb = sb.eval(pi, qb);
+    auto oa = sa.outputs_of(fa);
+    auto ob = sb.outputs_of(fb);
+    for (std::size_t i = 0; i < oa.size(); ++i)
+      if (oa[i] != ob[i]) return false;
+    qa = sa.next_state_of(fa);
+    qb = sb.next_state_of(fb);
+  }
+  return true;
+}
+
+}  // namespace lps::sim

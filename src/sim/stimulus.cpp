@@ -1,0 +1,90 @@
+#include "sim/stimulus.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <random>
+
+namespace lps::sim {
+
+namespace {
+std::uint64_t mask_of(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+}  // namespace
+
+WordStream uniform_stream(int width, std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  WordStream s(n);
+  for (auto& w : s) w = rng() & mask_of(width);
+  return s;
+}
+
+WordStream correlated_stream(int width, std::size_t n, double flip_prob,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  WordStream s;
+  s.reserve(n);
+  std::uint64_t cur = rng() & mask_of(width);
+  auto thr = static_cast<std::uint32_t>(flip_prob * 65536.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(cur);
+    std::uint64_t flips = 0;
+    for (int b = 0; b < width; ++b)
+      if ((rng() & 0xFFFF) < thr) flips |= 1ULL << b;
+    cur ^= flips;
+  }
+  return s;
+}
+
+WordStream random_walk_stream(int width, std::size_t n, double sigma,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> step(0.0, sigma);
+  const double lo = 0.0;
+  const double hi = std::ldexp(1.0, width) - 1.0;
+  double x = hi / 2.0;
+  WordStream s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x = std::clamp(x + step(rng), lo, hi);
+    s.push_back(static_cast<std::uint64_t>(std::llround(x)) & mask_of(width));
+  }
+  return s;
+}
+
+WordStream address_stream(int width, std::size_t n, double p_seq,
+                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto thr = static_cast<std::uint32_t>(p_seq * 65536.0);
+  std::uint64_t cur = rng() & mask_of(width);
+  WordStream s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(cur);
+    if ((rng() & 0xFFFF) < thr)
+      cur = (cur + 1) & mask_of(width);
+    else
+      cur = rng() & mask_of(width);
+  }
+  return s;
+}
+
+std::size_t count_bus_transitions(const WordStream& s, int width) {
+  std::size_t t = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    t += std::popcount((s[i] ^ s[i - 1]) & mask_of(width));
+  return t;
+}
+
+std::vector<double> stream_bit_probabilities(const WordStream& s, int width) {
+  std::vector<double> p(width, 0.0);
+  if (s.empty()) return p;
+  for (auto w : s)
+    for (int b = 0; b < width; ++b)
+      if (w >> b & 1) p[b] += 1.0;
+  for (auto& x : p) x /= static_cast<double>(s.size());
+  return p;
+}
+
+}  // namespace lps::sim

@@ -1,0 +1,47 @@
+// stimulus.hpp — input stream models.
+//
+// Several surveyed techniques are sensitive to input statistics rather than
+// just circuit structure: bus coding (§III-C.1) depends on word-to-word
+// correlation, architecture power models [21,22] are calibrated against
+// "known signal statistics", and precomputation gains depend on the
+// distribution of the observed bits.  This module provides deterministic
+// generators for the stream classes those papers use.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::sim {
+
+/// A stream of W-bit words (LSB-first bit significance).
+using WordStream = std::vector<std::uint64_t>;
+
+/// Uniform iid words over [0, 2^width).
+WordStream uniform_stream(int width, std::size_t n, std::uint64_t seed);
+
+/// Lag-1 correlated stream: each word is the previous word with each bit
+/// independently flipped with probability `flip_prob` (small flip_prob =
+/// strongly correlated, e.g. slowly-varying sampled data).
+WordStream correlated_stream(int width, std::size_t n, double flip_prob,
+                             std::uint64_t seed);
+
+/// Gaussian-random-walk stream, the standard model for DSP data buses:
+/// w[t] = clamp(w[t-1] + round(N(0, sigma))).  Exhibits the high LSB /
+/// low MSB activity profile exploited by the dual-bit-type macromodels.
+WordStream random_walk_stream(int width, std::size_t n, double sigma,
+                              std::uint64_t seed);
+
+/// Sequential addresses with occasional jumps (instruction-address model for
+/// gray-code / bus studies): increments by 1 with probability `p_seq`, else
+/// jumps uniformly.
+WordStream address_stream(int width, std::size_t n, double p_seq,
+                          std::uint64_t seed);
+
+/// Total bit transitions between consecutive words (the §III-C.1 bus cost).
+std::size_t count_bus_transitions(const WordStream& s, int width);
+
+/// Per-bit signal probabilities of a stream.
+std::vector<double> stream_bit_probabilities(const WordStream& s, int width);
+
+}  // namespace lps::sim

@@ -1,0 +1,109 @@
+#include "sop/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lps::sop {
+
+Cube::Cube(unsigned num_vars)
+    : num_vars_(num_vars),
+      pos_((num_vars + 63) / 64, 0),
+      neg_((num_vars + 63) / 64, 0) {}
+
+Cube Cube::parse(const std::string& s) {
+  Cube c(static_cast<unsigned>(s.size()));
+  for (unsigned v = 0; v < s.size(); ++v) {
+    switch (s[v]) {
+      case '1':
+        c.set_pos(v);
+        break;
+      case '0':
+        c.set_neg(v);
+        break;
+      case '-':
+        break;
+      default:
+        throw std::invalid_argument("Cube::parse: bad character");
+    }
+  }
+  return c;
+}
+
+unsigned Cube::num_literals() const {
+  unsigned n = 0;
+  for (auto w : pos_) n += std::popcount(w);
+  for (auto w : neg_) n += std::popcount(w);
+  return n;
+}
+
+bool Cube::contradictory() const {
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    if (pos_[i] & neg_[i]) return true;
+  return false;
+}
+
+bool Cube::contained_in(const Cube& other) const {
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if ((other.pos_[i] & ~pos_[i]) != 0) return false;
+    if ((other.neg_[i] & ~neg_[i]) != 0) return false;
+  }
+  return true;
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  Cube r(num_vars_);
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    r.pos_[i] = pos_[i] | other.pos_[i];
+    r.neg_[i] = neg_[i] | other.neg_[i];
+  }
+  return r;
+}
+
+Cube Cube::minus(const Cube& other) const {
+  Cube r(num_vars_);
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    r.pos_[i] = pos_[i] & ~other.pos_[i];
+    r.neg_[i] = neg_[i] & ~other.neg_[i];
+  }
+  return r;
+}
+
+Cube Cube::common(const Cube& other) const {
+  Cube r(num_vars_);
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    r.pos_[i] = pos_[i] & other.pos_[i];
+    r.neg_[i] = neg_[i] & other.neg_[i];
+  }
+  return r;
+}
+
+bool Cube::var_disjoint(const Cube& other) const {
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if ((pos_[i] | neg_[i]) & (other.pos_[i] | other.neg_[i])) return false;
+  }
+  return true;
+}
+
+bool Cube::eval(const std::vector<bool>& a) const {
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_pos(v) && !a[v]) return false;
+    if (has_neg(v) && a[v]) return false;
+  }
+  return true;
+}
+
+std::string Cube::to_string() const {
+  std::string s(num_vars_, '-');
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_pos(v)) s[v] = '1';
+    if (has_neg(v)) s[v] = has_pos(v) ? '!' : '0';
+  }
+  return s;
+}
+
+bool Cube::operator<(const Cube& o) const {
+  if (pos_ != o.pos_) return pos_ < o.pos_;
+  return neg_ < o.neg_;
+}
+
+}  // namespace lps::sop

@@ -1,0 +1,78 @@
+#include "sop/division.hpp"
+
+#include <algorithm>
+
+namespace lps::sop {
+
+DivisionResult divide(const Sop& f, const Cube& d) {
+  DivisionResult r{Sop(f.num_vars()), Sop(f.num_vars())};
+  for (const auto& c : f.cubes()) {
+    if (c.contained_in(d))
+      r.quotient.add_cube(c.minus(d));
+    else
+      r.remainder.add_cube(c);
+  }
+  return r;
+}
+
+DivisionResult divide(const Sop& f, const Sop& d) {
+  DivisionResult out{Sop(f.num_vars()), f};
+  if (d.empty()) return out;
+  // Quotient = intersection over divisor cubes of per-cube quotients.
+  std::vector<Cube> q;
+  bool first = true;
+  for (const auto& dc : d.cubes()) {
+    auto qi = divide(f, dc).quotient;
+    std::vector<Cube> qs = qi.cubes();
+    std::sort(qs.begin(), qs.end());
+    if (first) {
+      q = std::move(qs);
+      first = false;
+    } else {
+      std::vector<Cube> inter;
+      std::set_intersection(q.begin(), q.end(), qs.begin(), qs.end(),
+                            std::back_inserter(inter));
+      q = std::move(inter);
+    }
+    if (q.empty()) break;
+  }
+  out.quotient = Sop(f.num_vars(), q);
+  if (q.empty()) {
+    out.remainder = f;
+    return out;
+  }
+  // remainder = f minus the cubes covered by q*d.
+  Sop prod = multiply(out.quotient, d);
+  std::vector<Cube> pc = prod.cubes();
+  std::sort(pc.begin(), pc.end());
+  Sop rem(f.num_vars());
+  std::vector<Cube> used = pc;
+  for (const auto& c : f.cubes()) {
+    auto it = std::lower_bound(used.begin(), used.end(), c);
+    if (it != used.end() && *it == c) {
+      used.erase(it);  // consume one matching product cube
+    } else {
+      rem.add_cube(c);
+    }
+  }
+  out.remainder = std::move(rem);
+  return out;
+}
+
+Sop multiply(const Sop& a, const Sop& b) {
+  Sop r(a.num_vars());
+  for (const auto& ca : a.cubes())
+    for (const auto& cb : b.cubes()) r.add_cube(ca.intersect(cb));
+  r.minimize_scc();
+  return r;
+}
+
+Sop add(const Sop& a, const Sop& b) {
+  Sop r(a.num_vars());
+  for (const auto& c : a.cubes()) r.add_cube(c);
+  for (const auto& c : b.cubes()) r.add_cube(c);
+  r.minimize_scc();
+  return r;
+}
+
+}  // namespace lps::sop

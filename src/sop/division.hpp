@@ -1,0 +1,32 @@
+// division.hpp — algebraic (weak) division of sums of products.
+//
+// The workhorse of multilevel technology-independent optimization (§III-A.3):
+// given f and divisor d, find quotient q and remainder r with f = q·d + r,
+// where the product is algebraic (q and d share no variables).
+
+#pragma once
+
+#include "sop/sop.hpp"
+
+namespace lps::sop {
+
+struct DivisionResult {
+  Sop quotient;
+  Sop remainder;
+};
+
+/// Algebraic division of f by a single cube.
+DivisionResult divide(const Sop& f, const Cube& d);
+
+/// Algebraic division of f by an SOP divisor (Brayton–McMullen weak
+/// division).  quotient is empty when d does not divide f.
+DivisionResult divide(const Sop& f, const Sop& d);
+
+/// Algebraic product (assumes var-disjoint operands for algebraic validity;
+/// contradictory result cubes are dropped).
+Sop multiply(const Sop& a, const Sop& b);
+
+/// Sum (concatenation + SCC minimization).
+Sop add(const Sop& a, const Sop& b);
+
+}  // namespace lps::sop

@@ -1,0 +1,284 @@
+#include "sop/factoring.hpp"
+
+#include <algorithm>
+
+#include "sop/division.hpp"
+
+namespace lps::sop {
+
+unsigned Expr::num_literals() const {
+  switch (kind) {
+    case Kind::Const0:
+    case Kind::Const1:
+      return 0;
+    case Kind::Lit:
+      return 1;
+    default: {
+      unsigned n = 0;
+      for (const auto& k : kids) n += k.num_literals();
+      return n;
+    }
+  }
+}
+
+double Expr::weighted_literals(const std::vector<double>& w) const {
+  switch (kind) {
+    case Kind::Const0:
+    case Kind::Const1:
+      return 0.0;
+    case Kind::Lit:
+      return var < w.size() ? w[var] : 1.0;
+    default: {
+      double n = 0;
+      for (const auto& k : kids) n += k.weighted_literals(w);
+      return n;
+    }
+  }
+}
+
+bool Expr::eval(const std::vector<bool>& a) const {
+  switch (kind) {
+    case Kind::Const0:
+      return false;
+    case Kind::Const1:
+      return true;
+    case Kind::Lit:
+      return negated ? !a[var] : a[var];
+    case Kind::And:
+      for (const auto& k : kids)
+        if (!k.eval(a)) return false;
+      return true;
+    case Kind::Or:
+      for (const auto& k : kids)
+        if (k.eval(a)) return true;
+      return false;
+  }
+  return false;
+}
+
+std::string Expr::to_string(const std::vector<std::string>& names) const {
+  auto name_of = [&](unsigned v) {
+    return v < names.size() ? names[v] : "x" + std::to_string(v);
+  };
+  switch (kind) {
+    case Kind::Const0:
+      return "0";
+    case Kind::Const1:
+      return "1";
+    case Kind::Lit:
+      return (negated ? "!" : "") + name_of(var);
+    case Kind::And: {
+      std::string s;
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (i) s += "*";
+        bool paren = kids[i].kind == Kind::Or;
+        if (paren) s += "(";
+        s += kids[i].to_string(names);
+        if (paren) s += ")";
+      }
+      return s;
+    }
+    case Kind::Or: {
+      std::string s;
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (i) s += " + ";
+        s += kids[i].to_string(names);
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+Expr cube_to_expr(const Cube& c) {
+  std::vector<Expr> lits;
+  for (unsigned v = 0; v < c.num_vars(); ++v) {
+    if (c.has_pos(v)) lits.push_back(Expr::lit(v, false));
+    if (c.has_neg(v)) lits.push_back(Expr::lit(v, true));
+  }
+  if (lits.empty()) {
+    Expr e;
+    e.kind = Expr::Kind::Const1;
+    return e;
+  }
+  if (lits.size() == 1) return lits[0];
+  Expr e;
+  e.kind = Expr::Kind::And;
+  e.kids = std::move(lits);
+  return e;
+}
+
+Expr sop_to_or_of_cubes(const Sop& f) {
+  if (f.empty()) {
+    Expr e;
+    e.kind = Expr::Kind::Const0;
+    return e;
+  }
+  std::vector<Expr> terms;
+  for (const auto& c : f.cubes()) terms.push_back(cube_to_expr(c));
+  if (terms.size() == 1) return terms[0];
+  Expr e;
+  e.kind = Expr::Kind::Or;
+  e.kids = std::move(terms);
+  return e;
+}
+
+Expr make_and(Expr a, Expr b) {
+  Expr e;
+  e.kind = Expr::Kind::And;
+  if (a.kind == Expr::Kind::Const1) return b;
+  if (b.kind == Expr::Kind::Const1) return a;
+  e.kids.push_back(std::move(a));
+  e.kids.push_back(std::move(b));
+  return e;
+}
+
+Expr make_or(Expr a, Expr b) {
+  if (a.kind == Expr::Kind::Const0) return b;
+  if (b.kind == Expr::Kind::Const0) return a;
+  Expr e;
+  e.kind = Expr::Kind::Or;
+  e.kids.push_back(std::move(a));
+  e.kids.push_back(std::move(b));
+  return e;
+}
+
+// Generic recursive factoring.  `pick` selects a divisor (kernel) or returns
+// an empty Sop to stop.
+template <typename PickFn>
+Expr factor_rec(const Sop& f0, const PickFn& pick, int depth) {
+  Sop f = f0;
+  f.minimize_scc();
+  if (f.empty()) {
+    Expr e;
+    e.kind = Expr::Kind::Const0;
+    return e;
+  }
+  if (f.num_cubes() == 1) return cube_to_expr(f.cubes()[0]);
+  // Pull out the largest common cube first: f = c * f'.
+  Cube common = f.largest_common_cube();
+  if (common.num_literals() > 0 && depth < 64) {
+    Sop rest = f.cofactor_cube(common);
+    return make_and(cube_to_expr(common), factor_rec(rest, pick, depth + 1));
+  }
+  if (depth >= 64) return sop_to_or_of_cubes(f);
+  Sop d = pick(f);
+  if (d.empty() || d.num_cubes() < 2) return sop_to_or_of_cubes(f);
+  auto dr = divide(f, d);
+  if (dr.quotient.empty() ||
+      (dr.quotient.num_cubes() == 1 &&
+       dr.quotient.cubes()[0].num_literals() == 0)) {
+    return sop_to_or_of_cubes(f);
+  }
+  Expr qe = factor_rec(dr.quotient, pick, depth + 1);
+  Expr de = factor_rec(d, pick, depth + 1);
+  Expr re = factor_rec(dr.remainder, pick, depth + 1);
+  return make_or(make_and(std::move(qe), std::move(de)), std::move(re));
+}
+
+}  // namespace
+
+Expr factor(const Sop& f) {
+  auto pick = [](const Sop& g) -> Sop {
+    auto ks = kernels(g);
+    int best = 0;
+    Sop best_k(g.num_vars());
+    for (const auto& k : ks) {
+      if (k.kernel == g) continue;  // dividing by itself is vacuous
+      int v = kernel_value(g, k.kernel);
+      if (v > best) {
+        best = v;
+        best_k = k.kernel;
+      }
+    }
+    return best_k;
+  };
+  return factor_rec(f, pick, 0);
+}
+
+Expr factor_weighted(const Sop& f, const std::vector<double>& weight) {
+  auto pick = [&weight](const Sop& g) -> Sop {
+    auto ks = kernels(g);
+    double best = 1e-9;
+    Sop best_k(g.num_vars());
+    // The new node's output activity is approximated by the max weight of
+    // its support (conservative: a shared node toggles at most as often as
+    // its most active input under the zero-delay model).
+    for (const auto& k : ks) {
+      if (k.kernel == g) continue;
+      double nw = 0.0;
+      for (const auto& c : k.kernel.cubes())
+        for (unsigned v = 0; v < k.kernel.num_vars(); ++v)
+          if (c.has_var(v) && v < weight.size()) nw = std::max(nw, weight[v]);
+      double val = kernel_value_weighted(g, k.kernel, weight, nw);
+      if (val > best) {
+        best = val;
+        best_k = k.kernel;
+      }
+    }
+    return best_k;
+  };
+  return factor_rec(f, pick, 0);
+}
+
+NodeId build_expr(Netlist& net, const Expr& e,
+                  const std::vector<NodeId>& leaf) {
+  switch (e.kind) {
+    case Expr::Kind::Const0:
+      return net.add_const(false);
+    case Expr::Kind::Const1:
+      return net.add_const(true);
+    case Expr::Kind::Lit: {
+      NodeId n = leaf.at(e.var);
+      return e.negated ? net.add_not(n) : n;
+    }
+    case Expr::Kind::And:
+    case Expr::Kind::Or: {
+      std::vector<NodeId> kids;
+      for (const auto& k : e.kids) kids.push_back(build_expr(net, k, leaf));
+      if (kids.size() == 1) return kids[0];
+      return net.add_gate(
+          e.kind == Expr::Kind::And ? GateType::And : GateType::Or,
+          std::move(kids));
+    }
+  }
+  return net.add_const(false);
+}
+
+Sop to_sop(const Expr& e, unsigned num_vars) {
+  switch (e.kind) {
+    case Expr::Kind::Const0:
+      return Sop(num_vars);
+    case Expr::Kind::Const1: {
+      Sop s(num_vars);
+      s.add_cube(Cube(num_vars));
+      return s;
+    }
+    case Expr::Kind::Lit: {
+      Sop s(num_vars);
+      Cube c(num_vars);
+      if (e.negated)
+        c.set_neg(e.var);
+      else
+        c.set_pos(e.var);
+      s.add_cube(c);
+      return s;
+    }
+    case Expr::Kind::And: {
+      Sop acc(num_vars);
+      acc.add_cube(Cube(num_vars));
+      for (const auto& k : e.kids) acc = multiply(acc, to_sop(k, num_vars));
+      return acc;
+    }
+    case Expr::Kind::Or: {
+      Sop acc(num_vars);
+      for (const auto& k : e.kids) acc = add(acc, to_sop(k, num_vars));
+      return acc;
+    }
+  }
+  return Sop(num_vars);
+}
+
+}  // namespace lps::sop

@@ -1,0 +1,59 @@
+// factoring.hpp — factored forms and power-aware factoring.
+//
+// §III-A.3: "the expression a·c + a·d + b·c + b·d can be factored into
+// (a+b)·(c+d), reducing transistor count considerably."  quick_factor /
+// good_factor build such forms by recursive kernel division; the weighted
+// variant scores divisors by switching-activity savings instead of literal
+// count (the SYCLOP [35] cost function), so high-activity signals feed as
+// few transistor gates as possible.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sop/kernels.hpp"
+#include "sop/sop.hpp"
+
+namespace lps::sop {
+
+/// A factored Boolean expression.
+struct Expr {
+  enum class Kind { Const0, Const1, Lit, And, Or };
+  Kind kind = Kind::Const0;
+  unsigned var = 0;   // for Lit
+  bool negated = false;
+  std::vector<Expr> kids;  // for And/Or
+
+  static Expr lit(unsigned v, bool neg) {
+    Expr e;
+    e.kind = Kind::Lit;
+    e.var = v;
+    e.negated = neg;
+    return e;
+  }
+
+  unsigned num_literals() const;
+  double weighted_literals(const std::vector<double>& w) const;
+  bool eval(const std::vector<bool>& a) const;
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+};
+
+/// Literal-count factoring (classic quick factor: best kernel, recurse).
+Expr factor(const Sop& f);
+
+/// Activity-weighted factoring: literal of variable v costs `weight[v]`.
+/// Divisor choice maximizes weighted savings.
+Expr factor_weighted(const Sop& f, const std::vector<double>& weight);
+
+/// Build the expression into a netlist using `leaf[v]` as variable nodes;
+/// returns the root node id.
+NodeId build_expr(Netlist& net, const Expr& e, const std::vector<NodeId>& leaf);
+
+/// Flatten back to SOP (for verification; exponential in the worst case,
+/// fine for test-sized functions).
+Sop to_sop(const Expr& e, unsigned num_vars);
+
+}  // namespace lps::sop

@@ -1,0 +1,114 @@
+#include "sop/kernels.hpp"
+
+#include <algorithm>
+
+#include "sop/division.hpp"
+
+namespace lps::sop {
+
+namespace {
+
+// Literal index: 2*v for positive, 2*v+1 for negative.
+bool cube_has_lit(const Cube& c, unsigned lit) {
+  return (lit & 1) ? c.has_neg(lit / 2) : c.has_pos(lit / 2);
+}
+
+void kernels_rec(const Sop& g, const Cube& cok, unsigned min_lit,
+                 std::vector<KernelEntry>& out) {
+  unsigned nl = 2 * g.num_vars();
+  for (unsigned l = min_lit; l < nl; ++l) {
+    // Cubes of g containing literal l.
+    std::vector<Cube> with;
+    for (const auto& c : g.cubes())
+      if (cube_has_lit(c, l)) with.push_back(c);
+    if (with.size() < 2) continue;
+    // Co-kernel cube: largest cube common to those cubes.
+    Cube common = with[0];
+    for (std::size_t i = 1; i < with.size(); ++i)
+      common = common.common(with[i]);
+    // Quotient.
+    Sop q(g.num_vars());
+    for (const auto& c : with) q.add_cube(c.minus(common));
+    q.minimize_scc();
+    // Duplicate avoidance: skip if some smaller literal divides all of q.
+    bool dup = false;
+    for (unsigned k = 0; k < l; ++k) {
+      bool all = true;
+      for (const auto& c : q.cubes())
+        if (!cube_has_lit(c, k)) {
+          all = false;
+          break;
+        }
+      if (all && !q.empty()) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    Cube new_cok = cok.intersect(common);
+    out.push_back({q, new_cok});
+    kernels_rec(q, new_cok, l + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<KernelEntry> kernels(const Sop& f) {
+  std::vector<KernelEntry> out;
+  Sop g = f;
+  g.minimize_scc();
+  Cube unit(f.num_vars());
+  if (g.is_cube_free() && g.num_cubes() >= 1) out.push_back({g, unit});
+  kernels_rec(g, unit, 0, out);
+  // Deduplicate kernels (same quotient reachable via different paths).
+  std::sort(out.begin(), out.end(), [](const KernelEntry& a,
+                                       const KernelEntry& b) {
+    if (a.kernel.num_cubes() != b.kernel.num_cubes())
+      return a.kernel.num_cubes() < b.kernel.num_cubes();
+    return a.kernel.cubes() < b.kernel.cubes();
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const KernelEntry& a, const KernelEntry& b) {
+                          return a.kernel == b.kernel;
+                        }),
+            out.end());
+  // Keep only genuine kernels: cube-free with >= 2 cubes (plus f itself).
+  std::vector<KernelEntry> keep;
+  for (auto& k : out)
+    if (k.kernel.num_cubes() >= 2 && k.kernel.is_cube_free())
+      keep.push_back(std::move(k));
+  return keep;
+}
+
+int kernel_value(const Sop& f, const Sop& k) {
+  auto dr = divide(f, k);
+  if (dr.quotient.empty()) return INT32_MIN;
+  // After extraction: f = q * x_new + r, plus the node x_new = k.
+  int before = static_cast<int>(f.num_literals());
+  int after = static_cast<int>(dr.quotient.num_literals()) +
+              static_cast<int>(dr.quotient.num_cubes())  // uses of x_new
+              + static_cast<int>(dr.remainder.num_literals()) +
+              static_cast<int>(k.num_literals());
+  return before - after;
+}
+
+double kernel_value_weighted(const Sop& f, const Sop& k,
+                             const std::vector<double>& w,
+                             double new_node_weight) {
+  auto dr = divide(f, k);
+  if (dr.quotient.empty()) return -1e30;
+  auto wlits = [&](const Sop& s) {
+    double t = 0;
+    for (const auto& c : s.cubes())
+      for (unsigned v = 0; v < s.num_vars(); ++v)
+        if (c.has_var(v)) t += w[v];
+    return t;
+  };
+  double before = wlits(f);
+  double after = wlits(dr.quotient) +
+                 new_node_weight * static_cast<double>(dr.quotient.num_cubes()) +
+                 wlits(dr.remainder) + wlits(k);
+  return before - after;
+}
+
+}  // namespace lps::sop

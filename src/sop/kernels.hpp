@@ -1,0 +1,41 @@
+// kernels.hpp — kernel/co-kernel extraction (Brayton–McMullen).
+//
+// "Kernel extraction is a commonly used algorithm to perform multilevel
+// logic optimization for area [5].  When targeting power dissipation, the
+// cost function is not literal count but switching activity." (§III-A.3).
+// This module computes the kernel set; factoring.hpp consumes it with either
+// cost function.
+
+#pragma once
+
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace lps::sop {
+
+struct KernelEntry {
+  Sop kernel;      // cube-free quotient
+  Cube co_kernel;  // the cube divisor producing it
+};
+
+/// All kernels of f (including f itself when cube-free), each with one
+/// witnessing co-kernel.  Level-0 kernels have no kernels other than
+/// themselves.
+std::vector<KernelEntry> kernels(const Sop& f);
+
+/// Literal savings obtained by extracting `k` out of `f` as a new node:
+///   saved = (uses - 1) * lits(k) + uses - lits_of_new_node...
+/// We use the standard MIS value: (#quotient cubes - 1) * lits(kernel) -
+/// (cost of the new node's output literal uses).  Returns a signed value;
+/// positive means extraction shrinks the network.
+int kernel_value(const Sop& f, const Sop& k);
+
+/// Same with per-variable literal weights (power-aware cost of §III-A.3 /
+/// SYCLOP [35]): a literal of variable v costs `weight[v]` instead of 1, so
+/// factoring prefers to share logic fed by high-activity signals.
+double kernel_value_weighted(const Sop& f, const Sop& k,
+                             const std::vector<double>& weight,
+                             double new_node_weight);
+
+}  // namespace lps::sop

@@ -1,0 +1,48 @@
+// minimize.hpp — heuristic two-level minimization (Espresso-style loop).
+//
+// The survey leans on "a comprehensive treatment of combinational logic
+// synthesis methods" [13]; the workhorse there is the two-level
+// expand / irredundant / reduce loop.  This is a faithful small-scale
+// implementation over the cube algebra of cube.hpp:
+//   expand      — grow each cube literal-by-literal while it stays inside
+//                 the function (onset ∪ don't-care set);
+//   irredundant — drop cubes covered by the rest of the cover;
+//   reduce      — shrink cubes to their essential part to open new expand
+//                 directions.
+// Containment checks are exact (tautology-based cofactor recursion), so the
+// result is a verified cover of the original function.  Don't-care input
+// makes this the natural consumer of the ODC sets from logicopt/dontcare.
+
+#pragma once
+
+#include "sop/sop.hpp"
+
+namespace lps::sop {
+
+struct MinimizeStats {
+  unsigned cubes_before = 0;
+  unsigned cubes_after = 0;
+  unsigned literals_before = 0;
+  unsigned literals_after = 0;
+  int iterations = 0;
+};
+
+/// Does cube `c` lie entirely inside `f` (i.e. f covers c)?  Exact,
+/// via cofactor-and-tautology recursion.
+bool cube_covered(const Cube& c, const Sop& f);
+
+/// Is f a tautology?  (Exact; exponential worst case, fine at test scale.)
+bool tautology(const Sop& f);
+
+/// Exact equivalence of two SOPs over the same variable universe.
+bool sop_equal(const Sop& a, const Sop& b);
+
+/// Espresso-style minimization of `f` with optional don't-care set `dc`.
+/// Returns a cover g with  f ⊆ g ⊆ f ∪ dc  and (heuristically) fewer
+/// literals.  Deterministic.
+Sop minimize(const Sop& f, const Sop& dc, MinimizeStats* stats = nullptr);
+inline Sop minimize(const Sop& f, MinimizeStats* stats = nullptr) {
+  return minimize(f, Sop(f.num_vars()), stats);
+}
+
+}  // namespace lps::sop

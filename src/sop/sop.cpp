@@ -1,0 +1,108 @@
+#include "sop/sop.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lps::sop {
+
+Sop Sop::parse(unsigned num_vars, const std::string& text) {
+  Sop s(num_vars);
+  std::string term;
+  std::istringstream is(text);
+  std::string tok;
+  std::vector<std::string> terms;
+  std::string cur;
+  for (char ch : text) {
+    if (ch == '+') {
+      terms.push_back(cur);
+      cur.clear();
+    } else if (!isspace(static_cast<unsigned char>(ch))) {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) terms.push_back(cur);
+  for (auto& t : terms) {
+    if (t.empty()) continue;
+    if (t.size() != num_vars)
+      throw std::invalid_argument("Sop::parse: cube width mismatch");
+    s.add_cube(Cube::parse(t));
+  }
+  return s;
+}
+
+unsigned Sop::num_literals() const {
+  unsigned n = 0;
+  for (const auto& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+void Sop::add_cube(Cube c) {
+  if (!c.contradictory()) cubes_.push_back(std::move(c));
+}
+
+bool Sop::eval(const std::vector<bool>& a) const {
+  for (const auto& c : cubes_)
+    if (c.eval(a)) return true;
+  return false;
+}
+
+void Sop::minimize_scc() {
+  std::vector<Cube> keep;
+  for (const auto& c : cubes_) {
+    if (c.contradictory()) continue;
+    bool contained = false;
+    for (const auto& d : cubes_) {
+      if (&c == &d) continue;
+      // c is redundant if c ⊆ d (d has a subset of c's literals) — but keep
+      // exactly one copy of duplicates (pointer order tiebreak).
+      if (c == d) {
+        if (&d < &c) {
+          contained = true;
+          break;
+        }
+        continue;
+      }
+      if (c.contained_in(d)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) keep.push_back(c);
+  }
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  cubes_ = std::move(keep);
+}
+
+bool Sop::is_cube_free() const {
+  if (cubes_.empty()) return false;
+  return largest_common_cube().num_literals() == 0;
+}
+
+Cube Sop::largest_common_cube() const {
+  if (cubes_.empty()) return Cube(num_vars_);
+  Cube acc = cubes_[0];
+  for (std::size_t i = 1; i < cubes_.size(); ++i) acc = acc.common(cubes_[i]);
+  return acc;
+}
+
+Sop Sop::cofactor_cube(const Cube& c) const {
+  Sop r(num_vars_);
+  for (const auto& cu : cubes_) {
+    if (cu.contained_in(c)) r.add_cube(cu.minus(c));
+  }
+  return r;
+}
+
+std::string Sop::to_string() const {
+  if (cubes_.empty()) return "0";
+  std::string s;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i) s += " + ";
+    s += cubes_[i].to_string();
+  }
+  return s;
+}
+
+}  // namespace lps::sop

@@ -1,0 +1,57 @@
+// sop.hpp — sums of products and their algebraic structure.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sop/cube.hpp"
+
+namespace lps::sop {
+
+/// A sum of products over a fixed variable universe.  The empty SOP is the
+/// constant 0; an SOP containing the universal cube is constant 1.
+class Sop {
+ public:
+  Sop() = default;
+  explicit Sop(unsigned num_vars) : num_vars_(num_vars) {}
+  Sop(unsigned num_vars, std::vector<Cube> cubes)
+      : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+  /// Parse "1-0 + -11 + 0--" (whitespace optional around '+').
+  static Sop parse(unsigned num_vars, const std::string& text);
+
+  unsigned num_vars() const { return num_vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::vector<Cube>& cubes() { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  std::size_t num_cubes() const { return cubes_.size(); }
+  unsigned num_literals() const;
+
+  void add_cube(Cube c);
+
+  bool eval(const std::vector<bool>& assignment) const;
+
+  /// Remove contradictory cubes and cubes contained in another cube
+  /// (single-cube containment minimization), then sort canonically.
+  void minimize_scc();
+
+  /// True if no cube's variable set overlaps another use of the same var in
+  /// both phases... (not needed; see division.hpp for algebraic predicates)
+  /// Cube-free: no single literal divides every cube.
+  bool is_cube_free() const;
+  /// Largest cube dividing every cube of the SOP.
+  Cube largest_common_cube() const;
+  /// Divide every cube by `c` (each cube must contain c's literals or it is
+  /// dropped) — the algebraic quotient restricted to cubes divisible by c.
+  Sop cofactor_cube(const Cube& c) const;
+
+  std::string to_string() const;
+  bool operator==(const Sop&) const = default;
+
+ private:
+  unsigned num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace lps::sop

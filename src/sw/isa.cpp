@@ -1,0 +1,212 @@
+#include "sw/isa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lps::sw {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Nop: return "nop";
+    case Opcode::LoadImm: return "ldi";
+    case Opcode::Load: return "ld";
+    case Opcode::Store: return "st";
+    case Opcode::Move: return "mov";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Mac: return "mac";
+    case Opcode::ReadAcc: return "racc";
+    case Opcode::ClearAcc: return "cacc";
+    case Opcode::Shift: return "shl";
+    case Opcode::DualLoad: return "ld2";
+  }
+  return "?";
+}
+
+std::string Instr::to_string() const {
+  std::string s = lps::sw::to_string(op);
+  switch (op) {
+    case Opcode::LoadImm:
+      return s + " r" + std::to_string(rd) + ", #" + std::to_string(imm);
+    case Opcode::Load:
+      return s + " r" + std::to_string(rd) + ", [" + std::to_string(addr) +
+             "]";
+    case Opcode::DualLoad:
+      return s + " r" + std::to_string(rd) + ":r" + std::to_string(rd2) +
+             ", [" + std::to_string(addr) + "]";
+    case Opcode::Store:
+      return s + " [" + std::to_string(addr) + "], r" + std::to_string(rs1);
+    case Opcode::Move:
+      return s + " r" + std::to_string(rd) + ", r" + std::to_string(rs1);
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+      return s + " r" + std::to_string(rd) + ", r" + std::to_string(rs1) +
+             ", r" + std::to_string(rs2);
+    case Opcode::Mac:
+      return s + " r" + std::to_string(rs1) + ", r" + std::to_string(rs2);
+    case Opcode::ReadAcc:
+      return s + " r" + std::to_string(rd);
+    case Opcode::Shift:
+      return s + " r" + std::to_string(rd) + ", r" + std::to_string(rs1) +
+             ", #" + std::to_string(imm);
+    default:
+      return s;
+  }
+}
+
+Machine::Machine(std::size_t mem_words)
+    : regs_(kNumRegs, 0), mem_(mem_words, 0) {}
+
+void Machine::reset() {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  acc_ = 0;
+  // Memory intentionally preserved: tests preload operands with poke().
+}
+
+std::size_t Machine::run(const Program& p) {
+  std::size_t cycles = 0;
+  for (const Instr& i : p) {
+    cycles += cycles_of(i.op);
+    switch (i.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::LoadImm:
+        regs_[i.rd] = i.imm;
+        break;
+      case Opcode::Load:
+        regs_[i.rd] = mem_.at(i.addr);
+        break;
+      case Opcode::DualLoad:
+        regs_[i.rd] = mem_.at(i.addr);
+        regs_[i.rd2] = mem_.at(i.addr + 1);
+        break;
+      case Opcode::Store:
+        mem_.at(i.addr) = regs_[i.rs1];
+        break;
+      case Opcode::Move:
+        regs_[i.rd] = regs_[i.rs1];
+        break;
+      case Opcode::Add:
+        regs_[i.rd] = regs_[i.rs1] + regs_[i.rs2];
+        break;
+      case Opcode::Sub:
+        regs_[i.rd] = regs_[i.rs1] - regs_[i.rs2];
+        break;
+      case Opcode::Mul:
+        regs_[i.rd] = regs_[i.rs1] * regs_[i.rs2];
+        break;
+      case Opcode::Mac:
+        acc_ += regs_[i.rs1] * regs_[i.rs2];
+        break;
+      case Opcode::ReadAcc:
+        regs_[i.rd] = acc_;
+        break;
+      case Opcode::ClearAcc:
+        acc_ = 0;
+        break;
+      case Opcode::Shift:
+        regs_[i.rd] = regs_[i.rs1] << (i.imm & 63);
+        break;
+    }
+  }
+  return cycles;
+}
+
+int cycles_of(Opcode op) {
+  switch (op) {
+    case Opcode::Load:
+    case Opcode::Store:
+      return 2;
+    case Opcode::DualLoad:
+      return 2;
+    case Opcode::Mul:
+    case Opcode::Mac:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+Access access_of(const Instr& i) {
+  Access a;
+  constexpr int kAcc = kNumRegs;
+  switch (i.op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::LoadImm:
+      a.writes = {i.rd};
+      break;
+    case Opcode::Load:
+      a.writes = {i.rd};
+      a.reads_mem = true;
+      a.mem_addr = i.addr;
+      break;
+    case Opcode::DualLoad:
+      a.writes = {i.rd, i.rd2};
+      a.reads_mem = true;
+      a.mem_addr = i.addr;
+      break;
+    case Opcode::Store:
+      a.reads = {i.rs1};
+      a.writes_mem = true;
+      a.mem_addr = i.addr;
+      break;
+    case Opcode::Move:
+      a.reads = {i.rs1};
+      a.writes = {i.rd};
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+      a.reads = {i.rs1, i.rs2};
+      a.writes = {i.rd};
+      break;
+    case Opcode::Mac:
+      a.reads = {i.rs1, i.rs2, kAcc};
+      a.writes = {kAcc};
+      break;
+    case Opcode::ReadAcc:
+      a.reads = {kAcc};
+      a.writes = {i.rd};
+      break;
+    case Opcode::ClearAcc:
+      a.writes = {kAcc};
+      break;
+    case Opcode::Shift:
+      a.reads = {i.rs1};
+      a.writes = {i.rd};
+      break;
+  }
+  return a;
+}
+
+bool depends(const Instr& x, const Instr& y) {
+  Access a = access_of(x), b = access_of(y);
+  auto hits = [](const std::vector<int>& u, const std::vector<int>& v) {
+    for (int i : u)
+      for (int j : v)
+        if (i == j) return true;
+    return false;
+  };
+  // RAW, WAR, WAW on registers.
+  if (hits(a.writes, b.reads) || hits(a.reads, b.writes) ||
+      hits(a.writes, b.writes))
+    return true;
+  // Memory: distinct constant addresses commute; otherwise conservative.
+  bool mem_conflict =
+      (a.writes_mem && (b.reads_mem || b.writes_mem)) ||
+      (b.writes_mem && (a.reads_mem || a.writes_mem));
+  if (mem_conflict) {
+    bool disjoint = a.mem_addr >= 0 && b.mem_addr >= 0 &&
+                    a.mem_addr != b.mem_addr &&
+                    !(x.op == Opcode::DualLoad &&
+                      (b.mem_addr == x.addr + 1)) &&
+                    !(y.op == Opcode::DualLoad && (a.mem_addr == y.addr + 1));
+    if (!disjoint) return true;
+  }
+  return false;
+}
+
+}  // namespace lps::sw

@@ -1,0 +1,94 @@
+// isa.hpp — a small accumulator/register DSP ISA (§V substrate).
+//
+// The survey's software-level techniques need a processor to measure:
+// Tiwari et al. [46] built instruction-level power models for commercial
+// CPUs by physical current measurement.  We cannot measure a 1995 CPU, so
+// we build the closest synthetic equivalent: an 8-register, accumulator-
+// style DSP core with an interpreter that produces full execution traces.
+// The power model (power_model.hpp) plays the role of the measured tables:
+// base cost per opcode, circuit-state overhead between adjacent opcodes,
+// and a strong register-vs-memory operand asymmetry — the three effects all
+// the cited software-power results rest on.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lps::sw {
+
+enum class Opcode : std::uint8_t {
+  Nop,
+  LoadImm,   // rd <- imm
+  Load,      // rd <- mem[addr]
+  Store,     // mem[addr] <- rs1
+  Move,      // rd <- rs1
+  Add,       // rd <- rs1 + rs2
+  Sub,       // rd <- rs1 - rs2
+  Mul,       // rd <- rs1 * rs2
+  Mac,       // acc <- acc + rs1 * rs2
+  ReadAcc,   // rd <- acc
+  ClearAcc,  // acc <- 0
+  Shift,     // rd <- rs1 << imm
+  DualLoad,  // rd, rd2 <- mem[addr], mem[addr+1]  (the packed DSP access)
+};
+
+std::string to_string(Opcode op);
+
+struct Instr {
+  Opcode op = Opcode::Nop;
+  int rd = 0;
+  int rd2 = 0;  // DualLoad second destination
+  int rs1 = 0;
+  int rs2 = 0;
+  std::int64_t imm = 0;
+  int addr = 0;
+
+  std::string to_string() const;
+};
+
+using Program = std::vector<Instr>;
+
+inline constexpr int kNumRegs = 8;
+
+/// Interpreter with a word-addressed data memory.
+class Machine {
+ public:
+  explicit Machine(std::size_t mem_words = 4096);
+
+  void reset();
+  std::int64_t reg(int r) const { return regs_[r]; }
+  std::int64_t acc() const { return acc_; }
+  std::int64_t mem(int a) const { return mem_[a]; }
+  void poke(int a, std::int64_t v) { mem_[a] = v; }
+
+  /// Execute straight-line code; returns number of cycles (per-opcode
+  /// latencies from cycles_of()).
+  std::size_t run(const Program& p);
+
+ private:
+  std::vector<std::int64_t> regs_;
+  std::int64_t acc_ = 0;
+  std::vector<std::int64_t> mem_;
+};
+
+/// Architectural latency of an instruction (cycles).
+int cycles_of(Opcode op);
+
+/// Registers read / written by an instruction (dependence analysis for the
+/// scheduler).  Memory is treated as a single location unless addresses are
+/// distinct constants.
+struct Access {
+  std::vector<int> reads;   // register numbers; acc = kNumRegs
+  std::vector<int> writes;
+  bool reads_mem = false;
+  bool writes_mem = false;
+  int mem_addr = -1;  // constant address (all our programs use constants)
+};
+Access access_of(const Instr& i);
+
+/// True when `b` may not move above `a` (data or memory dependence).
+bool depends(const Instr& a, const Instr& b);
+
+}  // namespace lps::sw

@@ -1,0 +1,150 @@
+#include "sw/pairing.hpp"
+
+namespace lps::sw {
+
+PairingResult pack_loads(const Program& p, const SwPowerParams& pp) {
+  PairingResult r;
+  r.before = program_energy(p, pp);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    if (k + 1 < p.size() && p[k].op == Opcode::Load &&
+        p[k + 1].op == Opcode::Load && p[k + 1].addr == p[k].addr + 1 &&
+        p[k + 1].rd != p[k].rd) {
+      Instr d;
+      d.op = Opcode::DualLoad;
+      d.rd = p[k].rd;
+      d.rd2 = p[k + 1].rd;
+      d.addr = p[k].addr;
+      r.program.push_back(d);
+      ++r.loads_packed;
+      ++k;  // consume the pair
+      continue;
+    }
+    r.program.push_back(p[k]);
+  }
+  r.after = program_energy(r.program, pp);
+  return r;
+}
+
+PairingResult fuse_mac(const Program& p, int sum_reg,
+                       const SwPowerParams& pp) {
+  PairingResult r;
+  r.before = program_energy(p, pp);
+  // Bail out untouched when the idiom never appears.
+  bool fusible = false;
+  for (std::size_t k = 0; k + 1 < p.size(); ++k)
+    if (p[k].op == Opcode::Mul && p[k + 1].op == Opcode::Add &&
+        p[k + 1].rd == sum_reg && p[k + 1].rs1 == sum_reg &&
+        p[k + 1].rs2 == p[k].rd && p[k].rd != sum_reg)
+      fusible = true;
+  if (!fusible) {
+    r.program = p;
+    r.after = r.before;
+    return r;
+  }
+  r.program.push_back({Opcode::ClearAcc});
+  bool fused_any = false;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    if (k + 1 < p.size() && p[k].op == Opcode::Mul &&
+        p[k + 1].op == Opcode::Add && p[k + 1].rd == sum_reg &&
+        p[k + 1].rs1 == sum_reg && p[k + 1].rs2 == p[k].rd &&
+        p[k].rd != sum_reg) {
+      // Check the product register is dead afterwards.
+      bool dead = true;
+      for (std::size_t j = k + 2; j < p.size(); ++j) {
+        Access a = access_of(p[j]);
+        for (int rr : a.reads)
+          if (rr == p[k].rd) dead = false;
+        for (int ww : a.writes)
+          if (ww == p[k].rd) {
+            j = p.size();  // redefined: dead from here
+            break;
+          }
+        if (!dead) break;
+      }
+      if (dead) {
+        Instr m;
+        m.op = Opcode::Mac;
+        m.rs1 = p[k].rs1;
+        m.rs2 = p[k].rs2;
+        r.program.push_back(m);
+        ++r.macs_fused;
+        fused_any = true;
+        ++k;
+        continue;
+      }
+    }
+    // Skip the initial zeroing of the reduction register (ClearAcc covers
+    // it) only if it is the canonical `ldi sum, #0`.
+    if (p[k].op == Opcode::LoadImm && p[k].rd == sum_reg && p[k].imm == 0) {
+      continue;
+    }
+    r.program.push_back(p[k]);
+  }
+  // Restore the architectural register.
+  if (fused_any) {
+    Instr ra;
+    ra.op = Opcode::ReadAcc;
+    ra.rd = sum_reg;
+    // Insert before any trailing store that reads sum_reg.
+    std::size_t pos = r.program.size();
+    while (pos > 0) {
+      const Instr& last = r.program[pos - 1];
+      if (last.op == Opcode::Store && last.rs1 == sum_reg)
+        --pos;
+      else
+        break;
+    }
+    r.program.insert(r.program.begin() + pos, ra);
+  }
+  r.after = program_energy(r.program, pp);
+  return r;
+}
+
+Program dot_product_naive(int n, int x_base, int c_base, int out_addr) {
+  Program p;
+  const int sum = 0, x = 1, c = 2, t = 3;
+  p.push_back({Opcode::LoadImm, sum, 0, 0, 0, 0, 0});
+  for (int i = 0; i < n; ++i) {
+    p.push_back({Opcode::Load, x, 0, 0, 0, 0, x_base + i});
+    p.push_back({Opcode::Load, c, 0, 0, 0, 0, c_base + i});
+    p.push_back({Opcode::Mul, t, 0, x, c, 0, 0});
+    p.push_back({Opcode::Add, sum, 0, sum, t, 0, 0});
+  }
+  p.push_back({Opcode::Store, 0, 0, sum, 0, 0, out_addr});
+  return p;
+}
+
+Program poly_eval_naive(int degree, int c_base, int x_addr, int out_addr) {
+  // sum = c0 + c1*x + c2*x^2 + ... each power recomputed from scratch.
+  Program p;
+  const int sum = 0, x = 1, coef = 2, pw = 3, t = 4;
+  p.push_back({Opcode::Load, x, 0, 0, 0, 0, x_addr});
+  p.push_back({Opcode::Load, sum, 0, 0, 0, 0, c_base});  // c0
+  for (int i = 1; i <= degree; ++i) {
+    p.push_back({Opcode::LoadImm, pw, 0, 0, 0, 1, 0});
+    for (int k = 0; k < i; ++k)
+      p.push_back({Opcode::Mul, pw, 0, pw, x, 0, 0});
+    p.push_back({Opcode::Load, coef, 0, 0, 0, 0, c_base + i});
+    p.push_back({Opcode::Mul, t, 0, coef, pw, 0, 0});
+    p.push_back({Opcode::Add, sum, 0, sum, t, 0, 0});
+  }
+  p.push_back({Opcode::Store, 0, 0, sum, 0, 0, out_addr});
+  return p;
+}
+
+Program poly_eval_horner(int degree, int c_base, int x_addr, int out_addr) {
+  // sum = (((c_n x + c_{n-1}) x + ...) x + c0).
+  Program p;
+  const int sum = 0, x = 1, coef = 2;
+  p.push_back({Opcode::Load, x, 0, 0, 0, 0, x_addr});
+  p.push_back({Opcode::Load, sum, 0, 0, 0, 0, c_base + degree});
+  for (int i = degree - 1; i >= 0; --i) {
+    p.push_back({Opcode::Mul, sum, 0, sum, x, 0, 0});
+    p.push_back({Opcode::Load, coef, 0, 0, 0, 0, c_base + i});
+    p.push_back({Opcode::Add, sum, 0, sum, coef, 0, 0});
+  }
+  p.push_back({Opcode::Store, 0, 0, sum, 0, 0, out_addr});
+  return p;
+}
+
+}  // namespace lps::sw

@@ -1,0 +1,53 @@
+// pairing.hpp — instruction pairing / compaction for DSPs (§V, [23]).
+//
+// "An additional optimization applicable for this and similar processors is
+// the ability to compact the instruction stream through pairing of
+// instructions."  Two peepholes on the DSP core:
+//   pack_loads() — adjacent loads from consecutive addresses fuse into the
+//     dual-word memory access (one bus cycle instead of two);
+//   fuse_mac() — the multiply-accumulate idiom (Mul t,a,b ; Add s,s,t with
+//     t dead) retargets onto the accumulator datapath as a single Mac.
+// Both preserve architectural results (registers that remain live, memory,
+// final accumulator readback); tests verify via Machine execution.
+
+#pragma once
+
+#include "sw/isa.hpp"
+#include "sw/power_model.hpp"
+
+namespace lps::sw {
+
+struct PairingResult {
+  Program program;
+  int loads_packed = 0;
+  int macs_fused = 0;
+  EnergyReport before;
+  EnergyReport after;
+};
+
+/// Fuse `Load r1,[a] ; Load r2,[a+1]` into `DualLoad r1:r2,[a]` when no
+/// intervening dependence blocks it.
+PairingResult pack_loads(const Program& p, const SwPowerParams& pp = {});
+
+/// Fuse the Mul/Add reduction idiom into Mac.  The running sum register is
+/// detected as `Add s, s, t` immediately following `Mul t, a, b` with t
+/// unused afterwards; the sequence becomes `Mac a, b` and the final value
+/// of s is restored with one trailing `ReadAcc s` (+ initial ClearAcc).
+/// Only applied when s starts at zero and is used purely as the reduction
+/// target in the block, which the caller asserts.
+PairingResult fuse_mac(const Program& p, int sum_reg,
+                       const SwPowerParams& pp = {});
+
+/// Generator: naive dot-product kernel over `n` element pairs located at
+/// x_base / c_base, result stored to `out_addr` (the workload of [23]).
+Program dot_product_naive(int n, int x_base, int c_base, int out_addr);
+
+/// §V, [49]: "The choice of the algorithm used can impact the power cost
+/// since it determines the runtime complexity of a program."  Two
+/// algorithms for evaluating a degree-n polynomial with coefficients at
+/// c_base and x preloaded in a register: the naive power-by-power method
+/// (O(n^2) multiplies) and Horner's rule (O(n)).
+Program poly_eval_naive(int degree, int c_base, int x_addr, int out_addr);
+Program poly_eval_horner(int degree, int c_base, int x_addr, int out_addr);
+
+}  // namespace lps::sw

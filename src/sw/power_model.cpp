@@ -1,0 +1,83 @@
+#include "sw/power_model.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace lps::sw {
+
+namespace {
+
+// Synthetic "control word" per opcode: which datapath resources the opcode
+// activates (ALU, multiplier, memory unit, accumulator, register write,
+// immediate path).  Overhead between adjacent instructions scales with the
+// Hamming distance of these words — the circuit-state effect of [46].
+std::uint32_t control_word(Opcode op) {
+  constexpr std::uint32_t ALU = 1 << 0, MUL = 1 << 1, MEM = 1 << 2,
+                          ACC = 1 << 3, WREG = 1 << 4, IMM = 1 << 5,
+                          MEM2 = 1 << 6;
+  switch (op) {
+    case Opcode::Nop: return 0;
+    case Opcode::LoadImm: return WREG | IMM;
+    case Opcode::Load: return MEM | WREG;
+    case Opcode::DualLoad: return MEM | MEM2 | WREG;
+    case Opcode::Store: return MEM;
+    case Opcode::Move: return WREG;
+    case Opcode::Add:
+    case Opcode::Sub: return ALU | WREG;
+    case Opcode::Mul: return MUL | WREG;
+    case Opcode::Mac: return MUL | ACC | WREG;
+    case Opcode::ReadAcc: return ACC | WREG;
+    case Opcode::ClearAcc: return ACC;
+    case Opcode::Shift: return ALU | WREG | IMM;
+  }
+  return 0;
+}
+
+}  // namespace
+
+double base_current_ma(Opcode op, const SwPowerParams& p) {
+  double ma;
+  switch (op) {
+    case Opcode::Nop: ma = 0.30; break;
+    case Opcode::LoadImm: ma = 0.45; break;
+    case Opcode::Move: ma = 0.40; break;
+    case Opcode::Add:
+    case Opcode::Sub: ma = 0.55; break;
+    case Opcode::Shift: ma = 0.50; break;
+    case Opcode::Mul: ma = 1.10; break;
+    case Opcode::Mac: ma = 1.05; break;
+    case Opcode::ReadAcc:
+    case Opcode::ClearAcc: ma = 0.40; break;
+    // The register-vs-memory asymmetry: memory operands are ~3x.
+    case Opcode::Load: ma = 1.60; break;
+    case Opcode::Store: ma = 1.70; break;
+    // Packed access: two words for ~1.3x the cost of one.
+    case Opcode::DualLoad: ma = 2.10; break;
+    default: ma = 0.5; break;
+  }
+  return ma * p.ma_per_cycle_base;
+}
+
+double overhead_cost(Opcode a, Opcode b, const SwPowerParams& p) {
+  int bits = std::popcount(control_word(a) ^ control_word(b));
+  return bits * p.overhead_ma_per_bit;
+}
+
+double EnergyReport::energy_uj(const SwPowerParams& p) const {
+  // mA * cycles at freq -> charge; E = Q * V.  (1e-3 A * s) * V = J.
+  double seconds_per_cycle = 1e-6 / p.freq_mhz;
+  return total_macycles() * 1e-3 * seconds_per_cycle * p.vdd * 1e6;
+}
+
+EnergyReport program_energy(const Program& prog, const SwPowerParams& p) {
+  EnergyReport r;
+  for (std::size_t k = 0; k < prog.size(); ++k) {
+    int cyc = cycles_of(prog[k].op);
+    r.cycles += cyc;
+    r.base_macycles += base_current_ma(prog[k].op, p) * cyc;
+    if (k > 0) r.overhead_macycles += overhead_cost(prog[k - 1].op, prog[k].op, p);
+  }
+  return r;
+}
+
+}  // namespace lps::sw

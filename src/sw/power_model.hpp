@@ -1,0 +1,49 @@
+// power_model.hpp (sw) — instruction-level power model (§V, [46]).
+//
+// Tiwari, Malik & Wolfe: program energy = Σ base(i)·cycles(i)
+//                                        + Σ overhead(i, i+1)
+// where `base` is the average current drawn while an instruction runs and
+// `overhead` is the circuit-state change cost between adjacent
+// instructions.  Our synthetic tables encode the three robust findings of
+// that work: memory operands cost several times register operands, the
+// inter-instruction overhead depends on how different the adjacent opcodes
+// are (modelled via control-word Hamming distance), and energy tracks
+// cycles closely ("faster code almost always implies lower energy").
+
+#pragma once
+
+#include <vector>
+
+#include "sw/isa.hpp"
+
+namespace lps::sw {
+
+struct SwPowerParams {
+  double ma_per_cycle_base = 1.0;  // scale factor
+  // Overhead cost per differing control-word bit between adjacent opcodes.
+  double overhead_ma_per_bit = 0.15;
+  double vdd = 5.0;
+  double freq_mhz = 40.0;
+};
+
+/// Average supply current while the opcode executes (mA) — the "base cost"
+/// column of an instruction-level power table.
+double base_current_ma(Opcode op, const SwPowerParams& p = {});
+
+/// Circuit-state overhead between consecutive instructions (mA·cycle).
+double overhead_cost(Opcode a, Opcode b, const SwPowerParams& p = {});
+
+struct EnergyReport {
+  std::size_t cycles = 0;
+  double base_macycles = 0.0;      // Σ base · cycles
+  double overhead_macycles = 0.0;  // Σ inter-instruction overhead
+  double total_macycles() const { return base_macycles + overhead_macycles; }
+  /// Joules at the configured V_DD and clock.
+  double energy_uj(const SwPowerParams& p = {}) const;
+};
+
+/// Evaluate a straight-line program (no interpretation needed — the model
+/// is static, as in [46]).
+EnergyReport program_energy(const Program& prog, const SwPowerParams& p = {});
+
+}  // namespace lps::sw

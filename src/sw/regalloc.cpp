@@ -1,0 +1,139 @@
+#include "sw/regalloc.hpp"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace lps::sw {
+
+namespace {
+
+// Which Instr fields are register reads / writes for each opcode.
+struct Fields {
+  std::vector<int Instr::*> reads;
+  std::vector<int Instr::*> writes;
+};
+
+Fields fields_of(Opcode op) {
+  switch (op) {
+    case Opcode::LoadImm: return {{}, {&Instr::rd}};
+    case Opcode::Load: return {{}, {&Instr::rd}};
+    case Opcode::DualLoad: return {{}, {&Instr::rd, &Instr::rd2}};
+    case Opcode::Store: return {{&Instr::rs1}, {}};
+    case Opcode::Move: return {{&Instr::rs1}, {&Instr::rd}};
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+      return {{&Instr::rs1, &Instr::rs2}, {&Instr::rd}};
+    case Opcode::Mac: return {{&Instr::rs1, &Instr::rs2}, {}};
+    case Opcode::ReadAcc: return {{}, {&Instr::rd}};
+    case Opcode::Shift: return {{&Instr::rs1}, {&Instr::rd}};
+    default: return {};
+  }
+}
+
+}  // namespace
+
+AllocResult allocate(const VirtualProgram& vp, int num_regs, int spill_base,
+                     const SwPowerParams& p) {
+  if (num_regs < 2 || num_regs > kNumRegs)
+    throw std::invalid_argument("allocate: register count out of range");
+  AllocResult out;
+
+  // Last use of each virtual register (for dead-on-evict stores).
+  std::map<int, std::size_t> last_use;
+  for (std::size_t k = 0; k < vp.size(); ++k) {
+    Fields f = fields_of(vp[k].op);
+    Instr tmp = vp[k];
+    for (auto m : f.reads) last_use[tmp.*m] = k;
+    for (auto m : f.writes) last_use[tmp.*m] = k;
+  }
+
+  std::map<int, int> preg_of;            // vreg -> preg
+  std::vector<int> vreg_in(num_regs, -1);  // preg -> vreg
+  std::vector<std::size_t> stamp(num_regs, 0);
+  std::map<int, int> slot_of;  // vreg -> spill address
+  std::map<int, bool> dirty;   // vreg value newer than its slot
+  int next_slot = spill_base;
+  std::size_t clock = 1;
+
+  auto slot_for = [&](int v) {
+    auto it = slot_of.find(v);
+    if (it != slot_of.end()) return it->second;
+    slot_of[v] = next_slot;
+    return next_slot++;
+  };
+
+  auto evict = [&](std::size_t at) {
+    // LRU victim.
+    int victim = 0;
+    for (int r = 1; r < num_regs; ++r)
+      if (stamp[r] < stamp[victim]) victim = r;
+    int v = vreg_in[victim];
+    if (v >= 0) {
+      if (dirty[v] && last_use[v] > at) {
+        out.program.push_back(
+            {Opcode::Store, 0, 0, victim, 0, 0, slot_for(v)});
+        ++out.spill_stores;
+      }
+      dirty[v] = false;
+      preg_of.erase(v);
+    }
+    vreg_in[victim] = -1;
+    return victim;
+  };
+
+  auto ensure_loaded = [&](int v, std::size_t at) {
+    if (auto it = preg_of.find(v); it != preg_of.end()) {
+      stamp[it->second] = clock++;
+      return it->second;
+    }
+    int r = -1;
+    for (int q = 0; q < num_regs; ++q)
+      if (vreg_in[q] < 0) {
+        r = q;
+        break;
+      }
+    if (r < 0) r = evict(at);
+    out.program.push_back({Opcode::Load, r, 0, 0, 0, 0, slot_for(v)});
+    ++out.spill_loads;
+    preg_of[v] = r;
+    vreg_in[r] = v;
+    stamp[r] = clock++;
+    return r;
+  };
+
+  auto place_write = [&](int v, std::size_t at) {
+    if (auto it = preg_of.find(v); it != preg_of.end()) {
+      stamp[it->second] = clock++;
+      dirty[v] = true;
+      return it->second;
+    }
+    int r = -1;
+    for (int q = 0; q < num_regs; ++q)
+      if (vreg_in[q] < 0) {
+        r = q;
+        break;
+      }
+    if (r < 0) r = evict(at);
+    preg_of[v] = r;
+    vreg_in[r] = v;
+    stamp[r] = clock++;
+    dirty[v] = true;
+    return r;
+  };
+
+  for (std::size_t k = 0; k < vp.size(); ++k) {
+    Instr i = vp[k];
+    Fields f = fields_of(i.op);
+    // Reads first (they may trigger reloads), then writes.
+    for (auto m : f.reads) i.*m = ensure_loaded(vp[k].*m, k);
+    for (auto m : f.writes) i.*m = place_write(vp[k].*m, k);
+    out.program.push_back(i);
+  }
+  out.energy = program_energy(out.program, p);
+  return out;
+}
+
+}  // namespace lps::sw

@@ -1,0 +1,33 @@
+// regalloc.hpp — register allocation as an energy lever (§V, [45]).
+//
+// "Register allocation can have a significant effect on the power consumed,
+// since register operands are much cheaper than memory operands."  Code is
+// written against unlimited virtual registers; allocate() maps them onto
+// the machine's 8 physical registers with a linear-scan allocator, spilling
+// the least-recently-used value to memory.  Restricting the allocator to
+// fewer registers (the `num_regs` knob) reproduces the energy-vs-register-
+// file-size curve.
+
+#pragma once
+
+#include "sw/isa.hpp"
+#include "sw/power_model.hpp"
+
+namespace lps::sw {
+
+/// Virtual-register program: register fields index an unbounded space.
+using VirtualProgram = Program;
+
+struct AllocResult {
+  Program program;        // physical-register code with spills
+  int spill_loads = 0;
+  int spill_stores = 0;
+  EnergyReport energy;
+};
+
+/// Allocate `num_regs` physical registers (2..kNumRegs).  Spill slots start
+/// at memory address `spill_base`.
+AllocResult allocate(const VirtualProgram& vp, int num_regs,
+                     int spill_base = 1024, const SwPowerParams& p = {});
+
+}  // namespace lps::sw

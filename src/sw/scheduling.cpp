@@ -1,0 +1,48 @@
+#include "sw/scheduling.hpp"
+
+#include <vector>
+
+namespace lps::sw {
+
+ScheduleResult schedule_for_power(const Program& block,
+                                  const SwPowerParams& p) {
+  ScheduleResult r;
+  r.before = program_energy(block, p);
+
+  std::size_t n = block.size();
+  // Dependence edges i -> j (i before j, i < j in original order).
+  std::vector<std::vector<std::size_t>> succs(n);
+  std::vector<int> pending(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (depends(block[i], block[j])) {
+        succs[i].push_back(j);
+        pending[j] += 1;
+      }
+
+  std::vector<bool> emitted(n, false);
+  Opcode prev = Opcode::Nop;
+  bool have_prev = false;
+  for (std::size_t step = 0; step < n; ++step) {
+    // Ready set: all predecessors emitted.
+    double best_cost = 1e30;
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (emitted[i] || pending[i] > 0) continue;
+      double c = have_prev ? overhead_cost(prev, block[i].op, p) : 0.0;
+      if (c < best_cost - 1e-12) {
+        best_cost = c;
+        best = i;
+      }
+    }
+    emitted[best] = true;
+    for (std::size_t s : succs[best]) pending[s] -= 1;
+    r.program.push_back(block[best]);
+    prev = block[best].op;
+    have_prev = true;
+  }
+  r.after = program_energy(r.program, p);
+  return r;
+}
+
+}  // namespace lps::sw

@@ -1,0 +1,29 @@
+// scheduling.hpp (sw) — power-aware instruction scheduling (§V, [40,23]).
+//
+// "The order of instructions can also have an impact on power since it
+// determines the internal switching in the CPU.  A scheduling technique has
+// been presented to reduce the estimated switching in the control path
+// [40]... scheduling of instructions does have an impact in the case of a
+// smaller DSP processor [23]."  The pass is a dependence-preserving greedy
+// list scheduler that picks, among ready instructions, the one with the
+// least circuit-state overhead from the previously issued instruction.
+
+#pragma once
+
+#include "sw/isa.hpp"
+#include "sw/power_model.hpp"
+
+namespace lps::sw {
+
+struct ScheduleResult {
+  Program program;
+  EnergyReport before;
+  EnergyReport after;
+};
+
+/// Reorder a straight-line block to minimize inter-instruction overhead.
+/// The result executes identically (all dependences preserved).
+ScheduleResult schedule_for_power(const Program& block,
+                                  const SwPowerParams& p = {});
+
+}  // namespace lps::sw

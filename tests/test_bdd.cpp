@@ -1,0 +1,162 @@
+// BDD package tests: canonicity, Boolean algebra, quantification,
+// counting, netlist bridging.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "bdd/bdd_netlist.hpp"
+#include "netlist/benchmarks.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps {
+namespace {
+
+using bdd::kFalse;
+using bdd::kTrue;
+
+TEST(Bdd, Canonicity) {
+  bdd::Manager m(3);
+  auto a = m.var(0), b = m.var(1);
+  // a AND b built two ways must be the same node.
+  EXPECT_EQ(m.land(a, b), m.ite(b, a, kFalse));
+  EXPECT_EQ(m.lnot(m.lnot(a)), a);
+  EXPECT_EQ(m.lxor(a, a), kFalse);
+  EXPECT_EQ(m.lxnor(a, a), kTrue);
+  EXPECT_EQ(m.lor(a, m.lnot(a)), kTrue);
+  // De Morgan.
+  EXPECT_EQ(m.lnot(m.land(a, b)), m.lor(m.lnot(a), m.lnot(b)));
+}
+
+TEST(Bdd, EvalMatchesSemantics) {
+  bdd::Manager m(3);
+  auto f = m.lor(m.land(m.var(0), m.var(1)), m.var(2));
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> a{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+    EXPECT_EQ(m.eval(f, a), (a[0] && a[1]) || a[2]);
+  }
+}
+
+TEST(Bdd, CofactorAndQuantification) {
+  bdd::Manager m(2);
+  auto f = m.land(m.var(0), m.var(1));
+  EXPECT_EQ(m.cofactor(f, 0, true), m.var(1));
+  EXPECT_EQ(m.cofactor(f, 0, false), kFalse);
+  EXPECT_EQ(m.exists(f, 0), m.var(1));
+  EXPECT_EQ(m.forall(f, 0), kFalse);
+  auto g = m.lor(m.var(0), m.var(1));
+  EXPECT_EQ(m.forall(g, 0), m.var(1));
+  EXPECT_EQ(m.exists(g, 0), kTrue);
+}
+
+TEST(Bdd, Compose) {
+  bdd::Manager m(3);
+  // f = x0 XOR x1; substitute x1 := x2 AND x0.
+  auto f = m.lxor(m.var(0), m.var(1));
+  auto g = m.land(m.var(2), m.var(0));
+  auto h = m.compose(f, 1, g);
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> a{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+    bool expect = a[0] != (a[2] && a[0]);
+    EXPECT_EQ(m.eval(h, a), expect);
+  }
+}
+
+TEST(Bdd, SatCountAndProbability) {
+  bdd::Manager m(3);
+  auto f = m.lor(m.land(m.var(0), m.var(1)), m.var(2));
+  // Minterms: x2=1 (4) plus x0=x1=1,x2=0 (1) = 5.
+  EXPECT_NEAR(m.sat_count(f), 5.0, 1e-9);
+  std::vector<double> p{0.5, 0.5, 0.5};
+  EXPECT_NEAR(m.probability(f, p), 5.0 / 8.0, 1e-12);
+  std::vector<double> q{1.0, 1.0, 0.0};
+  EXPECT_NEAR(m.probability(f, q), 1.0, 1e-12);
+}
+
+TEST(Bdd, SupportAndSize) {
+  bdd::Manager m(4);
+  auto f = m.land(m.var(0), m.var(3));
+  auto s = m.support(f);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(m.size(f), 2u);
+  EXPECT_EQ(m.size(kTrue), 0u);
+}
+
+TEST(Bdd, AnySat) {
+  bdd::Manager m(2);
+  EXPECT_FALSE(m.any_sat(kFalse).has_value());
+  auto f = m.land(m.var(0), m.lnot(m.var(1)));
+  auto a = m.any_sat(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(m.eval(f, *a));
+}
+
+TEST(Bdd, Cubes) {
+  bdd::Manager m(2);
+  auto f = m.lxor(m.var(0), m.var(1));
+  auto cs = m.cubes(f, 2);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0], "01");
+  EXPECT_EQ(cs[1], "10");
+}
+
+TEST(Bdd, NodeLimit) {
+  bdd::Manager m(40, 64);  // absurdly small budget
+  bdd::Ref f = kTrue;
+  EXPECT_THROW(
+      {
+        for (unsigned v = 0; v < 40; ++v)
+          f = m.land(f, m.lxor(m.var(v), m.var((v + 7) % 40)));
+      },
+      bdd::NodeLimitExceeded);
+}
+
+TEST(BddNetlist, AgreesWithSimulation) {
+  for (const auto& [name, net] : bench::default_suite()) {
+    if (!net.dffs().empty() || net.inputs().size() > 24) continue;
+    auto b = bdd::build_bdds(net);
+    sim::LogicSim s(net);
+    std::vector<std::uint64_t> pi(net.inputs().size());
+    std::mt19937_64 rng(5);
+    for (int round = 0; round < 4; ++round) {
+      for (auto& w : pi) w = rng();
+      auto frame = s.eval(pi);
+      // Check lane 0 against BDD eval.
+      std::vector<bool> assignment(b.mgr.num_vars(), false);
+      for (std::size_t i = 0; i < net.inputs().size(); ++i)
+        assignment[b.var_of.at(net.inputs()[i])] = (pi[i] & 1) != 0;
+      for (NodeId o : net.outputs())
+        EXPECT_EQ(b.mgr.eval(b.node_fn[o], assignment),
+                  (frame[o] & 1) != 0)
+            << name;
+    }
+  }
+}
+
+TEST(BddNetlist, EquivalenceDistinguishes) {
+  auto rca = bench::ripple_carry_adder(8);
+  auto csa = bench::carry_select_adder(8, 3);
+  EXPECT_TRUE(bdd::equivalent_bdd(rca, csa));
+  auto cmp = bench::comparator_gt(4);
+  auto par = bench::parity_tree(8);
+  EXPECT_FALSE(bdd::equivalent_bdd(cmp, par));
+}
+
+TEST(BddNetlist, SynthesizeBddRoundTrip) {
+  auto net = bench::comparator_gt(4);
+  auto b = bdd::build_bdds(net);
+  Netlist rebuilt("rb");
+  std::vector<NodeId> var_node(b.mgr.num_vars());
+  for (NodeId pi : net.inputs())
+    var_node[b.var_of.at(pi)] = rebuilt.add_input(net.node(pi).name);
+  NodeId out = bdd::synthesize_bdd(rebuilt, b.mgr,
+                                   b.node_fn[net.outputs()[0]], var_node);
+  rebuilt.add_output(out, "gt");
+  EXPECT_TRUE(sim::equivalent_random(net, rebuilt, 128, 9));
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,170 @@
+// Encoding tests: bus-invert, limited-weight codes, gray, one-hot RNS.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "coding/bus_invert.hpp"
+#include "coding/gray.hpp"
+#include "coding/limited_weight.hpp"
+#include "coding/residue.hpp"
+#include "sim/stimulus.hpp"
+
+namespace lps::coding {
+namespace {
+
+TEST(BusInvert, PaperWorkedExample) {
+  // §III-C.1: previous 0000, current 1011 -> send 0100 with E asserted.
+  BusInvertEncoder enc(4);
+  enc.encode(0b0000);
+  auto sym = enc.encode(0b1011);
+  EXPECT_TRUE(sym.invert);
+  EXPECT_EQ(sym.wire_word, 0b0100u);
+  EXPECT_EQ(bus_invert_decode(sym.wire_word, sym.invert, 4), 0b1011u);
+}
+
+TEST(BusInvert, DecodeInvertsEncode) {
+  std::mt19937_64 rng(1);
+  for (int width : {3, 8, 16, 32}) {
+    BusInvertEncoder enc(width);
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    for (int i = 0; i < 500; ++i) {
+      std::uint64_t w = rng() & mask;
+      auto s = enc.encode(w);
+      EXPECT_EQ(bus_invert_decode(s.wire_word, s.invert, width), w);
+    }
+  }
+}
+
+TEST(BusInvert, WorstCaseBounded) {
+  // At most ceil(w/2) data-wire toggles + possibly the E line.
+  auto s = sim::uniform_stream(8, 4000, 2);
+  auto st = evaluate_bus_invert(s, 8);
+  EXPECT_LE(st.worst_cycle_coded, 8u / 2 + 1);
+  EXPECT_GE(st.worst_cycle_raw, 7u);
+}
+
+TEST(BusInvert, SavesOnUniformData) {
+  auto s = sim::uniform_stream(8, 20000, 3);
+  auto st = evaluate_bus_invert(s, 8);
+  // Stan & Burleson report ~18% average savings at width 8.
+  EXPECT_GT(st.saving(), 0.10);
+  EXPECT_LT(st.saving(), 0.30);
+}
+
+TEST(BusInvert, PartitionedBeatsMonolithicOnWideBuses) {
+  auto s = sim::uniform_stream(32, 20000, 4);
+  auto mono = evaluate_bus_invert(s, 32);
+  auto part = evaluate_partitioned_bus_invert(s, 32, 4);
+  EXPECT_GT(part.saving(), mono.saving());
+}
+
+TEST(BusInvert, LittleHelpOnCorrelatedData) {
+  // Low-transition streams rarely exceed w/2 flips, so the invert line
+  // seldom pays for itself.
+  auto s = sim::correlated_stream(16, 20000, 0.05, 5);
+  auto st = evaluate_bus_invert(s, 16);
+  EXPECT_LT(st.saving(), 0.05);
+}
+
+TEST(BusInvert, RejectsBadWidth) {
+  EXPECT_THROW(BusInvertEncoder(0), std::invalid_argument);
+  EXPECT_THROW(BusInvertEncoder(65), std::invalid_argument);
+}
+
+TEST(Lwc, CodebookBijective) {
+  LimitedWeightCode lwc(6, 8);
+  std::vector<bool> seen(1 << 8, false);
+  for (std::uint64_t v = 0; v < (1 << 6); ++v) {
+    auto c = lwc.codeword(v);
+    EXPECT_FALSE(seen[c]);
+    seen[c] = true;
+    EXPECT_EQ(lwc.decode(c), v);
+  }
+}
+
+TEST(Lwc, ExtraWiresReduceWeight) {
+  LimitedWeightCode tight(6, 6), loose(6, 10);
+  EXPECT_LT(loose.average_weight(), tight.average_weight());
+  EXPECT_LE(loose.max_weight(), tight.max_weight());
+}
+
+TEST(Lwc, TransitionSignallingSaves) {
+  auto s = sim::uniform_stream(6, 20000, 6);
+  auto st = evaluate_lwc(s, 6, 9);
+  EXPECT_LT(st.coded_transitions, st.raw_transitions);
+}
+
+TEST(Gray, CodecRoundTrip) {
+  for (std::uint64_t x = 0; x < 1000; ++x)
+    EXPECT_EQ(gray_decode(gray_encode(x)), x);
+}
+
+TEST(Gray, AdjacentCodesUnitDistance) {
+  for (std::uint64_t x = 0; x < 4096; ++x)
+    EXPECT_EQ(std::popcount(gray_encode(x) ^ gray_encode(x + 1)), 1);
+}
+
+TEST(Gray, WinsOnSequentialAddresses) {
+  auto s = sim::address_stream(16, 20000, 0.95, 7);
+  auto st = evaluate_gray(s, 16);
+  EXPECT_LT(st.coded_transitions, st.raw_transitions);
+  // Pure counting would be ~1 toggle/step gray vs ~2 raw.
+  EXPECT_LT(st.coded_transitions, st.raw_transitions * 0.7);
+}
+
+TEST(Gray, NeutralOnRandomData) {
+  auto s = sim::uniform_stream(16, 20000, 8);
+  auto st = evaluate_gray(s, 16);
+  double ratio = static_cast<double>(st.coded_transitions) /
+                 static_cast<double>(st.raw_transitions);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(Rns, EncodeDecodeRoundTrip) {
+  OneHotRns rns({3, 5, 7});
+  EXPECT_EQ(rns.range(), 105u);
+  for (std::uint64_t x = 0; x < 105; ++x)
+    EXPECT_EQ(rns.decode(rns.encode(x)), x);
+}
+
+TEST(Rns, ArithmeticHomomorphism) {
+  OneHotRns rns({3, 5, 7, 11});
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t a = rng() % rns.range();
+    std::uint64_t b = rng() % rns.range();
+    EXPECT_EQ(rns.decode(rns.add(rns.encode(a), rns.encode(b))),
+              (a + b) % rns.range());
+    EXPECT_EQ(rns.decode(rns.mul(rns.encode(a), rns.encode(b))),
+              (a * b) % rns.range());
+  }
+}
+
+TEST(Rns, RejectsNonCoprimeModuli) {
+  EXPECT_THROW(OneHotRns({4, 6}), std::invalid_argument);
+}
+
+TEST(Rns, OneHotTransitionsBounded) {
+  OneHotRns rns({3, 5, 7});
+  auto a = rns.encode(17), b = rns.encode(94);
+  EXPECT_LE(rns.onehot_transitions(a, b), 6);
+  EXPECT_EQ(rns.onehot_transitions(a, a), 0);
+}
+
+TEST(Rns, AccumulatorSwitchingIsValueIndependent) {
+  // One-hot RNS register toggles at most 2 wires per digit; a binary
+  // accumulator of the same range toggles ~bits/2 on average.
+  OneHotRns rns({5, 7, 9, 11});  // range 3465, ~12 bits
+  auto st = evaluate_rns_accumulator(rns, 4000, 13);
+  EXPECT_LE(st.avg_transitions_onehot, 8.0 + 1e-9);
+  EXPECT_GT(st.avg_transitions_binary, 4.0);
+  EXPECT_GT(st.wires_onehot, st.wires_binary);  // the cost side
+  // The headline of [11]: no carry chain, so the arithmetic logic switches
+  // far less than a rippling (and glitching) binary adder.
+  EXPECT_LT(st.logic_transitions_onehot, st.logic_transitions_binary / 3.0);
+}
+
+}  // namespace
+}  // namespace lps::coding

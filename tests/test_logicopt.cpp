@@ -1,0 +1,164 @@
+// Logic-level optimization tests: don't-cares, path balancing, technology
+// mapping, power-aware factoring bridges.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd_netlist.hpp"
+#include "logicopt/dontcare.hpp"
+#include "logicopt/library.hpp"
+#include "logicopt/path_balance.hpp"
+#include "logicopt/power_factor.hpp"
+#include "logicopt/techmap.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "sim/eventsim.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::logicopt {
+namespace {
+
+TEST(DontCare, RemovesOdcRedundantGate) {
+  // y = (a AND b) OR a  == a: the AND gate is ODC-redundant.
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g = n.add_and(a, b);
+  NodeId y = n.add_or(g, a);
+  n.add_output(y, "y");
+  auto golden = n.clone();
+  auto st = sim::measure_activity(n, 64, 1);
+  auto res = optimize_dontcare(n, st.transition_prob);
+  EXPECT_GT(res.const_replacements + res.merges, 0);
+  EXPECT_LT(res.gates_after, res.gates_before);
+  EXPECT_TRUE(bdd::equivalent_bdd(golden, n));
+}
+
+TEST(DontCare, PreservesFunctionOnSuite) {
+  for (const auto& [name, net] : bench::default_suite()) {
+    if (net.num_gates() > 300) continue;  // keep the test fast
+    Netlist work = net.clone();
+    auto st = sim::measure_activity(work, 64, 2);
+    DontCareOptions opt;
+    opt.max_rewrites = 40;
+    optimize_dontcare(work, st.transition_prob, opt);
+    EXPECT_TRUE(sim::equivalent_random(net, work, 256, 5)) << name;
+    EXPECT_EQ(work.check(), "") << name;
+  }
+}
+
+TEST(DontCare, NoFalsePositivesOnIrredundantCircuit) {
+  // A parity tree has no ODC freedom anywhere.
+  auto net = bench::parity_tree(8);
+  auto st = sim::measure_activity(net, 64, 3);
+  auto res = optimize_dontcare(net, st.transition_prob);
+  EXPECT_EQ(res.const_replacements, 0);
+  EXPECT_EQ(res.merges, 0);
+}
+
+TEST(Balance, EliminatesGlitchesPreservesDelayAndFunction) {
+  auto net = bench::array_multiplier(4);
+  auto golden = net.clone();
+  int delay_before = net.critical_delay();
+  double glitch_before =
+      sim::measure_timed_activity(net, 400, 3).glitch_fraction();
+  auto r = full_balance(net);
+  EXPECT_GT(r.buffers_inserted, 0);
+  EXPECT_EQ(net.critical_delay(), delay_before);
+  EXPECT_TRUE(sim::equivalent_random(golden, net, 256, 7));
+  double glitch_after =
+      sim::measure_timed_activity(net, 400, 3).glitch_fraction();
+  EXPECT_GT(glitch_before, 0.05);
+  EXPECT_NEAR(glitch_after, 0.0, 1e-9);
+}
+
+TEST(Balance, PartialUsesBudgetAndReducesGlitching) {
+  auto net = bench::array_multiplier(4);
+  double total_before = sim::measure_timed_activity(net, 400, 3).sum_total();
+  auto r = partial_balance(net, 20);
+  EXPECT_LE(r.buffers_inserted, 20);
+  EXPECT_GT(r.buffers_inserted, 0);
+  EXPECT_EQ(r.critical_delay_after, r.critical_delay_before);
+  double total_after = sim::measure_timed_activity(net, 400, 3).sum_total();
+  // Gate transitions shrink even counting the new buffers.
+  EXPECT_LT(total_after, total_before * 1.05);
+}
+
+TEST(Library, StandardCellsWellFormed) {
+  auto lib = standard_library();
+  EXPECT_GT(lib.gates.size(), 10u);
+  for (const auto& g : lib.gates) {
+    EXPECT_GT(g.pattern.num_leaves(), 0) << g.name;
+    EXPECT_GT(g.area, 0) << g.name;
+  }
+}
+
+TEST(Library, DecomposeNand2Equivalent) {
+  for (const auto& [name, net] : bench::default_suite()) {
+    auto d = decompose_nand2(net);
+    for (NodeId id = 0; id < d.size(); ++id) {
+      if (d.is_dead(id)) continue;
+      auto t = d.node(id).type;
+      EXPECT_TRUE(t == GateType::Nand || t == GateType::Not ||
+                  is_source(t) || t == GateType::Dff)
+          << name;
+    }
+    EXPECT_TRUE(sim::equivalent_random(net, d, 128, 11)) << name;
+  }
+}
+
+TEST(TechMap, MappingPreservesFunction) {
+  auto lib = standard_library();
+  for (const auto& name : {"c17", "rca8", "cmp8", "alu4"}) {
+    Netlist net;
+    if (std::string(name) == "c17") net = bench::c17();
+    if (std::string(name) == "rca8") net = bench::ripple_carry_adder(8);
+    if (std::string(name) == "cmp8") net = bench::comparator_gt(8);
+    if (std::string(name) == "alu4") net = bench::alu(4);
+    auto subject = subject_graph(net);
+    for (auto obj :
+         {MapObjective::Area, MapObjective::Delay, MapObjective::Power}) {
+      auto r = tech_map(net, lib, obj);
+      EXPECT_FALSE(r.instances.empty()) << name;
+      Netlist mapped = r.to_netlist(subject);
+      EXPECT_TRUE(sim::equivalent_random(net, mapped, 256, 13)) << name;
+    }
+  }
+}
+
+TEST(TechMap, ObjectivesTradeOff) {
+  auto lib = standard_library();
+  auto net = bench::ripple_carry_adder(16);
+  auto ra = tech_map(net, lib, MapObjective::Area);
+  auto rd = tech_map(net, lib, MapObjective::Delay);
+  auto rp = tech_map(net, lib, MapObjective::Power);
+  // Each objective should win (or tie) its own metric.
+  EXPECT_LE(ra.total_area, rd.total_area + 1e-9);
+  EXPECT_LE(ra.total_area, rp.total_area + 1e-9);
+  EXPECT_LE(rd.arrival, ra.arrival + 1e-9);
+  EXPECT_LE(rd.arrival, rp.arrival + 1e-9);
+  EXPECT_LE(rp.switched_cap_ff, ra.switched_cap_ff + 1e-9);
+  EXPECT_LE(rp.switched_cap_ff, rd.switched_cap_ff + 1e-9);
+}
+
+TEST(TechMap, UsesComplexCells) {
+  auto lib = standard_library();
+  auto net = bench::comparator_gt(16);
+  auto r = tech_map(net, lib, MapObjective::Area);
+  int complex_cells = 0;
+  for (const auto& [cell, count] : r.cell_histogram) {
+    if (cell != "INVx1" && cell != "NAND2x1") complex_cells += count;
+  }
+  EXPECT_GT(complex_cells, 0);
+}
+
+TEST(PowerFactor, BothFormsEquivalentToFlat) {
+  auto f = sop::Sop::parse(6, "11---- + 1-1--- + --11-- + ---1-1 + 0----1");
+  std::vector<double> probs{0.5, 0.9, 0.1, 0.5, 0.3, 0.7};
+  auto cmp = compare_factorings(f, probs);
+  EXPECT_TRUE(sim::equivalent_random(cmp.flat, cmp.literal_form, 64, 17));
+  EXPECT_TRUE(sim::equivalent_random(cmp.flat, cmp.power_form, 64, 17));
+  EXPECT_LE(cmp.lits_literal, cmp.lits_flat);
+}
+
+}  // namespace
+}  // namespace lps::logicopt

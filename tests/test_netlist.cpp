@@ -1,0 +1,296 @@
+// Unit tests for the Boolean-network substrate.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps {
+namespace {
+
+TEST(EvalGate, TruthTables) {
+  std::uint64_t a = 0b1100, b = 0b1010;
+  std::uint64_t w2[] = {a, b};
+  EXPECT_EQ(eval_gate(GateType::And, w2) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate(GateType::Or, w2) & 0xF, 0b1110u);
+  EXPECT_EQ(eval_gate(GateType::Nand, w2) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate(GateType::Nor, w2) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate(GateType::Xor, w2) & 0xF, 0b0110u);
+  EXPECT_EQ(eval_gate(GateType::Xnor, w2) & 0xF, 0b1001u);
+  std::uint64_t w1[] = {a};
+  EXPECT_EQ(eval_gate(GateType::Not, w1) & 0xF, 0b0011u);
+  EXPECT_EQ(eval_gate(GateType::Buf, w1) & 0xF, 0b1100u);
+  std::uint64_t s = 0b1010;
+  std::uint64_t w3[] = {s, a, b};  // s ? b : a
+  EXPECT_EQ(eval_gate(GateType::Mux, w3) & 0xF, 0b1110u);
+}
+
+TEST(EvalGate, MuxSelectsCorrectArm) {
+  // s=0 -> first data input, s=1 -> second.
+  std::uint64_t w[] = {0, 0xF0, 0x0F};
+  EXPECT_EQ(eval_gate(GateType::Mux, w), 0xF0u);
+  w[0] = ~0ULL;
+  EXPECT_EQ(eval_gate(GateType::Mux, w), 0x0Fu);
+}
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist n("t");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g = n.add_and(a, b);
+  n.add_output(g, "y");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.num_literals(), 2u);
+  EXPECT_EQ(n.check(), "");
+  EXPECT_EQ(n.find("a"), std::optional<NodeId>(a));
+  EXPECT_FALSE(n.find("zzz").has_value());
+}
+
+TEST(Netlist, ArityValidation) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::And, {a}), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::Not, {a, a}), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::Mux, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, TopoOrderRespectsDeps) {
+  auto n = bench::ripple_carry_adder(8);
+  auto order = n.topo_order();
+  EXPECT_EQ(order.size(), n.num_live());
+  std::vector<int> pos(n.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = (int)i;
+  for (NodeId id : order) {
+    if (n.node(id).type == GateType::Dff) continue;
+    for (NodeId f : n.node(id).fanins) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(Netlist, LevelsAndArrival) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g1 = n.add_and(a, b);
+  NodeId g2 = n.add_or(g1, a);
+  n.add_output(g2, "y");
+  auto lv = n.levels();
+  EXPECT_EQ(lv[a], 0);
+  EXPECT_EQ(lv[g1], 1);
+  EXPECT_EQ(lv[g2], 2);
+  EXPECT_EQ(n.critical_delay(), 2);
+  auto rq = n.required_times();
+  auto at = n.arrival_times();
+  for (NodeId id = 0; id < n.size(); ++id)
+    if (!n.is_dead(id)) EXPECT_GE(rq[id], at[id]) << "negative slack";
+}
+
+TEST(Netlist, SubstituteRedirectsUsesAndOutputs) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g1 = n.add_and(a, b);
+  NodeId g2 = n.add_or(g1, a);
+  n.add_output(g1, "y1");
+  n.add_output(g2, "y2");
+  NodeId g3 = n.add_xor(a, b);
+  n.substitute(g1, g3);
+  EXPECT_TRUE(n.is_dead(g1));
+  EXPECT_EQ(n.outputs()[0], g3);
+  EXPECT_EQ(n.node(g2).fanins[0], g3);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(Netlist, SweepRemovesDanglingLogic) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId used = n.add_and(a, b);
+  NodeId dead1 = n.add_or(a, b);
+  NodeId dead2 = n.add_not(dead1);
+  (void)dead2;
+  n.add_output(used, "y");
+  std::size_t removed = n.sweep();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(Netlist, CompactRenumbers) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g = n.add_and(a, b);
+  NodeId dead = n.add_or(a, b);
+  (void)dead;
+  n.add_output(g, "y");
+  n.sweep();
+  std::size_t live = n.num_live();
+  auto before = blif::write_string(n);
+  (void)before;
+  n.compact();
+  EXPECT_EQ(n.size(), live);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(Netlist, CloneIsDeep) {
+  auto n = bench::c17();
+  auto c = n.clone();
+  c.node(c.inputs()[0]).name = "renamed";
+  EXPECT_NE(n.node(n.inputs()[0]).name, "renamed");
+}
+
+TEST(Netlist, ConeOf) {
+  auto n = bench::c17();
+  NodeId out = n.outputs()[0];
+  auto mask = n.cone_of(std::vector<NodeId>{out});
+  EXPECT_TRUE(mask[out]);
+  int count = 0;
+  for (NodeId i = 0; i < n.size(); ++i)
+    if (mask[i]) ++count;
+  EXPECT_GT(count, 3);
+  EXPECT_LT(count, (int)n.num_live());
+}
+
+TEST(Strash, MergesDuplicatesAndPreservesFunction) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g1 = n.add_and(a, b);
+  NodeId g2 = n.add_and(b, a);  // commutative duplicate
+  NodeId g3 = n.add_or(g1, g2);
+  n.add_output(g3, "y");
+  Netlist s = strash(n);
+  EXPECT_LT(s.num_gates(), n.num_gates());
+  EXPECT_TRUE(sim::equivalent_random(n, s, 64, 1));
+}
+
+TEST(Strash, FoldsConstants) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId c1 = n.add_const(true);
+  NodeId c0 = n.add_const(false);
+  NodeId g1 = n.add_and(a, c1);   // = a
+  NodeId g2 = n.add_or(g1, c0);   // = a
+  NodeId g3 = n.add_and(g2, c0);  // = 0
+  n.add_output(g2, "y1");
+  n.add_output(g3, "y2");
+  Netlist s = strash(n);
+  EXPECT_EQ(s.num_gates(), 0u);
+  EXPECT_TRUE(sim::equivalent_random(n, s, 64, 2));
+}
+
+TEST(Strash, SequentialPreserved) {
+  auto n = bench::counter(4);
+  Netlist s = strash(n);
+  EXPECT_EQ(s.dffs().size(), 4u);
+  EXPECT_TRUE(sim::equivalent_random(n, s, 64, 3));
+}
+
+TEST(Benchmarks, SuiteIsWellFormed) {
+  for (const auto& [name, net] : bench::default_suite()) {
+    EXPECT_EQ(net.check(), "") << name;
+    EXPECT_GT(net.num_gates(), 0u) << name;
+    EXPECT_FALSE(net.outputs().empty()) << name;
+  }
+}
+
+TEST(Benchmarks, AdderAddsCorrectly) {
+  auto n = bench::ripple_carry_adder(8);
+  sim::LogicSim s(n);
+  // a=100, b=55, cin=1 -> 156.
+  std::vector<std::uint64_t> pi(n.inputs().size(), 0);
+  for (int i = 0; i < 8; ++i) {
+    pi[i] = (100 >> i & 1) ? ~0ULL : 0;
+    pi[8 + i] = (55 >> i & 1) ? ~0ULL : 0;
+  }
+  pi[16] = ~0ULL;
+  auto f = s.eval(pi);
+  int sum = 0;
+  for (int i = 0; i < 8; ++i)
+    if (f[n.outputs()[i]] & 1) sum |= 1 << i;
+  if (f[n.outputs()[8]] & 1) sum |= 1 << 8;
+  EXPECT_EQ(sum, 156);
+}
+
+TEST(Benchmarks, MultiplierMultipliesCorrectly) {
+  auto n = bench::array_multiplier(4);
+  sim::LogicSim s(n);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      std::vector<std::uint64_t> pi(8, 0);
+      for (int i = 0; i < 4; ++i) {
+        pi[i] = (a >> i & 1) ? ~0ULL : 0;
+        pi[4 + i] = (b >> i & 1) ? ~0ULL : 0;
+      }
+      auto f = s.eval(pi);
+      int prod = 0;
+      for (std::size_t i = 0; i < n.outputs().size(); ++i)
+        if (f[n.outputs()[i]] & 1) prod |= 1 << i;
+      EXPECT_EQ(prod, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Benchmarks, ComparatorComparesCorrectly) {
+  auto n = bench::comparator_gt(6);
+  sim::LogicSim s(n);
+  for (int c = 0; c < 64; c += 3) {
+    for (int d = 0; d < 64; d += 5) {
+      std::vector<std::uint64_t> pi(12, 0);
+      for (int i = 0; i < 6; ++i) {
+        pi[i] = (c >> i & 1) ? ~0ULL : 0;
+        pi[6 + i] = (d >> i & 1) ? ~0ULL : 0;
+      }
+      auto f = s.eval(pi);
+      EXPECT_EQ((f[n.outputs()[0]] & 1) != 0, c > d) << c << " vs " << d;
+    }
+  }
+}
+
+TEST(Benchmarks, CounterCounts) {
+  auto n = bench::counter(4);
+  sim::LogicSim s(n);
+  std::vector<std::uint64_t> en{~0ULL};
+  std::vector<std::uint64_t> state(4, 0);
+  for (int step = 1; step <= 20; ++step) {
+    auto f = s.eval(en, state);
+    state = s.next_state_of(f);
+    int val = 0;
+    for (int b = 0; b < 4; ++b)
+      if (state[b] & 1) val |= 1 << b;
+    EXPECT_EQ(val, step % 16);
+  }
+}
+
+TEST(Benchmarks, CarrySelectEqualsRipple) {
+  auto a = bench::ripple_carry_adder(16);
+  auto b = bench::carry_select_adder(16, 4);
+  EXPECT_TRUE(sim::equivalent_random(a, b, 256, 5));
+}
+
+TEST(Benchmarks, DecoderOneHot) {
+  auto n = bench::decoder(3);
+  sim::LogicSim s(n);
+  for (int v = 0; v < 8; ++v) {
+    std::vector<std::uint64_t> pi(3);
+    for (int i = 0; i < 3; ++i) pi[i] = (v >> i & 1) ? ~0ULL : 0;
+    auto f = s.eval(pi);
+    for (int m = 0; m < 8; ++m)
+      EXPECT_EQ((f[n.outputs()[m]] & 1) != 0, m == v);
+  }
+}
+
+TEST(Netlist, PrintDoesNotCrash) {
+  std::ostringstream os;
+  os << bench::c17();
+  EXPECT_NE(os.str().find("NAND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lps

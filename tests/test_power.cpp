@@ -1,0 +1,205 @@
+// Power model and probabilistic-estimation tests (Eqn. 1, §IV-A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/benchmarks.hpp"
+#include "power/activity.hpp"
+#include "power/power_model.hpp"
+#include "power/probability.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::power {
+namespace {
+
+TEST(PowerModel, CapacitanceGrowsWithFanout) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId g1 = n.add_not(a);
+  NodeId g2 = n.add_not(a);
+  NodeId g3 = n.add_and(g1, g2);
+  n.add_output(g3, "y");
+  PowerParams p;
+  EXPECT_GT(node_capacitance(n, a, p), node_capacitance(n, g3, p));
+}
+
+TEST(PowerModel, SizingScalesInputCap) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId g = n.add_not(a);
+  n.add_output(g, "y");
+  PowerParams p;
+  double before = node_capacitance(n, a, p);
+  n.node(g).size = 4.0;
+  EXPECT_GT(node_capacitance(n, a, p), before);
+}
+
+TEST(PowerModel, BreakdownArithmetic) {
+  PowerBreakdown b;
+  b.switching_w = 9.0;
+  b.short_circuit_w = 0.7;
+  b.leakage_w = 0.3;
+  EXPECT_DOUBLE_EQ(b.total_w(), 10.0);
+  EXPECT_DOUBLE_EQ(b.switching_fraction(), 0.9);
+}
+
+TEST(PowerModel, SwitchingDominates) {
+  // §I: "switching activity power accounts for over 90% of the total".
+  for (const auto& [name, net] : bench::default_suite()) {
+    AnalysisOptions opt;
+    opt.n_vectors = 512;
+    auto a = analyze(net, opt);
+    EXPECT_GT(a.report.breakdown.switching_fraction(), 0.90) << name;
+  }
+}
+
+TEST(PowerModel, MismatchedVectorThrows) {
+  auto net = bench::c17();
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(compute_power(net, wrong), std::invalid_argument);
+}
+
+TEST(Analyze, TimedAtLeastZeroDelayPower) {
+  // Glitches only ever add switching.
+  auto net = bench::array_multiplier(4);
+  AnalysisOptions t;
+  t.n_vectors = 1024;
+  AnalysisOptions z = t;
+  z.mode = ActivityMode::ZeroDelay;
+  double pt = analyze(net, t).report.breakdown.total_w();
+  double pz = analyze(net, z).report.breakdown.total_w();
+  EXPECT_GT(pt, pz * 0.95);
+}
+
+TEST(Probability, IndependentExactOnTree) {
+  // Fanout-free circuits have no reconvergence: independent propagation is
+  // exact.
+  auto net = bench::and_tree(8);
+  auto ind = signal_probs_independent(net);
+  auto ex = signal_probs_exact(net);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (net.is_dead(id)) continue;
+    EXPECT_NEAR(ind[id], ex[id], 1e-12);
+  }
+  EXPECT_NEAR(ex[net.outputs()[0]], 1.0 / 256.0, 1e-12);
+}
+
+TEST(Probability, ExactHandlesReconvergence) {
+  // y = a AND NOT a == 0; independence model says 0.25.
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId y = n.add_and(a, n.add_not(a));
+  n.add_output(y, "y");
+  auto ind = signal_probs_independent(n);
+  auto ex = signal_probs_exact(n);
+  EXPECT_NEAR(ind[y], 0.25, 1e-12);
+  EXPECT_NEAR(ex[y], 0.0, 1e-12);
+}
+
+TEST(Probability, ExactMatchesSimulation) {
+  for (const auto& name : {"c17", "cmp8", "parity16"}) {
+    Netlist net;
+    if (std::string(name) == "c17") net = bench::c17();
+    if (std::string(name) == "cmp8") net = bench::comparator_gt(8);
+    if (std::string(name) == "parity16") net = bench::parity_tree(16);
+    auto ex = signal_probs_exact(net);
+    auto st = sim::measure_activity(net, 4000, 77);
+    for (NodeId o : net.outputs())
+      EXPECT_NEAR(ex[o], st.signal_prob[o], 0.02) << name;
+  }
+}
+
+TEST(Probability, BiasedInputsPropagate) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId y = n.add_and(a, b);
+  n.add_output(y, "y");
+  std::vector<double> pp{0.9, 0.8};
+  auto ex = signal_probs_exact(n, pp);
+  EXPECT_NEAR(ex[y], 0.72, 1e-12);
+}
+
+TEST(Probability, ToggleRateFormula) {
+  std::vector<double> p{0.0, 0.5, 1.0, 0.25};
+  auto t = toggle_rate_from_probs(p);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 0.5);
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+  EXPECT_DOUBLE_EQ(t[3], 0.375);
+}
+
+TEST(Probability, TransitionDensityExactOnInverter) {
+  // With a single input, transitions never coincide, so the density is
+  // exact: D(!a) = D(a).
+  Netlist n;
+  NodeId a = n.add_input("a");
+  n.add_output(n.add_not(a), "y");
+  auto dens = transition_density(n);
+  auto st = sim::measure_activity(n, 8000, 99);
+  EXPECT_NEAR(dens[n.outputs()[0]], 0.5, 1e-12);
+  EXPECT_NEAR(dens[n.outputs()[0]], st.transition_prob[n.outputs()[0]], 0.02);
+}
+
+TEST(Probability, TransitionDensityUpperBoundsTreeSimulation) {
+  // Najm's propagation counts each input transition independently; when
+  // transitions coincide (iid vectors toggle every input with rate 0.5)
+  // some cancel, so the density upper-bounds the simulated rate.
+  auto net = bench::and_tree(8);
+  auto dens = transition_density(net);
+  auto st = sim::measure_activity(net, 8000, 99);
+  NodeId o = net.outputs()[0];
+  // Analytic density: 8 inputs, each sensitized with prob (1/2)^7.
+  EXPECT_NEAR(dens[o], 8.0 * std::ldexp(1.0, -7) * 0.5, 1e-12);
+  EXPECT_GE(dens[o], st.transition_prob[o]);
+  EXPECT_LT(dens[o], st.transition_prob[o] * 6.0);
+}
+
+TEST(Probability, TransitionDensityUpperBoundsReconvergent) {
+  // On reconvergent logic Najm's density ignores the correlation between
+  // simultaneous input changes and overestimates — the known bias of the
+  // estimator.  It must stay within a small constant factor of simulation.
+  auto net = bench::c17();
+  auto dens = transition_density(net);
+  auto st = sim::measure_activity(net, 8000, 99);
+  for (NodeId o : net.outputs()) {
+    EXPECT_GE(dens[o], st.transition_prob[o] * 0.8);
+    EXPECT_LE(dens[o], st.transition_prob[o] * 2.5);
+  }
+}
+
+TEST(Probability, DensityOfXorSumsInputs) {
+  // For y = a XOR b, dy/da = dy/db = 1, so D(y) = D(a) + D(b).
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  n.add_output(n.add_xor(a, b), "y");
+  std::vector<double> probs{0.5, 0.5};
+  std::vector<double> dens{0.3, 0.2};
+  auto d = transition_density(n, probs, dens);
+  EXPECT_NEAR(d[n.outputs()[0]], 0.5, 1e-12);
+}
+
+TEST(Analyze, GlitchFractionZeroOnBalancedTree) {
+  auto net = bench::parity_tree(16);
+  AnalysisOptions opt;
+  opt.n_vectors = 512;
+  auto a = analyze(net, opt);
+  EXPECT_NEAR(a.glitch_fraction, 0.0, 1e-9);
+}
+
+TEST(TransistorCount, Table) {
+  Node n;
+  n.type = GateType::Nand;
+  n.fanins = {0, 1};
+  EXPECT_EQ(transistor_count(n), 4);
+  n.type = GateType::And;
+  EXPECT_EQ(transistor_count(n), 6);
+  n.type = GateType::Dff;
+  n.fanins = {0};
+  EXPECT_EQ(transistor_count(n), 8);
+}
+
+}  // namespace
+}  // namespace lps::power

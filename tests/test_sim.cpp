@@ -1,0 +1,163 @@
+// Simulator tests: bit-parallel zero-delay, event-driven timed, stimulus.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/benchmarks.hpp"
+#include "sim/eventsim.hpp"
+#include "sim/logicsim.hpp"
+#include "sim/stimulus.hpp"
+
+namespace lps {
+namespace {
+
+TEST(LogicSim, SignalProbabilityMatchesExpectation) {
+  // y = a AND b with p(a)=p(b)=0.5 -> p(y)=0.25.
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId y = n.add_and(a, b);
+  n.add_output(y, "y");
+  auto st = sim::measure_activity(n, 2000, 42);
+  EXPECT_NEAR(st.signal_prob[y], 0.25, 0.02);
+  // Zero-delay toggle rate of an iid signal: 2 p (1-p) = 0.375.
+  EXPECT_NEAR(st.transition_prob[y], 0.375, 0.02);
+}
+
+TEST(LogicSim, BiasedInputs) {
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId y = n.add_not(a);
+  n.add_output(y, "y");
+  std::vector<double> probs{0.9};
+  auto st = sim::measure_activity(n, 2000, 43, probs);
+  EXPECT_NEAR(st.signal_prob[a], 0.9, 0.02);
+  EXPECT_NEAR(st.signal_prob[y], 0.1, 0.02);
+  EXPECT_NEAR(st.transition_prob[y], 2 * 0.9 * 0.1, 0.02);
+}
+
+TEST(LogicSim, EquivalenceCatchesDifferences) {
+  Netlist a;
+  NodeId x = a.add_input("x");
+  NodeId y = a.add_input("y");
+  a.add_output(a.add_and(x, y), "o");
+  Netlist b;
+  NodeId x2 = b.add_input("x");
+  NodeId y2 = b.add_input("y");
+  b.add_output(b.add_or(x2, y2), "o");
+  EXPECT_FALSE(sim::equivalent_random(a, b, 8, 1));
+  Netlist c;
+  NodeId x3 = c.add_input("x");
+  NodeId y3 = c.add_input("y");
+  c.add_output(c.add_not(c.add_nand(x3, y3)), "o");
+  EXPECT_TRUE(sim::equivalent_random(a, c, 64, 1));
+}
+
+TEST(LogicSim, SequentialStateAdvances) {
+  auto n = bench::shift_register(3);
+  sim::LogicSim s(n);
+  std::vector<std::uint64_t> state(3, 0);
+  std::vector<std::uint64_t> one{~0ULL};
+  // Push a 1 through the 3-deep shift register.
+  auto f1 = s.eval(one, state);
+  state = s.next_state_of(f1);
+  std::vector<std::uint64_t> zero{0};
+  auto f2 = s.eval(zero, state);
+  state = s.next_state_of(f2);
+  auto f3 = s.eval(zero, state);
+  EXPECT_EQ(f3[n.outputs()[0]] & 1, 0u);  // not yet at the end
+  state = s.next_state_of(f3);
+  auto f4 = s.eval(zero, state);
+  EXPECT_EQ(f4[n.outputs()[0]] & 1, 1u);  // emerged after 3 cycles
+}
+
+TEST(EventSim, BalancedTreeHasNoGlitches) {
+  auto n = bench::and_tree(16);  // perfectly balanced
+  auto ts = sim::measure_timed_activity(n, 500, 7);
+  EXPECT_NEAR(ts.glitch_fraction(), 0.0, 1e-9);
+}
+
+TEST(EventSim, ReconvergentXorGlitches) {
+  // y = a XOR (NOT a -> delayed path): classic static hazard generator:
+  // y = a XOR buf(buf(a)) glitches on every a transition under unit delay.
+  Netlist n;
+  NodeId a = n.add_input("a");
+  NodeId b1 = n.add_buf(a);
+  NodeId b2 = n.add_buf(b1);
+  NodeId y = n.add_xor(a, b2);
+  n.add_output(y, "y");
+  auto ts = sim::measure_timed_activity(n, 400, 11);
+  // y's settled value is always 0, so ALL y toggles are spurious.
+  EXPECT_GT(ts.total_toggles[y], 0.0);
+  EXPECT_EQ(ts.functional_toggles[y], 0.0);
+}
+
+TEST(EventSim, FunctionalTogglesMatchZeroDelaySim) {
+  auto n = bench::ripple_carry_adder(6);
+  auto ts = sim::measure_timed_activity(n, 2000, 13);
+  auto zs = sim::measure_activity(n, 64, 13);
+  // Average functional toggles per vector should track the zero-delay rate
+  // (different RNG streams: loose tolerance).
+  double timed = 0, zero = 0;
+  for (NodeId id = 0; id < n.size(); ++id) {
+    timed += ts.functional_toggles[id] / (double)ts.vectors;
+    zero += zs.transition_prob[id];
+  }
+  EXPECT_NEAR(timed, zero, 0.1 * zero + 1.0);
+}
+
+TEST(EventSim, MultiplierGlitchFractionInSurveyRange) {
+  // §III-A.2: spurious transitions are 10-40% of switching activity in
+  // typical combinational circuits; array multipliers are the canonical
+  // heavy case.
+  auto n = bench::array_multiplier(6);
+  auto ts = sim::measure_timed_activity(n, 600, 17);
+  EXPECT_GT(ts.glitch_fraction(), 0.10);
+  EXPECT_LT(ts.glitch_fraction(), 0.75);
+}
+
+TEST(EventSim, SequentialClockBoundary) {
+  auto n = bench::counter(3);
+  sim::EventSim es(n);
+  bool en[1] = {true};
+  for (int i = 0; i < 10; ++i) es.apply({en, 1});
+  // Counter bit 0 toggles every cycle functionally.
+  auto dffs = n.dffs();
+  EXPECT_NEAR(es.stats().functional_toggles[dffs[0]], 10.0, 1.0);
+}
+
+TEST(Stimulus, CorrelatedStreamHasLowTransitions) {
+  auto hot = sim::correlated_stream(16, 4000, 0.05, 3);
+  auto cold = sim::uniform_stream(16, 4000, 3);
+  EXPECT_LT(sim::count_bus_transitions(hot, 16),
+            sim::count_bus_transitions(cold, 16) / 3);
+}
+
+TEST(Stimulus, RandomWalkMsbQuieterThanLsb) {
+  auto s = sim::random_walk_stream(16, 8000, 30.0, 5);
+  // Count per-bit transitions.
+  std::size_t lsb = 0, msb = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    lsb += (s[i] ^ s[i - 1]) & 1;
+    msb += (s[i] ^ s[i - 1]) >> 15 & 1;
+  }
+  EXPECT_GT(lsb, msb * 4);
+}
+
+TEST(Stimulus, AddressStreamMostlySequential) {
+  auto s = sim::address_stream(16, 4000, 0.95, 9);
+  std::size_t seq = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] == ((s[i - 1] + 1) & 0xFFFF)) ++seq;
+  EXPECT_GT(seq, s.size() * 9 / 10);
+}
+
+TEST(Stimulus, BitProbabilities) {
+  auto s = sim::uniform_stream(8, 4000, 21);
+  auto p = sim::stream_bit_probabilities(s, 8);
+  for (double x : p) EXPECT_NEAR(x, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,254 @@
+// Software-level tests: ISA semantics, instruction power model, scheduling,
+// register allocation, pairing (§V).
+
+#include <gtest/gtest.h>
+
+#include "sw/isa.hpp"
+#include "sw/pairing.hpp"
+#include "sw/power_model.hpp"
+#include "sw/regalloc.hpp"
+#include "sw/scheduling.hpp"
+
+namespace lps::sw {
+namespace {
+
+TEST(Machine, BasicSemantics) {
+  Machine m;
+  Program p{
+      {Opcode::LoadImm, 0, 0, 0, 0, 7, 0},
+      {Opcode::LoadImm, 1, 0, 0, 0, 5, 0},
+      {Opcode::Add, 2, 0, 0, 1, 0, 0},
+      {Opcode::Mul, 3, 0, 2, 1, 0, 0},
+      {Opcode::Sub, 4, 0, 3, 0, 0, 0},
+      {Opcode::Store, 0, 0, 4, 0, 0, 100},
+  };
+  m.run(p);
+  EXPECT_EQ(m.reg(2), 12);
+  EXPECT_EQ(m.reg(3), 60);
+  EXPECT_EQ(m.mem(100), 53);
+}
+
+TEST(Machine, MacAndAccumulator) {
+  Machine m;
+  Program p{
+      {Opcode::LoadImm, 0, 0, 0, 0, 3, 0},
+      {Opcode::LoadImm, 1, 0, 0, 0, 4, 0},
+      {Opcode::ClearAcc},
+      {Opcode::Mac, 0, 0, 0, 1, 0, 0},
+      {Opcode::Mac, 0, 0, 0, 1, 0, 0},
+      {Opcode::ReadAcc, 5, 0, 0, 0, 0, 0},
+  };
+  m.run(p);
+  EXPECT_EQ(m.acc(), 24);
+  EXPECT_EQ(m.reg(5), 24);
+}
+
+TEST(Machine, DualLoad) {
+  Machine m;
+  m.poke(10, 111);
+  m.poke(11, 222);
+  Program p{{Opcode::DualLoad, 2, 3, 0, 0, 0, 10}};
+  m.run(p);
+  EXPECT_EQ(m.reg(2), 111);
+  EXPECT_EQ(m.reg(3), 222);
+}
+
+TEST(Machine, DotProductKernel) {
+  Machine m;
+  for (int i = 0; i < 4; ++i) {
+    m.poke(0 + i, i + 1);   // x = 1,2,3,4
+    m.poke(16 + i, 2 * i);  // c = 0,2,4,6
+  }
+  auto p = dot_product_naive(4, 0, 16, 64);
+  m.run(p);
+  EXPECT_EQ(m.mem(64), 1 * 0 + 2 * 2 + 3 * 4 + 4 * 6);
+}
+
+TEST(Depends, RegisterAndMemoryHazards) {
+  Instr add{Opcode::Add, 2, 0, 0, 1, 0, 0};
+  Instr use{Opcode::Move, 3, 0, 2, 0, 0, 0};
+  Instr indep{Opcode::Move, 4, 0, 5, 0, 0, 0};
+  EXPECT_TRUE(depends(add, use));    // RAW
+  EXPECT_TRUE(depends(use, add));    // WAR when reordered
+  EXPECT_FALSE(depends(add, indep));
+  Instr st{Opcode::Store, 0, 0, 6, 0, 0, 20};
+  Instr ld_same{Opcode::Load, 7, 0, 0, 0, 0, 20};
+  Instr ld_other{Opcode::Load, 7, 0, 0, 0, 0, 21};
+  EXPECT_TRUE(depends(st, ld_same));
+  // Distinct constant addresses commute... except for the register hazard.
+  Instr ld_other2{Opcode::Load, 5, 0, 0, 0, 0, 21};
+  EXPECT_FALSE(depends(st, ld_other2));
+  (void)ld_other;
+}
+
+TEST(PowerModel, MemoryCostsMoreThanRegisters) {
+  EXPECT_GT(base_current_ma(Opcode::Load), 2 * base_current_ma(Opcode::Add));
+  EXPECT_GT(base_current_ma(Opcode::Store), 2 * base_current_ma(Opcode::Move));
+  // DualLoad beats two Loads.
+  EXPECT_LT(base_current_ma(Opcode::DualLoad) * cycles_of(Opcode::DualLoad),
+            2 * base_current_ma(Opcode::Load) * cycles_of(Opcode::Load));
+}
+
+TEST(PowerModel, OverheadSymmetricAndZeroOnRepeat) {
+  EXPECT_DOUBLE_EQ(overhead_cost(Opcode::Add, Opcode::Add), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_cost(Opcode::Add, Opcode::Load),
+                   overhead_cost(Opcode::Load, Opcode::Add));
+  EXPECT_GT(overhead_cost(Opcode::Mul, Opcode::Load), 0.0);
+}
+
+TEST(PowerModel, EnergyTracksCycles) {
+  // §V: "faster code almost always implies lower energy".
+  auto slow = dot_product_naive(16, 0, 32, 100);
+  PairingResult fast = fuse_mac(pack_loads(slow).program, 0);
+  EXPECT_LT(fast.after.cycles, program_energy(slow).cycles);
+  EXPECT_LT(fast.after.total_macycles(), program_energy(slow).total_macycles());
+}
+
+TEST(Scheduling, PreservesExecutionResults) {
+  Machine m1, m2;
+  for (int i = 0; i < 8; ++i) m1.poke(i, i * 3 + 1), m2.poke(i, i * 3 + 1);
+  // Interleaved independent work with a messy opcode order.
+  Program p{
+      {Opcode::Load, 0, 0, 0, 0, 0, 0},
+      {Opcode::Mul, 1, 0, 0, 0, 0, 0},
+      {Opcode::Load, 2, 0, 0, 0, 0, 1},
+      {Opcode::Add, 3, 0, 1, 2, 0, 0},
+      {Opcode::Load, 4, 0, 0, 0, 0, 2},
+      {Opcode::Mul, 5, 0, 4, 4, 0, 0},
+      {Opcode::Add, 6, 0, 3, 5, 0, 0},
+      {Opcode::Store, 0, 0, 6, 0, 0, 7},
+  };
+  auto r = schedule_for_power(p);
+  EXPECT_EQ(r.program.size(), p.size());
+  m1.run(p);
+  m2.run(r.program);
+  EXPECT_EQ(m1.mem(7), m2.mem(7));
+  EXPECT_LE(r.after.overhead_macycles, r.before.overhead_macycles + 1e-9);
+}
+
+TEST(Scheduling, GroupsLikeInstructions) {
+  // Independent loads and adds: the scheduler should cluster same-opcode
+  // runs (zero overhead within a run).
+  Program p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back({Opcode::Load, i, 0, 0, 0, 0, i});
+    p.push_back({Opcode::LoadImm, 4 + (i % 4), 0, 0, 0, i, 0});
+  }
+  auto r = schedule_for_power(p);
+  EXPECT_LT(r.after.overhead_macycles, r.before.overhead_macycles);
+}
+
+TEST(RegAlloc, CorrectWithSpills) {
+  // Sum 10 values kept in 10 virtual registers, allocated to 3 physical.
+  VirtualProgram vp;
+  for (int i = 0; i < 10; ++i)
+    vp.push_back({Opcode::LoadImm, 10 + i, 0, 0, 0, i + 1, 0});
+  int acc = 10;  // reuse v10 as accumulator
+  for (int i = 1; i < 10; ++i)
+    vp.push_back({Opcode::Add, acc, 0, acc, 10 + i, 0, 0});
+  vp.push_back({Opcode::Store, 0, 0, acc, 0, 0, 500});
+
+  for (int regs : {3, 4, 8}) {
+    Machine m;
+    auto r = allocate(vp, regs);
+    m.run(r.program);
+    EXPECT_EQ(m.mem(500), 55) << regs << " regs";
+  }
+}
+
+TEST(RegAlloc, FewerRegistersCostMoreEnergy) {
+  // A hot working set of 5 values plus occasional cold values: 8 registers
+  // hold the whole set (few spills); 3 registers thrash.
+  VirtualProgram vp;
+  for (int i = 0; i < 10; ++i)
+    vp.push_back({Opcode::LoadImm, 20 + i, 0, 0, 0, i, 0});
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 5; ++i)
+      vp.push_back(
+          {Opcode::Add, 20 + i, 0, 20 + i, 20 + ((i + 1) % 5), 0, 0});
+    // One cold touch per round.
+    vp.push_back({Opcode::Add, 25 + round % 5, 0, 25 + round % 5, 20, 0, 0});
+  }
+  auto r3 = allocate(vp, 3);
+  auto r8 = allocate(vp, 8);
+  EXPECT_GT(r3.spill_loads + r3.spill_stores,
+            r8.spill_loads + r8.spill_stores);
+  EXPECT_GT(r3.energy.total_macycles(), r8.energy.total_macycles());
+}
+
+TEST(Pairing, PackLoadsPreservesResults) {
+  Machine m1, m2;
+  for (int i = 0; i < 8; ++i) m1.poke(i, 5 * i + 2), m2.poke(i, 5 * i + 2);
+  auto p = dot_product_naive(4, 0, 4, 50);
+  auto packed = pack_loads(p);
+  EXPECT_EQ(packed.loads_packed, 0);  // x and c are in different regions
+  // Adjacent-address loads:
+  Program q{
+      {Opcode::Load, 1, 0, 0, 0, 0, 2},
+      {Opcode::Load, 2, 0, 0, 0, 0, 3},
+      {Opcode::Add, 3, 0, 1, 2, 0, 0},
+      {Opcode::Store, 0, 0, 3, 0, 0, 60},
+  };
+  auto pq = pack_loads(q);
+  EXPECT_EQ(pq.loads_packed, 1);
+  m1.run(q);
+  m2.run(pq.program);
+  EXPECT_EQ(m1.mem(60), m2.mem(60));
+  EXPECT_LT(pq.after.total_macycles(), pq.before.total_macycles());
+}
+
+TEST(Pairing, FuseMacPreservesResultAndSaves) {
+  Machine m1, m2;
+  for (int i = 0; i < 8; ++i) {
+    m1.poke(i, i + 2);
+    m2.poke(i, i + 2);
+    m1.poke(16 + i, 3 * i + 1);
+    m2.poke(16 + i, 3 * i + 1);
+  }
+  auto p = dot_product_naive(8, 0, 16, 90);
+  auto f = fuse_mac(p, /*sum_reg=*/0);
+  EXPECT_EQ(f.macs_fused, 8);
+  m1.run(p);
+  m2.run(f.program);
+  EXPECT_EQ(m1.mem(90), m2.mem(90));
+  EXPECT_LT(f.after.total_macycles(), f.before.total_macycles());
+}
+
+TEST(Pairing, FuseMacNoopWithoutIdiom) {
+  Program p{{Opcode::LoadImm, 1, 0, 0, 0, 9, 0},
+            {Opcode::Add, 2, 0, 1, 1, 0, 0}};
+  auto f = fuse_mac(p, 0);
+  EXPECT_EQ(f.macs_fused, 0);
+  EXPECT_EQ(f.program.size(), p.size());
+}
+
+TEST(AlgorithmChoice, HornerBeatsNaivePolynomial) {
+  // Both algorithms must agree on the result; Horner must be faster AND
+  // cheaper (the [49] observation that algorithm choice dominates).
+  Machine m1, m2;
+  for (int i = 0; i <= 8; ++i) {
+    m1.poke(i, i + 1);
+    m2.poke(i, i + 1);
+  }
+  m1.poke(40, 3);
+  m2.poke(40, 3);
+  auto pn = poly_eval_naive(8, 0, 40, 50);
+  auto ph = poly_eval_horner(8, 0, 40, 50);
+  m1.run(pn);
+  m2.run(ph);
+  EXPECT_EQ(m1.mem(50), m2.mem(50));
+  auto en = program_energy(pn);
+  auto eh = program_energy(ph);
+  EXPECT_LT(eh.cycles, en.cycles);
+  EXPECT_LT(eh.total_macycles(), en.total_macycles());
+}
+
+TEST(Isa, Disassembly) {
+  Instr i{Opcode::Add, 2, 0, 0, 1, 0, 0};
+  EXPECT_EQ(i.to_string(), "add r2, r0, r1");
+  Instr l{Opcode::Load, 3, 0, 0, 0, 0, 42};
+  EXPECT_EQ(l.to_string(), "ld r3, [42]");
+}
+
+}  // namespace
+}  // namespace lps::sw
