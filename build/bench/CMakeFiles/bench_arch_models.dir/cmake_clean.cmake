@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arch_models.dir/bench_arch_models.cpp.o"
+  "CMakeFiles/bench_arch_models.dir/bench_arch_models.cpp.o.d"
+  "bench_arch_models"
+  "bench_arch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

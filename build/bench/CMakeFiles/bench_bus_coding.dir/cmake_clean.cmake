@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_coding.dir/bench_bus_coding.cpp.o"
+  "CMakeFiles/bench_bus_coding.dir/bench_bus_coding.cpp.o.d"
+  "bench_bus_coding"
+  "bench_bus_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

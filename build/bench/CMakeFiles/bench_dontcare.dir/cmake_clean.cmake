@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dontcare.dir/bench_dontcare.cpp.o"
+  "CMakeFiles/bench_dontcare.dir/bench_dontcare.cpp.o.d"
+  "bench_dontcare"
+  "bench_dontcare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dontcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_factoring.dir/bench_factoring.cpp.o"
+  "CMakeFiles/bench_factoring.dir/bench_factoring.cpp.o.d"
+  "bench_factoring"
+  "bench_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

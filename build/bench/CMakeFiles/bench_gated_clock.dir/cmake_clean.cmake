@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gated_clock.dir/bench_gated_clock.cpp.o"
+  "CMakeFiles/bench_gated_clock.dir/bench_gated_clock.cpp.o.d"
+  "bench_gated_clock"
+  "bench_gated_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gated_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

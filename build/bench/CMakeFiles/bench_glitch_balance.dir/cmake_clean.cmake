@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glitch_balance.dir/bench_glitch_balance.cpp.o"
+  "CMakeFiles/bench_glitch_balance.dir/bench_glitch_balance.cpp.o.d"
+  "bench_glitch_balance"
+  "bench_glitch_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glitch_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

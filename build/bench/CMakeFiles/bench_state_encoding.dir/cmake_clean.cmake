@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_encoding.dir/bench_state_encoding.cpp.o"
+  "CMakeFiles/bench_state_encoding.dir/bench_state_encoding.cpp.o.d"
+  "bench_state_encoding"
+  "bench_state_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

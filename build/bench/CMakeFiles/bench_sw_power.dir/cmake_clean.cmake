@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_power.dir/bench_sw_power.cpp.o"
+  "CMakeFiles/bench_sw_power.dir/bench_sw_power.cpp.o.d"
+  "bench_sw_power"
+  "bench_sw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_sched.dir/bench_sw_sched.cpp.o"
+  "CMakeFiles/bench_sw_sched.dir/bench_sw_sched.cpp.o.d"
+  "bench_sw_sched"
+  "bench_sw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voltage_scaling.dir/bench_voltage_scaling.cpp.o"
+  "CMakeFiles/bench_voltage_scaling.dir/bench_voltage_scaling.cpp.o.d"
+  "bench_voltage_scaling"
+  "bench_voltage_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voltage_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

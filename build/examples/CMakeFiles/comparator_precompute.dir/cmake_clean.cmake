@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_precompute.dir/comparator_precompute.cpp.o"
+  "CMakeFiles/comparator_precompute.dir/comparator_precompute.cpp.o.d"
+  "comparator_precompute"
+  "comparator_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_datapath.dir/dsp_datapath.cpp.o"
+  "CMakeFiles/dsp_datapath.dir/dsp_datapath.cpp.o.d"
+  "dsp_datapath"
+  "dsp_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

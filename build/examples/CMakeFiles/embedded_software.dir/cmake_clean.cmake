@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_software.dir/embedded_software.cpp.o"
+  "CMakeFiles/embedded_software.dir/embedded_software.cpp.o.d"
+  "embedded_software"
+  "embedded_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_lowpower.dir/fsm_lowpower.cpp.o"
+  "CMakeFiles/fsm_lowpower.dir/fsm_lowpower.cpp.o.d"
+  "fsm_lowpower"
+  "fsm_lowpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_lowpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/binding.cpp" "src/CMakeFiles/lps_arch.dir/arch/binding.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/binding.cpp.o.d"
+  "/root/repo/src/arch/dfg.cpp" "src/CMakeFiles/lps_arch.dir/arch/dfg.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/dfg.cpp.o.d"
+  "/root/repo/src/arch/macromodel.cpp" "src/CMakeFiles/lps_arch.dir/arch/macromodel.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/macromodel.cpp.o.d"
+  "/root/repo/src/arch/memory.cpp" "src/CMakeFiles/lps_arch.dir/arch/memory.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/memory.cpp.o.d"
+  "/root/repo/src/arch/modules.cpp" "src/CMakeFiles/lps_arch.dir/arch/modules.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/modules.cpp.o.d"
+  "/root/repo/src/arch/scheduling.cpp" "src/CMakeFiles/lps_arch.dir/arch/scheduling.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/scheduling.cpp.o.d"
+  "/root/repo/src/arch/transforms.cpp" "src/CMakeFiles/lps_arch.dir/arch/transforms.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/transforms.cpp.o.d"
+  "/root/repo/src/arch/voltage.cpp" "src/CMakeFiles/lps_arch.dir/arch/voltage.cpp.o" "gcc" "src/CMakeFiles/lps_arch.dir/arch/voltage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

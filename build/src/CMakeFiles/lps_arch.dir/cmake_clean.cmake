@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_arch.dir/arch/binding.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/binding.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/dfg.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/dfg.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/macromodel.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/macromodel.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/memory.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/memory.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/modules.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/modules.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/scheduling.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/scheduling.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/transforms.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/transforms.cpp.o.d"
+  "CMakeFiles/lps_arch.dir/arch/voltage.cpp.o"
+  "CMakeFiles/lps_arch.dir/arch/voltage.cpp.o.d"
+  "liblps_arch.a"
+  "liblps_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

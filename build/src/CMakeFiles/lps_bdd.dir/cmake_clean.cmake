@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/lps_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/lps_bdd.dir/bdd/bdd_netlist.cpp.o"
+  "CMakeFiles/lps_bdd.dir/bdd/bdd_netlist.cpp.o.d"
+  "liblps_bdd.a"
+  "liblps_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/complex_gate.cpp" "src/CMakeFiles/lps_circuit.dir/circuit/complex_gate.cpp.o" "gcc" "src/CMakeFiles/lps_circuit.dir/circuit/complex_gate.cpp.o.d"
+  "/root/repo/src/circuit/reordering.cpp" "src/CMakeFiles/lps_circuit.dir/circuit/reordering.cpp.o" "gcc" "src/CMakeFiles/lps_circuit.dir/circuit/reordering.cpp.o.d"
+  "/root/repo/src/circuit/sizing.cpp" "src/CMakeFiles/lps_circuit.dir/circuit/sizing.cpp.o" "gcc" "src/CMakeFiles/lps_circuit.dir/circuit/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_circuit.dir/circuit/complex_gate.cpp.o"
+  "CMakeFiles/lps_circuit.dir/circuit/complex_gate.cpp.o.d"
+  "CMakeFiles/lps_circuit.dir/circuit/reordering.cpp.o"
+  "CMakeFiles/lps_circuit.dir/circuit/reordering.cpp.o.d"
+  "CMakeFiles/lps_circuit.dir/circuit/sizing.cpp.o"
+  "CMakeFiles/lps_circuit.dir/circuit/sizing.cpp.o.d"
+  "liblps_circuit.a"
+  "liblps_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/bus_invert.cpp" "src/CMakeFiles/lps_coding.dir/coding/bus_invert.cpp.o" "gcc" "src/CMakeFiles/lps_coding.dir/coding/bus_invert.cpp.o.d"
+  "/root/repo/src/coding/gray.cpp" "src/CMakeFiles/lps_coding.dir/coding/gray.cpp.o" "gcc" "src/CMakeFiles/lps_coding.dir/coding/gray.cpp.o.d"
+  "/root/repo/src/coding/limited_weight.cpp" "src/CMakeFiles/lps_coding.dir/coding/limited_weight.cpp.o" "gcc" "src/CMakeFiles/lps_coding.dir/coding/limited_weight.cpp.o.d"
+  "/root/repo/src/coding/residue.cpp" "src/CMakeFiles/lps_coding.dir/coding/residue.cpp.o" "gcc" "src/CMakeFiles/lps_coding.dir/coding/residue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_coding.dir/coding/bus_invert.cpp.o"
+  "CMakeFiles/lps_coding.dir/coding/bus_invert.cpp.o.d"
+  "CMakeFiles/lps_coding.dir/coding/gray.cpp.o"
+  "CMakeFiles/lps_coding.dir/coding/gray.cpp.o.d"
+  "CMakeFiles/lps_coding.dir/coding/limited_weight.cpp.o"
+  "CMakeFiles/lps_coding.dir/coding/limited_weight.cpp.o.d"
+  "CMakeFiles/lps_coding.dir/coding/residue.cpp.o"
+  "CMakeFiles/lps_coding.dir/coding/residue.cpp.o.d"
+  "liblps_coding.a"
+  "liblps_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

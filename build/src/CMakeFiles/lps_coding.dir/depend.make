@@ -1,0 +1,2 @@
+# Empty dependencies file for lps_coding.
+# This may be replaced when dependencies are built.

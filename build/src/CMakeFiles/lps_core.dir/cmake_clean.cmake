@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_core.dir/core/flows.cpp.o"
+  "CMakeFiles/lps_core.dir/core/flows.cpp.o.d"
+  "CMakeFiles/lps_core.dir/core/pass.cpp.o"
+  "CMakeFiles/lps_core.dir/core/pass.cpp.o.d"
+  "CMakeFiles/lps_core.dir/core/report.cpp.o"
+  "CMakeFiles/lps_core.dir/core/report.cpp.o.d"
+  "liblps_core.a"
+  "liblps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logicopt/decompose_power.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/decompose_power.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/decompose_power.cpp.o.d"
+  "/root/repo/src/logicopt/dontcare.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/dontcare.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/dontcare.cpp.o.d"
+  "/root/repo/src/logicopt/library.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/library.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/library.cpp.o.d"
+  "/root/repo/src/logicopt/path_balance.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/path_balance.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/path_balance.cpp.o.d"
+  "/root/repo/src/logicopt/power_factor.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/power_factor.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/power_factor.cpp.o.d"
+  "/root/repo/src/logicopt/resynth.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/resynth.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/resynth.cpp.o.d"
+  "/root/repo/src/logicopt/techmap.cpp" "src/CMakeFiles/lps_logicopt.dir/logicopt/techmap.cpp.o" "gcc" "src/CMakeFiles/lps_logicopt.dir/logicopt/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_logicopt.dir/logicopt/decompose_power.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/decompose_power.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/dontcare.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/dontcare.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/library.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/library.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/path_balance.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/path_balance.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/power_factor.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/power_factor.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/resynth.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/resynth.cpp.o.d"
+  "CMakeFiles/lps_logicopt.dir/logicopt/techmap.cpp.o"
+  "CMakeFiles/lps_logicopt.dir/logicopt/techmap.cpp.o.d"
+  "liblps_logicopt.a"
+  "liblps_logicopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_logicopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

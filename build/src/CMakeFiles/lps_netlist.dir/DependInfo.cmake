@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/benchmarks.cpp" "src/CMakeFiles/lps_netlist.dir/netlist/benchmarks.cpp.o" "gcc" "src/CMakeFiles/lps_netlist.dir/netlist/benchmarks.cpp.o.d"
+  "/root/repo/src/netlist/blif.cpp" "src/CMakeFiles/lps_netlist.dir/netlist/blif.cpp.o" "gcc" "src/CMakeFiles/lps_netlist.dir/netlist/blif.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/lps_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/lps_netlist.dir/netlist/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

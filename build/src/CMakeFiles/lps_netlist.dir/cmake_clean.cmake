@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_netlist.dir/netlist/benchmarks.cpp.o"
+  "CMakeFiles/lps_netlist.dir/netlist/benchmarks.cpp.o.d"
+  "CMakeFiles/lps_netlist.dir/netlist/blif.cpp.o"
+  "CMakeFiles/lps_netlist.dir/netlist/blif.cpp.o.d"
+  "CMakeFiles/lps_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/lps_netlist.dir/netlist/netlist.cpp.o.d"
+  "liblps_netlist.a"
+  "liblps_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

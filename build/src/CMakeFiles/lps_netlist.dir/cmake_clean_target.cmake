@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblps_netlist.a"
+)

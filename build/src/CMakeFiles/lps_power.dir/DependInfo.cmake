@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity.cpp" "src/CMakeFiles/lps_power.dir/power/activity.cpp.o" "gcc" "src/CMakeFiles/lps_power.dir/power/activity.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/lps_power.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/lps_power.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/power/probability.cpp" "src/CMakeFiles/lps_power.dir/power/probability.cpp.o" "gcc" "src/CMakeFiles/lps_power.dir/power/probability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_power.dir/power/activity.cpp.o"
+  "CMakeFiles/lps_power.dir/power/activity.cpp.o.d"
+  "CMakeFiles/lps_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/lps_power.dir/power/power_model.cpp.o.d"
+  "CMakeFiles/lps_power.dir/power/probability.cpp.o"
+  "CMakeFiles/lps_power.dir/power/probability.cpp.o.d"
+  "liblps_power.a"
+  "liblps_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

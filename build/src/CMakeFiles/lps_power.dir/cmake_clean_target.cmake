@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblps_power.a"
+)

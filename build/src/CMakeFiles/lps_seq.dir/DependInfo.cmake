@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/clock_gating.cpp" "src/CMakeFiles/lps_seq.dir/seq/clock_gating.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/clock_gating.cpp.o.d"
+  "/root/repo/src/seq/encoding.cpp" "src/CMakeFiles/lps_seq.dir/seq/encoding.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/encoding.cpp.o.d"
+  "/root/repo/src/seq/guarded_eval.cpp" "src/CMakeFiles/lps_seq.dir/seq/guarded_eval.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/guarded_eval.cpp.o.d"
+  "/root/repo/src/seq/precompute.cpp" "src/CMakeFiles/lps_seq.dir/seq/precompute.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/precompute.cpp.o.d"
+  "/root/repo/src/seq/retiming.cpp" "src/CMakeFiles/lps_seq.dir/seq/retiming.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/retiming.cpp.o.d"
+  "/root/repo/src/seq/seq_circuit.cpp" "src/CMakeFiles/lps_seq.dir/seq/seq_circuit.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/seq_circuit.cpp.o.d"
+  "/root/repo/src/seq/stg.cpp" "src/CMakeFiles/lps_seq.dir/seq/stg.cpp.o" "gcc" "src/CMakeFiles/lps_seq.dir/seq/stg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

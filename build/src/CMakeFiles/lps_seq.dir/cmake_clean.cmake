@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_seq.dir/seq/clock_gating.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/clock_gating.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/encoding.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/encoding.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/guarded_eval.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/guarded_eval.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/precompute.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/precompute.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/retiming.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/retiming.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/seq_circuit.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/seq_circuit.cpp.o.d"
+  "CMakeFiles/lps_seq.dir/seq/stg.cpp.o"
+  "CMakeFiles/lps_seq.dir/seq/stg.cpp.o.d"
+  "liblps_seq.a"
+  "liblps_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/eventsim.cpp" "src/CMakeFiles/lps_sim.dir/sim/eventsim.cpp.o" "gcc" "src/CMakeFiles/lps_sim.dir/sim/eventsim.cpp.o.d"
+  "/root/repo/src/sim/logicsim.cpp" "src/CMakeFiles/lps_sim.dir/sim/logicsim.cpp.o" "gcc" "src/CMakeFiles/lps_sim.dir/sim/logicsim.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/CMakeFiles/lps_sim.dir/sim/stimulus.cpp.o" "gcc" "src/CMakeFiles/lps_sim.dir/sim/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

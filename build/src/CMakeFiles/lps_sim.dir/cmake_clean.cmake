@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_sim.dir/sim/eventsim.cpp.o"
+  "CMakeFiles/lps_sim.dir/sim/eventsim.cpp.o.d"
+  "CMakeFiles/lps_sim.dir/sim/logicsim.cpp.o"
+  "CMakeFiles/lps_sim.dir/sim/logicsim.cpp.o.d"
+  "CMakeFiles/lps_sim.dir/sim/stimulus.cpp.o"
+  "CMakeFiles/lps_sim.dir/sim/stimulus.cpp.o.d"
+  "liblps_sim.a"
+  "liblps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

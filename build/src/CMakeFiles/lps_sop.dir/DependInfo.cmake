@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/cube.cpp" "src/CMakeFiles/lps_sop.dir/sop/cube.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/cube.cpp.o.d"
+  "/root/repo/src/sop/division.cpp" "src/CMakeFiles/lps_sop.dir/sop/division.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/division.cpp.o.d"
+  "/root/repo/src/sop/factoring.cpp" "src/CMakeFiles/lps_sop.dir/sop/factoring.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/factoring.cpp.o.d"
+  "/root/repo/src/sop/kernels.cpp" "src/CMakeFiles/lps_sop.dir/sop/kernels.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/kernels.cpp.o.d"
+  "/root/repo/src/sop/minimize.cpp" "src/CMakeFiles/lps_sop.dir/sop/minimize.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/minimize.cpp.o.d"
+  "/root/repo/src/sop/sop.cpp" "src/CMakeFiles/lps_sop.dir/sop/sop.cpp.o" "gcc" "src/CMakeFiles/lps_sop.dir/sop/sop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_sop.dir/sop/cube.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/cube.cpp.o.d"
+  "CMakeFiles/lps_sop.dir/sop/division.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/division.cpp.o.d"
+  "CMakeFiles/lps_sop.dir/sop/factoring.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/factoring.cpp.o.d"
+  "CMakeFiles/lps_sop.dir/sop/kernels.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/kernels.cpp.o.d"
+  "CMakeFiles/lps_sop.dir/sop/minimize.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/minimize.cpp.o.d"
+  "CMakeFiles/lps_sop.dir/sop/sop.cpp.o"
+  "CMakeFiles/lps_sop.dir/sop/sop.cpp.o.d"
+  "liblps_sop.a"
+  "liblps_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/isa.cpp" "src/CMakeFiles/lps_sw.dir/sw/isa.cpp.o" "gcc" "src/CMakeFiles/lps_sw.dir/sw/isa.cpp.o.d"
+  "/root/repo/src/sw/pairing.cpp" "src/CMakeFiles/lps_sw.dir/sw/pairing.cpp.o" "gcc" "src/CMakeFiles/lps_sw.dir/sw/pairing.cpp.o.d"
+  "/root/repo/src/sw/power_model.cpp" "src/CMakeFiles/lps_sw.dir/sw/power_model.cpp.o" "gcc" "src/CMakeFiles/lps_sw.dir/sw/power_model.cpp.o.d"
+  "/root/repo/src/sw/regalloc.cpp" "src/CMakeFiles/lps_sw.dir/sw/regalloc.cpp.o" "gcc" "src/CMakeFiles/lps_sw.dir/sw/regalloc.cpp.o.d"
+  "/root/repo/src/sw/scheduling.cpp" "src/CMakeFiles/lps_sw.dir/sw/scheduling.cpp.o" "gcc" "src/CMakeFiles/lps_sw.dir/sw/scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

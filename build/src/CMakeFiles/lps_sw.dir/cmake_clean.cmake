@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lps_sw.dir/sw/isa.cpp.o"
+  "CMakeFiles/lps_sw.dir/sw/isa.cpp.o.d"
+  "CMakeFiles/lps_sw.dir/sw/pairing.cpp.o"
+  "CMakeFiles/lps_sw.dir/sw/pairing.cpp.o.d"
+  "CMakeFiles/lps_sw.dir/sw/power_model.cpp.o"
+  "CMakeFiles/lps_sw.dir/sw/power_model.cpp.o.d"
+  "CMakeFiles/lps_sw.dir/sw/regalloc.cpp.o"
+  "CMakeFiles/lps_sw.dir/sw/regalloc.cpp.o.d"
+  "CMakeFiles/lps_sw.dir/sw/scheduling.cpp.o"
+  "CMakeFiles/lps_sw.dir/sw/scheduling.cpp.o.d"
+  "liblps_sw.a"
+  "liblps_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lps_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coding.cpp" "tests/CMakeFiles/test_coding.dir/test_coding.cpp.o" "gcc" "tests/CMakeFiles/test_coding.dir/test_coding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_logicopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lps_sw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

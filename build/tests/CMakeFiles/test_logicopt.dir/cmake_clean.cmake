@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logicopt.dir/test_logicopt.cpp.o"
+  "CMakeFiles/test_logicopt.dir/test_logicopt.cpp.o.d"
+  "test_logicopt"
+  "test_logicopt.pdb"
+  "test_logicopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logicopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw.dir/test_sw.cpp.o"
+  "CMakeFiles/test_sw.dir/test_sw.cpp.o.d"
+  "test_sw"
+  "test_sw.pdb"
+  "test_sw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
