@@ -28,7 +28,12 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << argv[1] << "\n";
         std::exit(1);
       }
-      return read_kiss(f);
+      // Report every diagnostic, not just the first error.
+      diag::DiagEngine eng;
+      auto parsed = parse_kiss(f, eng, argv[1]);
+      if (!eng.str().empty()) std::cerr << eng.str();
+      if (!parsed) std::exit(1);
+      return std::move(*parsed);
     }
     return polling_fsm(16);
   }();

@@ -2,6 +2,7 @@
 // spirit of the SIS shell the surveyed flows lived in.
 //
 //   netlist_tool stats    <in.blif>
+//   netlist_tool check    <in.blif>                 # lint + invariant check
 //   netlist_tool power    <in.blif> [vectors]
 //   netlist_tool optimize <in.blif> <out.blif>     # full low-power flow
 //   netlist_tool balance  <in.blif> <out.blif>     # path balancing only
@@ -26,6 +27,7 @@
 #include "logicopt/techmap.hpp"
 #include "netlist/benchmarks.hpp"
 #include "netlist/blif.hpp"
+#include "netlist/validate.hpp"
 #include "power/activity.hpp"
 
 namespace {
@@ -33,7 +35,7 @@ namespace {
 using namespace lps;
 
 int usage() {
-  std::cerr << "usage: netlist_tool stats|power|optimize|balance|map|gen "
+  std::cerr << "usage: netlist_tool stats|check|power|optimize|balance|map|gen "
                "<args>  (see source header)\n";
   return 2;
 }
@@ -60,6 +62,29 @@ int main(int argc, char** argv) {
     if (cmd == "gen") {
       if (argc < 4) return usage();
       write_out(generate(argv[2]), argv[3]);
+      return 0;
+    }
+    if (cmd == "check") {
+      // Non-throwing parse: print every diagnostic, not just the first.
+      std::ifstream f(argv[2]);
+      if (!f) {
+        std::cerr << "error: cannot open " << argv[2] << "\n";
+        return 1;
+      }
+      diag::DiagEngine eng;
+      auto parsed = blif::parse(f, eng, argv[2]);
+      if (parsed) validate(*parsed, eng);
+      if (!eng.str().empty()) std::cerr << eng.str();
+      if (!parsed || !eng.ok()) {
+        std::cerr << argv[2] << ": " << eng.num_errors() << " error(s), "
+                  << eng.num_warnings() << " warning(s)\n";
+        return 1;
+      }
+      std::cout << argv[2] << ": ok ("
+                << (eng.num_warnings() ? std::to_string(eng.num_warnings()) +
+                                             " warning(s), "
+                                       : std::string())
+                << parsed->num_gates() << " gates)\n";
       return 0;
     }
     Netlist net = blif::read_file(argv[2]);

@@ -16,8 +16,15 @@
 int main(int argc, char** argv) {
   using namespace lps;
 
-  Netlist net = (argc > 1) ? blif::read_file(argv[1])
-                           : bench::carry_select_adder(16, 4);
+  Netlist net = [&] {
+    if (argc <= 1) return bench::carry_select_adder(16, 4);
+    try {
+      return blif::read_file(argv[1]);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(1);
+    }
+  }();
   std::cout << "Circuit: " << net.name() << " — " << net.inputs().size()
             << " inputs, " << net.outputs().size() << " outputs, "
             << net.num_gates() << " gates\n\n";

@@ -15,6 +15,67 @@ int latency(const Dfg& g, const std::vector<const Module*>& choice, OpId i) {
   return is_exec(g.op(i).type) && choice[i] ? choice[i]->latency_cs : 0;
 }
 
+std::string op_desc(const Dfg& g, OpId i) {
+  std::string s = "op " + std::to_string(i) + " (" + to_string(g.op(i).type);
+  if (!g.op(i).name.empty()) s += " \"" + g.op(i).name + "\"";
+  s += ')';
+  return s;
+}
+
+// Ops whose dependencies can never all complete — the members (and
+// downstream victims) of dependency cycles.  Kahn-style elimination: drop
+// ops whose args are all schedulable; whatever remains is stuck.
+std::vector<OpId> unschedulable_ops(const Dfg& g) {
+  std::vector<bool> ok(g.num_ops(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (OpId i = 0; i < g.num_ops(); ++i) {
+      if (ok[i]) continue;
+      bool ready = true;
+      for (OpId a : g.op(i).args)
+        if (a < 0 || a >= g.num_ops() || !ok[a]) {
+          ready = false;
+          break;
+        }
+      if (ready) {
+        ok[i] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<OpId> stuck;
+  for (OpId i = 0; i < g.num_ops(); ++i)
+    if (!ok[i]) stuck.push_back(i);
+  return stuck;
+}
+
+// One actual cycle among the stuck ops, formatted "op a -> op b -> op a".
+std::string describe_cycle(const Dfg& g, const std::vector<OpId>& stuck) {
+  std::vector<bool> in_stuck(g.num_ops(), false);
+  for (OpId i : stuck) in_stuck[i] = true;
+  // Walk args staying inside the stuck set until an op repeats.
+  std::vector<int> visited_at(g.num_ops(), -1);
+  std::vector<OpId> path;
+  OpId cur = stuck.empty() ? -1 : stuck.front();
+  while (cur >= 0 && visited_at[cur] < 0) {
+    visited_at[cur] = static_cast<int>(path.size());
+    path.push_back(cur);
+    OpId next = -1;
+    for (OpId a : g.op(cur).args)
+      if (a >= 0 && a < g.num_ops() && in_stuck[a]) {
+        next = a;
+        break;
+      }
+    cur = next;
+  }
+  if (cur < 0) return "(cycle not recovered)";
+  std::string s;
+  for (std::size_t k = visited_at[cur]; k < path.size(); ++k)
+    s += op_desc(g, path[k]) + " -> ";
+  return s + op_desc(g, cur);
+}
+
 }  // namespace
 
 Schedule asap(const Dfg& g, const std::vector<const Module*>& choice) {
@@ -54,6 +115,18 @@ Schedule alap(const Dfg& g, const std::vector<const Module*>& choice,
 
 Schedule list_schedule(const Dfg& g, const std::vector<const Module*>& choice,
                        const std::map<OpType, int>& limits) {
+  // A cyclic DFG would spin the ready loop forever; diagnose it upfront and
+  // name the ops that form the cycle rather than timing out.
+  if (auto stuck = unschedulable_ops(g); !stuck.empty()) {
+    std::string who;
+    for (OpId i : stuck) {
+      if (!who.empty()) who += ", ";
+      who += op_desc(g, i);
+    }
+    throw std::logic_error("list_schedule: " + std::to_string(stuck.size()) +
+                           " op(s) can never be scheduled [" + who +
+                           "]; dependency cycle: " + describe_cycle(g, stuck));
+  }
   Schedule a = asap(g, choice);
   Schedule l = alap(g, choice, a.length_cs);
   Schedule s;
@@ -125,8 +198,12 @@ Schedule list_schedule(const Dfg& g, const std::vector<const Module*>& choice,
       any = true;
     }
     if (!any) ++cs;
+    // Cycles are rejected upfront; this bound only guards against resource
+    // tables that can never admit an op (e.g. a limit of 0 units).
     if (cs > 100000)
-      throw std::logic_error("list_schedule: no progress (cyclic DFG?)");
+      throw std::logic_error(
+          "list_schedule: no progress after 100000 control steps — "
+          "a resource limit of 0 units blocks a required op type?");
   }
   for (int f : s.finish_cs) s.length_cs = std::max(s.length_cs, f);
   return s;

@@ -1,7 +1,8 @@
 #include "bdd/bdd.hpp"
 
+#include "core/diag.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace lps::bdd {
@@ -31,12 +32,16 @@ Ref Manager::mk(unsigned var, Ref lo, Ref hi) {
 }
 
 Ref Manager::var(unsigned v) {
-  assert(v < num_vars_);
+  LPS_CHECK(v < num_vars_, "BDD variable " + std::to_string(v) +
+                               " not declared (manager has " +
+                               std::to_string(num_vars_) + " vars)");
   return mk(v, kFalse, kTrue);
 }
 
 Ref Manager::nvar(unsigned v) {
-  assert(v < num_vars_);
+  LPS_CHECK(v < num_vars_, "BDD variable " + std::to_string(v) +
+                               " not declared (manager has " +
+                               std::to_string(num_vars_) + " vars)");
   return mk(v, kTrue, kFalse);
 }
 
@@ -113,7 +118,9 @@ double Manager::sat_count(Ref f) {
 }
 
 double Manager::probability(Ref f, std::span<const double> p) {
-  assert(p.size() >= num_vars_);
+  LPS_CHECK(p.size() >= num_vars_,
+            "probability vector has " + std::to_string(p.size()) +
+                " entries for " + std::to_string(num_vars_) + " variables");
   std::unordered_map<Ref, double> memo;
   auto rec = [&](auto&& self, Ref r) -> double {
     if (r == kFalse) return 0.0;

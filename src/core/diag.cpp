@@ -1,0 +1,83 @@
+#include "core/diag.hpp"
+
+namespace lps::diag {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "?";
+}
+
+std::string SourceLoc::str() const {
+  std::string s = file;
+  if (line > 0) {
+    if (!s.empty()) s += ':';
+    s += std::to_string(line);
+    if (col > 0) {
+      s += ':';
+      s += std::to_string(col);
+    }
+  }
+  return s;
+}
+
+std::string Diagnostic::str() const {
+  std::string s(to_string(severity));
+  s += ": ";
+  if (loc.known()) {
+    s += loc.str();
+    s += ": ";
+  }
+  s += message;
+  return s;
+}
+
+void DiagEngine::report(Diagnostic d) {
+  if (d.severity == Severity::Error || d.severity == Severity::Fatal)
+    ++num_errors_;
+  else if (d.severity == Severity::Warning)
+    ++num_warnings_;
+  if (diags_.size() < limit_)
+    diags_.push_back(std::move(d));
+  else
+    ++suppressed_;
+}
+
+const Diagnostic* DiagEngine::first_error() const {
+  for (const auto& d : diags_)
+    if (d.severity == Severity::Error || d.severity == Severity::Fatal)
+      return &d;
+  return nullptr;
+}
+
+std::string DiagEngine::str() const {
+  std::string s;
+  for (const auto& d : diags_) {
+    s += d.str();
+    s += '\n';
+  }
+  if (suppressed_ > 0)
+    s += "(" + std::to_string(suppressed_) + " further diagnostics omitted)\n";
+  return s;
+}
+
+void DiagEngine::clear() {
+  diags_.clear();
+  num_errors_ = num_warnings_ = suppressed_ = 0;
+}
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  Diagnostic d;
+  d.severity = Severity::Fatal;
+  d.message = "invariant violated: " + std::string(cond) +
+              (msg.empty() ? "" : " — " + msg);
+  d.loc = SourceLoc{file, line, 0};
+  throw CheckError(std::move(d));
+}
+
+}  // namespace lps::diag

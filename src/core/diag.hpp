@@ -1,0 +1,169 @@
+// diag.hpp — diagnostics substrate: Status, Diagnostic, DiagEngine, LPS_CHECK.
+//
+// Every parser, checker and pass in this library reports failures through
+// one vocabulary instead of scattered throw/assert sites:
+//
+//  - Diagnostic: severity + message + optional source location (file:line:col
+//    for the BLIF/KISS readers, node ids for the netlist checker).
+//  - Status: "ok or one Diagnostic" — the return type for operations that
+//    either succeed or fail with a reason.
+//  - DiagEngine: a collector with a configurable retention limit, used by the
+//    parsers (which keep going after the first error) and by the netlist
+//    invariant checker.
+//  - LPS_CHECK(cond, msg): an always-on invariant check.  Unlike assert() it
+//    fires in release builds too, throwing diag::CheckError with the failing
+//    condition and source position — a corrupted netlist raises a structured
+//    error instead of silently corrupting memory.
+//
+// This header sits *below* every other subsystem (netlist, seq, sop, ...)
+// so any layer can report diagnostics; it depends only on the standard
+// library.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lps::diag {
+
+enum class Severity : std::uint8_t { Note, Warning, Error, Fatal };
+
+std::string_view to_string(Severity s);
+
+/// A position in a source artifact.  `file` is a label ("<string>" for
+/// in-memory parses); line/col are 1-based, 0 = unknown.
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int col = 0;
+
+  bool known() const { return !file.empty() || line > 0; }
+  /// "file:12:3", "file:12", "file" or "" depending on what is known.
+  std::string str() const;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string message;
+  SourceLoc loc;
+
+  /// "error: input.blif:12:3: cube width mismatch"
+  std::string str() const;
+};
+
+/// Outcome of an operation: ok, or exactly one Diagnostic explaining why not.
+class Status {
+ public:
+  Status() = default;  // ok
+  static Status ok() { return {}; }
+  static Status error(std::string msg, SourceLoc loc = {}) {
+    Status s;
+    s.diag_ = Diagnostic{Severity::Error, std::move(msg), std::move(loc)};
+    return s;
+  }
+  static Status from(Diagnostic d) {
+    Status s;
+    s.diag_ = std::move(d);
+    return s;
+  }
+
+  bool is_ok() const { return !diag_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  /// Precondition: !is_ok().
+  const Diagnostic& diagnostic() const { return *diag_; }
+  /// Message text, or "" when ok.
+  std::string message() const { return diag_ ? diag_->message : ""; }
+
+ private:
+  std::optional<Diagnostic> diag_;
+};
+
+/// Collects diagnostics up to a retention limit.  Errors past the limit are
+/// still *counted* (num_errors()) but not stored, so a pathological input
+/// cannot blow up memory with a million diagnostics.
+class DiagEngine {
+ public:
+  explicit DiagEngine(std::size_t max_kept = 64) : limit_(max_kept) {}
+
+  void report(Diagnostic d);
+  void report(Severity s, std::string msg, SourceLoc loc = {}) {
+    report(Diagnostic{s, std::move(msg), std::move(loc)});
+  }
+  void error(std::string msg, SourceLoc loc = {}) {
+    report(Severity::Error, std::move(msg), std::move(loc));
+  }
+  void warning(std::string msg, SourceLoc loc = {}) {
+    report(Severity::Warning, std::move(msg), std::move(loc));
+  }
+  void note(std::string msg, SourceLoc loc = {}) {
+    report(Severity::Note, std::move(msg), std::move(loc));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t num_errors() const { return num_errors_; }
+  std::size_t num_warnings() const { return num_warnings_; }
+  /// Diagnostics counted but not retained (past the limit).
+  std::size_t num_suppressed() const { return suppressed_; }
+  bool ok() const { return num_errors_ == 0; }
+  /// True once the retention limit is hit — checkers may early-out.
+  bool saturated() const { return diags_.size() >= limit_; }
+
+  /// First error diagnostic, if any.
+  const Diagnostic* first_error() const;
+  /// All retained diagnostics formatted one per line.
+  std::string str() const;
+  void clear();
+
+ private:
+  std::size_t limit_;
+  std::size_t num_errors_ = 0;
+  std::size_t num_warnings_ = 0;
+  std::size_t suppressed_ = 0;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Exception form of a Diagnostic, for the throwing API surfaces (LPS_CHECK,
+/// blif::read, seq::read_kiss).  Derives from std::runtime_error so existing
+/// catch sites keep working.  what() is "loc: message" *without* the severity
+/// word — catch sites invariably prefix their own "error: ".
+class DiagError : public std::runtime_error {
+ public:
+  explicit DiagError(Diagnostic d)
+      : std::runtime_error(what_text(d)), diag_(std::move(d)) {}
+  const Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  static std::string what_text(const Diagnostic& d) {
+    return d.loc.known() ? d.loc.str() + ": " + d.message : d.message;
+  }
+  Diagnostic diag_;
+};
+
+/// Thrown by LPS_CHECK on a violated invariant.
+class CheckError : public DiagError {
+ public:
+  using DiagError::DiagError;
+};
+
+/// Thrown by the throwing parser entry points on malformed input.
+class ParseError : public DiagError {
+ public:
+  using DiagError::DiagError;
+};
+
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace lps::diag
+
+/// Always-on invariant check: fires in release builds too, throwing
+/// diag::CheckError.  `msg` may be any expression convertible to
+/// std::string and is only evaluated on failure.
+#define LPS_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]]                                         \
+      ::lps::diag::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+  } while (0)

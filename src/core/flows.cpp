@@ -47,19 +47,37 @@ FlowResult optimize_combinational(const Netlist& input,
   // Each stage is kept only if it actually lowers measured power — the
   // survey repeatedly notes that overheads (buffer capacitance, gating
   // logic) can offset the savings, so a production flow measures and backs
-  // out losing transforms.
+  // out losing transforms.  A stage that throws, corrupts the netlist or
+  // changes the function is likewise rolled back and recorded as failed;
+  // the remaining stages still run on the pre-stage circuit.
   auto attempt = [&](const std::string& stage, auto&& transform) {
     Netlist before = res.circuit.clone();
     double p_before = res.stages.back().power_w;
-    transform(res.circuit);
-    if (!sim::equivalent_random(before, res.circuit, 512, 17))
-      throw std::logic_error("flow: " + stage + " changed function");
+    std::string failure;
+    try {
+      transform(res.circuit);
+      if (auto err = res.circuit.check(); !err.empty())
+        failure = "broke netlist invariants: " + err;
+      else if (!sim::equivalent_random(before, res.circuit, 512, 17))
+        failure = "changed circuit function";
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+    if (!failure.empty()) {
+      res.circuit = std::move(before);
+      StageReport rep = measure(stage + " (failed)", res.circuit, opt);
+      rep.status = "failed";
+      rep.note = failure;
+      res.stages.push_back(std::move(rep));
+      return;
+    }
     StageReport rep = measure(stage, res.circuit, opt);
     if (rep.power_w <= p_before) {
       res.stages.push_back(rep);
     } else {
       res.circuit = std::move(before);
       rep = measure(stage + " (reverted)", res.circuit, opt);
+      rep.status = "reverted";
       res.stages.push_back(rep);
     }
   };

@@ -23,6 +23,11 @@ struct StageReport {
   double glitch_fraction = 0.0;
   std::size_t gates = 0;
   int delay = 0;
+  /// Outcome of this stage: "kept" (improved or baseline), "reverted"
+  /// (legal rewrite that raised power — backed out), or "failed" (the
+  /// transform threw or broke the circuit — rolled back; see note).
+  std::string status = "kept";
+  std::string note;  // diagnostic text when status == "failed"
 };
 
 struct FlowOptions {

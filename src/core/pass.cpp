@@ -4,25 +4,65 @@
 
 #include "logicopt/dontcare.hpp"
 #include "logicopt/path_balance.hpp"
+#include "netlist/validate.hpp"
 #include "sim/logicsim.hpp"
 
 namespace lps::core {
 
+bool all_ok(const std::vector<PassRecord>& records) {
+  for (const auto& r : records)
+    if (!r.ok) return false;
+  return true;
+}
+
 std::vector<PassRecord> PassManager::run(Netlist& net) const {
   std::vector<PassRecord> records;
+  const bool snapshot_needed =
+      opt_.verify || opt_.check_invariants || opt_.rollback;
   for (const auto& p : passes_) {
-    Netlist before = verify_ ? net.clone() : Netlist{};
+    Netlist before = snapshot_needed ? net.clone() : Netlist{};
     PassRecord rec;
     rec.pass = p->name();
-    rec.summary = p->run(net);
-    if (auto err = net.check(); !err.empty())
-      throw std::logic_error("pass " + p->name() +
-                             " broke netlist invariants: " + err);
-    if (verify_) {
-      if (!sim::equivalent_random(before, net, 1024, 0xABCD))
-        throw std::logic_error("pass " + p->name() +
-                               " changed circuit function");
-      rec.verified = true;
+
+    // A failing pass may leave the netlist half-rewritten or structurally
+    // corrupt; every failure path restores the snapshot before recording
+    // (or rethrowing) the diagnostic.
+    auto fail = [&](diag::Diagnostic d) {
+      if (snapshot_needed) net = std::move(before);
+      rec.ok = false;
+      rec.rolled_back = true;
+      rec.diag = std::move(d);
+      if (!opt_.rollback) throw diag::CheckError(rec.diag);
+    };
+
+    try {
+      rec.summary = p->run(net);
+      if (opt_.check_invariants) {
+        diag::DiagEngine eng(4);
+        if (validate(net, eng) > 0) {
+          diag::Diagnostic d = *eng.first_error();
+          d.message =
+              "pass " + p->name() + " broke netlist invariants: " + d.message;
+          fail(std::move(d));
+        }
+      }
+      if (rec.ok && opt_.verify) {
+        if (!sim::equivalent_random(before, net, opt_.verify_vectors,
+                                    opt_.verify_seed)) {
+          fail({diag::Severity::Error,
+                "pass " + p->name() + " changed circuit function",
+                {}});
+        } else {
+          rec.verified = true;
+        }
+      }
+    } catch (const diag::DiagError& e) {
+      if (!rec.ok) throw;  // rethrown by fail() in strict mode
+      fail(e.diagnostic());
+    } catch (const std::exception& e) {
+      fail({diag::Severity::Error,
+            "pass " + p->name() + " threw: " + e.what(),
+            {}});
     }
     records.push_back(std::move(rec));
   }

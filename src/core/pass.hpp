@@ -1,10 +1,16 @@
 // pass.hpp — pass manager for netlist-level optimization pipelines.
 //
 // Wraps the individual techniques behind a uniform interface so flows
-// (flows.hpp) and user pipelines can chain them, with optional functional
-// verification after every pass (random simulation and/or BDD equivalence
-// against the input circuit) — every rewrite in this library is supposed to
-// be safe, and the pass manager enforces it.
+// (flows.hpp) and user pipelines can chain them, with functional
+// verification and invariant checking after every pass — every rewrite in
+// this library is supposed to be safe, and the pass manager enforces it.
+//
+// Failure containment: a pass that throws, breaks a netlist invariant
+// (Netlist::check()/validate()), or changes the circuit function is *rolled
+// back* — the pre-pass snapshot is restored, the failure is recorded as a
+// Diagnostic on its PassRecord, and the remaining passes still run.  Set
+// Options::rollback = false to get the old abort-on-first-failure behavior
+// (the failure is then rethrown as diag::CheckError).
 
 #pragma once
 
@@ -13,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diag.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lps::core {
@@ -41,25 +48,46 @@ class FnPass final : public Pass {
 struct PassRecord {
   std::string pass;
   std::string summary;
-  bool verified = false;
+  bool verified = false;     // equivalence check ran and passed
+  bool ok = true;            // pass ran without throwing/breaking anything
+  bool rolled_back = false;  // pre-pass snapshot was restored
+  diag::Diagnostic diag;     // why the pass failed (when !ok)
 };
+
+/// True when every record succeeded.
+bool all_ok(const std::vector<PassRecord>& records);
 
 class PassManager {
  public:
-  /// When true (default), every pass is checked against the pre-pass
-  /// circuit with 64k random patterns; a mismatch aborts with an exception.
-  explicit PassManager(bool verify = true) : verify_(verify) {}
+  struct Options {
+    /// Check each pass against the pre-pass circuit with random patterns.
+    bool verify = true;
+    /// Run the structural invariant checker after every pass.
+    bool check_invariants = true;
+    /// Contain failures: restore the snapshot and keep going.  When false a
+    /// failing pass rethrows (diag::CheckError) after restoring the input.
+    bool rollback = true;
+    std::size_t verify_vectors = 1024;
+    std::uint64_t verify_seed = 0xABCD;
+  };
+
+  explicit PassManager(Options opt) : opt_(opt) {}
+  /// Back-compat shorthand: verification on/off, rollback containment on.
+  explicit PassManager(bool verify = true) { opt_.verify = verify; }
+
+  const Options& options() const { return opt_; }
 
   void add(std::unique_ptr<Pass> p) { passes_.push_back(std::move(p)); }
   void add(std::string name, std::function<std::string(Netlist&)> fn) {
     passes_.push_back(std::make_unique<FnPass>(std::move(name), std::move(fn)));
   }
 
-  /// Run all passes in order; returns a record per pass.
+  /// Run all passes in order; returns a record per pass (failed passes are
+  /// recorded, rolled back and skipped — the flow continues).
   std::vector<PassRecord> run(Netlist& net) const;
 
  private:
-  bool verify_;
+  Options opt_;
   std::vector<std::unique_ptr<Pass>> passes_;
 };
 

@@ -13,14 +13,28 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
+#include "core/diag.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lps::blif {
 
-/// Parse BLIF text.  Throws std::runtime_error with a line-numbered message
-/// on malformed input.
+/// Non-throwing parse: every problem in the input (truncated constructs,
+/// bad cube characters, width mismatches, redefined or undefined signals,
+/// dependency cycles, rows outside .names, ...) becomes a positioned
+/// Diagnostic (file:line:col) in `eng`.  Returns the netlist only when the
+/// input parsed without errors — and the result is guaranteed to satisfy
+/// Netlist::check().  Never crashes or hangs on arbitrary byte streams.
+std::optional<Netlist> parse(std::istream& is, diag::DiagEngine& eng,
+                             const std::string& filename = "<blif>");
+std::optional<Netlist> parse_string(const std::string& text,
+                                    diag::DiagEngine& eng,
+                                    const std::string& filename = "<blif>");
+
+/// Parse BLIF text.  Throws diag::ParseError (a std::runtime_error) with a
+/// line-numbered message on malformed input.
 Netlist read(std::istream& is);
 Netlist read_string(const std::string& text);
 Netlist read_file(const std::string& path);

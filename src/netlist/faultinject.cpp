@@ -1,0 +1,223 @@
+#include "netlist/faultinject.hpp"
+
+#include <algorithm>
+
+namespace lps::fault {
+
+std::string_view to_string(Fault f) {
+  switch (f) {
+    case Fault::DropFanin: return "drop-fanin";
+    case Fault::WireCycle: return "wire-cycle";
+    case Fault::StaleFanout: return "stale-fanout";
+    case Fault::DanglingFanin: return "dangling-fanin";
+    case Fault::OutOfRangeFanin: return "out-of-range-fanin";
+    case Fault::DuplicateOutput: return "duplicate-output";
+    case Fault::FlipGateFunction: return "flip-gate-function";
+  }
+  return "?";
+}
+
+std::vector<Fault> all_faults() {
+  return {Fault::DropFanin,        Fault::WireCycle,
+          Fault::StaleFanout,      Fault::DanglingFanin,
+          Fault::OutOfRangeFanin,  Fault::DuplicateOutput,
+          Fault::FlipGateFunction};
+}
+
+std::vector<Fault> structural_faults() {
+  return {Fault::DropFanin,       Fault::WireCycle,
+          Fault::StaleFanout,     Fault::DanglingFanin,
+          Fault::OutOfRangeFanin, Fault::DuplicateOutput};
+}
+
+namespace {
+
+// Live logic gates (non-source, non-Dff), rotated by the seed so different
+// seeds pick different sites but selection stays deterministic.
+std::vector<NodeId> gate_sites(const Netlist& net, std::uint64_t seed) {
+  std::vector<NodeId> g;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    if (net.is_dead(i)) continue;
+    GateType t = net.node(i).type;
+    if (!is_source(t) && t != GateType::Dff) g.push_back(i);
+  }
+  if (g.size() > 1)
+    std::rotate(g.begin(), g.begin() + (seed % g.size()), g.end());
+  return g;
+}
+
+// The complement of a gate's function with identical arity — guaranteed to
+// change the node's logic function for every input pattern.
+GateType complement_type(GateType t) {
+  switch (t) {
+    case GateType::And: return GateType::Nand;
+    case GateType::Nand: return GateType::And;
+    case GateType::Or: return GateType::Nor;
+    case GateType::Nor: return GateType::Or;
+    case GateType::Xor: return GateType::Xnor;
+    case GateType::Xnor: return GateType::Xor;
+    case GateType::Buf: return GateType::Not;
+    case GateType::Not: return GateType::Buf;
+    default: return t;  // Mux and sources: no same-arity complement
+  }
+}
+
+// A combinational descendant of `g` (reached through fanouts without
+// passing into a Dff), or kNoNode.
+NodeId combinational_descendant(const Netlist& net, NodeId g) {
+  std::vector<bool> seen(net.size(), false);
+  std::vector<NodeId> stack{g};
+  seen[g] = true;
+  NodeId found = kNoNode;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : net.node(v).fanouts) {
+      if (u >= net.size() || seen[u]) continue;
+      seen[u] = true;
+      if (net.node(u).type == GateType::Dff) continue;  // sequential edge
+      if (u != g) found = u;
+      stack.push_back(u);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Injection inject(Netlist& net, Fault kind, std::uint64_t seed) {
+  Injection inj;
+  inj.kind = kind;
+  auto gates = gate_sites(net, seed);
+
+  switch (kind) {
+    case Fault::DropFanin: {
+      for (NodeId g : gates) {
+        Node& nd = net.node(g);
+        if (nd.fanins.empty()) continue;
+        NodeId dropped = nd.fanins.back();
+        nd.fanins.pop_back();  // deliberately no unlink: fanout goes stale
+        inj.applied = true;
+        inj.site = g;
+        inj.description = "dropped fanin " + std::to_string(dropped) +
+                          " of node " + std::to_string(g) +
+                          " without unlinking";
+        return inj;
+      }
+      break;
+    }
+    case Fault::WireCycle: {
+      for (NodeId g : gates) {
+        Node& nd = net.node(g);
+        if (nd.fanins.empty()) continue;
+        NodeId target = combinational_descendant(net, g);
+        if (target == kNoNode) target = g;  // self-loop is still a cycle
+        // Bookkeeping is kept consistent so the *only* violation is the
+        // cycle itself.
+        NodeId old = nd.fanins[0];
+        nd.fanins[0] = target;
+        auto& fo = net.node(old).fanouts;
+        fo.erase(std::find(fo.begin(), fo.end(), g));
+        net.node(target).fanouts.push_back(g);
+        inj.applied = true;
+        inj.site = g;
+        inj.description = "rewired fanin 0 of node " + std::to_string(g) +
+                          " to its descendant " + std::to_string(target) +
+                          " (combinational cycle)";
+        return inj;
+      }
+      break;
+    }
+    case Fault::StaleFanout: {
+      for (NodeId v = 0; v < net.size(); ++v) {
+        if (net.is_dead(v)) continue;
+        // A live user that does not read v.
+        for (NodeId u : gates) {
+          const auto& fi = net.node(u).fanins;
+          if (u == v || std::find(fi.begin(), fi.end(), v) != fi.end())
+            continue;
+          net.node(v).fanouts.push_back(u);
+          inj.applied = true;
+          inj.site = v;
+          inj.description = "appended stale fanout entry " +
+                            std::to_string(u) + " to node " +
+                            std::to_string(v);
+          return inj;
+        }
+      }
+      break;
+    }
+    case Fault::DanglingFanin: {
+      // Any node with a fanin will do — on register-only circuits (e.g. a
+      // shift register) the corruptible reference is a Dff's D pin.
+      std::vector<NodeId> sites = gates;
+      for (NodeId i = 0; i < net.size(); ++i)
+        if (!net.is_dead(i) && net.node(i).type == GateType::Dff)
+          sites.push_back(i);
+      sites.erase(std::remove_if(sites.begin(), sites.end(),
+                                 [&](NodeId s) {
+                                   return net.node(s).fanins.empty();
+                                 }),
+                  sites.end());
+      if (sites.empty()) break;
+      // Manufacture a tombstone, then point a live fanin at it.
+      NodeId g = sites.front();
+      NodeId dead = net.add_gate(GateType::Buf, {net.node(g).fanins[0]});
+      net.remove(dead);
+      net.node(g).fanins[0] = dead;  // no unlink: also leaves a stale fanout
+      inj.applied = true;
+      inj.site = g;
+      inj.description = "pointed fanin 0 of node " + std::to_string(g) +
+                        " at tombstoned node " + std::to_string(dead);
+      return inj;
+    }
+    case Fault::OutOfRangeFanin: {
+      for (NodeId g : gates) {
+        Node& nd = net.node(g);
+        if (nd.fanins.empty()) continue;
+        NodeId bogus = static_cast<NodeId>(net.size() + 1000);
+        nd.fanins[0] = bogus;
+        inj.applied = true;
+        inj.site = g;
+        inj.description = "pointed fanin 0 of node " + std::to_string(g) +
+                          " at out-of-range id " + std::to_string(bogus);
+        return inj;
+      }
+      break;
+    }
+    case Fault::DuplicateOutput: {
+      if (net.outputs().empty()) break;
+      std::size_t k = seed % net.outputs().size();
+      net.add_output(net.outputs()[k], net.output_names()[k]);
+      inj.applied = true;
+      inj.site = net.outputs()[k];
+      inj.description = "duplicated primary output \"" +
+                        net.output_names()[k] + "\"";
+      return inj;
+    }
+    case Fault::FlipGateFunction: {
+      // Prefer a PO driver so the change is observable at an output.
+      std::vector<NodeId> candidates;
+      for (NodeId o : net.outputs())
+        if (o < net.size() && !net.is_dead(o)) candidates.push_back(o);
+      candidates.insert(candidates.end(), gates.begin(), gates.end());
+      for (NodeId g : candidates) {
+        GateType t = net.node(g).type;
+        GateType c = complement_type(t);
+        if (c == t || is_source(t) || t == GateType::Dff) continue;
+        net.node(g).type = c;
+        inj.applied = true;
+        inj.site = g;
+        inj.description = "flipped node " + std::to_string(g) + " from " +
+                          std::string(to_string(t)) + " to " +
+                          std::string(to_string(c));
+        return inj;
+      }
+      break;
+    }
+  }
+  inj.description = "no viable site for " + std::string(to_string(kind));
+  return inj;
+}
+
+}  // namespace lps::fault

@@ -1,0 +1,56 @@
+// faultinject.hpp — deliberate netlist corruption, for testing the testers.
+//
+// The invariant checker (validate.hpp) and the pass verifier
+// (core/pass.hpp) are only trustworthy if every corruption class they claim
+// to catch is actually caught.  This harness injects one fault of a chosen
+// class into a healthy netlist; the test suite then asserts that either
+// Netlist::check()/validate() flags it (structural classes) or the
+// PassManager's random-simulation equivalence check does (functional
+// classes).  The checker checking the checker.
+//
+// Injection deliberately bypasses the Netlist mutator API (which would
+// refuse to produce these states) by editing nodes directly — exactly what
+// a buggy pass with a raw Node& would do.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::fault {
+
+enum class Fault : std::uint8_t {
+  // -- structural: must be caught by validate()/Netlist::check() ------------
+  DropFanin,        // erase one fanin slot without unlinking the fanout
+  WireCycle,        // rewire a gate's fanin to a node in its fanout cone
+  StaleFanout,      // append a fanout entry whose user has no such fanin
+  DanglingFanin,    // point a fanin at a tombstoned (dead) node
+  OutOfRangeFanin,  // point a fanin past the end of the node table
+  DuplicateOutput,  // duplicate a primary-output name slot
+  // -- functional: structurally legal, must be caught by the pass verifier --
+  FlipGateFunction,  // swap a gate's function (And<->Or, Xor<->Xnor, ...)
+};
+
+std::string_view to_string(Fault f);
+
+/// All fault classes, in declaration order.
+std::vector<Fault> all_faults();
+/// The subset validate() is responsible for catching.
+std::vector<Fault> structural_faults();
+
+struct Injection {
+  Fault kind;
+  bool applied = false;     // false: no viable site in this netlist
+  NodeId site = kNoNode;    // primary corrupted node
+  std::string description;  // what was done, for test failure messages
+};
+
+/// Corrupt `net` with one fault of class `kind`.  Site selection is
+/// deterministic in `seed`.  Returns applied=false when the netlist has no
+/// viable site (e.g. WireCycle on a single-gate circuit).
+Injection inject(Netlist& net, Fault kind, std::uint64_t seed = 1);
+
+}  // namespace lps::fault

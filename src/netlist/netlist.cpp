@@ -1,10 +1,12 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <ostream>
 #include <stdexcept>
+
+#include "core/diag.hpp"
+#include "netlist/validate.hpp"
 
 namespace lps {
 
@@ -73,16 +75,22 @@ std::uint64_t eval_gate(GateType t, std::span<const std::uint64_t> w) {
 }
 
 bool eval_gate_scalar(GateType t, std::span<const bool> fanins) {
-  std::uint64_t words[8];
+  // Wide gates (BLIF cubes routinely exceed 8 literals) spill to the heap;
+  // the old fixed words[8] + release-invisible assert was a silent stack
+  // overwrite for any 9-input gate in release builds.
   std::size_t n = fanins.size();
-  assert(n <= 8);
+  std::uint64_t stack_words[8];
+  std::vector<std::uint64_t> heap_words;
+  std::uint64_t* words = stack_words;
+  if (n > 8) {
+    heap_words.resize(n);
+    words = heap_words.data();
+  }
   for (std::size_t i = 0; i < n; ++i) words[i] = fanins[i] ? ~0ULL : 0;
   return (eval_gate(t, {words, n}) & 1ULL) != 0;
 }
 
-namespace {
-
-std::size_t min_arity(GateType t) {
+std::size_t gate_min_arity(GateType t) {
   switch (t) {
     case GateType::Input:
     case GateType::Const0:
@@ -99,7 +107,7 @@ std::size_t min_arity(GateType t) {
   }
 }
 
-std::size_t max_arity(GateType t) {
+std::size_t gate_max_arity(GateType t) {
   switch (t) {
     case GateType::Input:
     case GateType::Const0:
@@ -116,8 +124,6 @@ std::size_t max_arity(GateType t) {
       return SIZE_MAX;
   }
 }
-
-}  // namespace
 
 NodeId Netlist::add_input(std::string name) {
   NodeId id = static_cast<NodeId>(nodes_.size());
@@ -141,7 +147,7 @@ NodeId Netlist::add_const(bool value) {
 
 NodeId Netlist::add_gate(GateType t, std::vector<NodeId> fanins,
                          std::string name) {
-  if (fanins.size() < min_arity(t) || fanins.size() > max_arity(t))
+  if (fanins.size() < gate_min_arity(t) || fanins.size() > gate_max_arity(t))
     throw std::invalid_argument("add_gate: bad arity for " +
                                 std::string(to_string(t)));
   NodeId id = static_cast<NodeId>(nodes_.size());
@@ -227,12 +233,15 @@ void Netlist::link_fanin(NodeId user, NodeId used) {
 void Netlist::unlink_fanin(NodeId user, NodeId used) {
   auto& fo = nodes_[used].fanouts;
   auto it = std::find(fo.begin(), fo.end(), user);
-  assert(it != fo.end());
+  LPS_CHECK(it != fo.end(), "unlink_fanin: node " + std::to_string(used) +
+                                " has no fanout entry for user " +
+                                std::to_string(user));
   fo.erase(it);  // removes one occurrence only (multi-edges are legal)
 }
 
 void Netlist::substitute(NodeId old_node, NodeId new_node) {
-  assert(old_node != new_node);
+  LPS_CHECK(old_node != new_node,
+            "substitute: node " + std::to_string(old_node) + " with itself");
   // Redirect fanins of every user.  Copy the fanout list since we mutate it.
   std::vector<NodeId> users = nodes_[old_node].fanouts;
   for (NodeId u : users) {
@@ -259,8 +268,11 @@ void Netlist::replace_fanin(NodeId n, std::size_t k, NodeId nf) {
 }
 
 void Netlist::remove(NodeId n) {
-  assert(!nodes_[n].dead);
-  assert(nodes_[n].fanouts.empty());
+  LPS_CHECK(!nodes_[n].dead,
+            "remove: node " + std::to_string(n) + " already removed");
+  LPS_CHECK(nodes_[n].fanouts.empty(),
+            "remove: node " + std::to_string(n) + " still has " +
+                std::to_string(nodes_[n].fanouts.size()) + " fanouts");
   for (NodeId f : nodes_[n].fanins) unlink_fanin(n, f);
   nodes_[n].fanins.clear();
   nodes_[n].dead = true;
@@ -443,42 +455,10 @@ std::vector<bool> Netlist::cone_of(std::span<const NodeId> roots) const {
 }
 
 std::string Netlist::check() const {
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.dead) {
-      if (!n.fanouts.empty())
-        return "dead node " + std::to_string(i) + " has fanouts";
-      continue;
-    }
-    if (n.fanins.size() < min_arity(n.type) ||
-        n.fanins.size() > max_arity(n.type))
-      return "node " + std::to_string(i) + " arity violation";
-    for (NodeId f : n.fanins) {
-      if (f >= nodes_.size()) return "fanin out of range";
-      if (nodes_[f].dead)
-        return "node " + std::to_string(i) + " references dead fanin";
-      const auto& fo = nodes_[f].fanouts;
-      auto count_user =
-          static_cast<std::size_t>(std::count(fo.begin(), fo.end(), i));
-      auto count_edge = static_cast<std::size_t>(
-          std::count(n.fanins.begin(), n.fanins.end(), f));
-      if (count_user != count_edge)
-        return "fanout bookkeeping mismatch at node " + std::to_string(i);
-    }
-  }
-  // Acyclicity: topo_order must enumerate all live nodes with fanins first.
-  auto order = topo_order();
-  if (order.size() != num_live()) return "combinational cycle (order short)";
-  std::vector<int> pos(nodes_.size(), -1);
-  for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = (int)k;
-  for (NodeId n : order) {
-    if (nodes_[n].type == GateType::Dff) continue;
-    for (NodeId f : nodes_[n].fanins)
-      if (pos[f] > pos[n]) return "combinational cycle (order violated)";
-  }
-  for (NodeId o : outputs_)
-    if (o >= nodes_.size() || nodes_[o].dead) return "dead primary output";
-  return {};
+  diag::DiagEngine eng(/*max_kept=*/1);
+  validate(*this, eng);
+  if (eng.ok()) return {};
+  return eng.diagnostics().front().message;
 }
 
 Netlist Netlist::clone() const { return *this; }

@@ -58,6 +58,12 @@ constexpr bool is_source(GateType t) {
   return t == GateType::Input || t == GateType::Const0 || t == GateType::Const1;
 }
 
+/// Legal fanin-count range per gate type (gate_max_arity returns SIZE_MAX
+/// for the unbounded n-ary gates).  Shared by add_gate, the invariant
+/// checker (validate.hpp) and the fault-injection harness.
+std::size_t gate_min_arity(GateType t);
+std::size_t gate_max_arity(GateType t);
+
 /// Evaluate one gate over 64 parallel bit patterns.  Dff is evaluated as a
 /// buffer (the timed semantics live in the simulator).
 std::uint64_t eval_gate(GateType t, std::span<const std::uint64_t> fanin_words);
@@ -169,6 +175,9 @@ class Netlist {
   std::vector<bool> cone_of(std::span<const NodeId> roots) const;
 
   /// Validate invariants; returns an error description or empty string.
+  /// The full checker (every violation as a positioned diagnostic, cycle
+  /// membership reporting) lives in netlist/validate.hpp; this is the
+  /// first-error convenience used by assertions and the pass manager.
   std::string check() const;
 
   /// Deep structural clone.

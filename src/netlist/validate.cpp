@@ -1,0 +1,227 @@
+#include "netlist/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lps {
+
+namespace {
+
+std::string node_desc(const Netlist& net, NodeId n) {
+  std::string s = std::to_string(n);
+  if (n < net.size()) {
+    const Node& nd = net.node(n);
+    s += " (";
+    s += to_string(nd.type);
+    if (!nd.name.empty()) {
+      s += ' ';
+      s += nd.name;
+    }
+    s += ')';
+  }
+  return s;
+}
+
+// Find one combinational cycle and return it as "a -> b -> ... -> a".
+// Precondition: the network has a cycle (topo order came up short).
+std::string find_cycle(const Netlist& net) {
+  const std::size_t n = net.size();
+  std::vector<std::uint8_t> state(n, 0);  // 0=unseen 1=open 2=done
+  std::vector<NodeId> path;               // current DFS chain
+  for (NodeId root = 0; root < n; ++root) {
+    if (net.is_dead(root) || state[root] != 0) continue;
+    // Iterative DFS keeping the open path so the cycle can be extracted.
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next == 0) {
+        state[v] = 1;
+        path.push_back(v);
+      }
+      const Node& nd = net.node(v);
+      bool descended = false;
+      // Dff D-inputs close sequential loops legally; skip them.
+      if (nd.type != GateType::Dff) {
+        while (next < nd.fanins.size()) {
+          NodeId f = nd.fanins[next++];
+          if (f >= n || net.is_dead(f)) continue;  // reported elsewhere
+          if (state[f] == 1) {
+            // Cycle: path from f to v, then back to f.
+            auto it = std::find(path.begin(), path.end(), f);
+            std::string s;
+            for (; it != path.end(); ++it) {
+              s += node_desc(net, *it);
+              s += " -> ";
+            }
+            s += std::to_string(f);
+            return s;
+          }
+          if (state[f] == 0) {
+            stack.push_back({f, 0});
+            descended = true;
+            break;
+          }
+        }
+      }
+      if (!descended) {
+        state[v] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return "(cycle nodes not recovered)";
+}
+
+}  // namespace
+
+std::size_t validate(const Netlist& net, diag::DiagEngine& eng) {
+  std::size_t errors_before = eng.num_errors();
+  const std::size_t n = net.size();
+  auto err = [&](std::string msg) { eng.error(std::move(msg)); };
+
+  bool refs_ok = true;  // gates the cycle check (needs in-range fanins)
+  for (NodeId i = 0; i < n && !eng.saturated(); ++i) {
+    const Node& nd = net.node(i);
+    if (nd.dead) {
+      if (!nd.fanouts.empty())
+        err("dead node " + node_desc(net, i) + " still has " +
+            std::to_string(nd.fanouts.size()) + " fanout entries");
+      if (!nd.fanins.empty())
+        err("dead node " + node_desc(net, i) + " still has fanins");
+      continue;
+    }
+    if (nd.fanins.size() < gate_min_arity(nd.type) ||
+        nd.fanins.size() > gate_max_arity(nd.type))
+      err("node " + node_desc(net, i) + " arity violation: " +
+          std::to_string(nd.fanins.size()) + " fanins, legal range [" +
+          std::to_string(gate_min_arity(nd.type)) + ", " +
+          (gate_max_arity(nd.type) == SIZE_MAX
+               ? std::string("inf")
+               : std::to_string(gate_max_arity(nd.type))) +
+          "]");
+    // Fanin side: in range, alive, and mirrored by the fanout list.
+    for (NodeId f : nd.fanins) {
+      if (f >= n) {
+        err("node " + node_desc(net, i) + " fanin " + std::to_string(f) +
+            " out of range (network has " + std::to_string(n) + " nodes)");
+        refs_ok = false;
+        continue;
+      }
+      if (net.node(f).dead) {
+        err("node " + node_desc(net, i) + " references dead fanin " +
+            node_desc(net, f));
+        continue;
+      }
+      const auto& fo = net.node(f).fanouts;
+      auto uses = static_cast<std::size_t>(
+          std::count(nd.fanins.begin(), nd.fanins.end(), f));
+      auto mirrored =
+          static_cast<std::size_t>(std::count(fo.begin(), fo.end(), i));
+      if (uses != mirrored)
+        err("fanin/fanout bookkeeping mismatch: node " + node_desc(net, i) +
+            " uses " + node_desc(net, f) + " " + std::to_string(uses) +
+            "x but appears " + std::to_string(mirrored) +
+            "x in its fanout list");
+    }
+    // Fanout side: every entry must be a live user that lists i as a fanin
+    // (catches stale fanout entries the fanin-side pass never visits).
+    for (NodeId u : nd.fanouts) {
+      if (u >= n) {
+        err("node " + node_desc(net, i) + " fanout entry " +
+            std::to_string(u) + " out of range");
+        continue;
+      }
+      const Node& un = net.node(u);
+      if (un.dead) {
+        err("node " + node_desc(net, i) + " has stale fanout entry to dead " +
+            "node " + node_desc(net, u));
+        continue;
+      }
+      if (std::find(un.fanins.begin(), un.fanins.end(), i) ==
+          un.fanins.end())
+        err("stale fanout entry: node " + node_desc(net, i) + " lists " +
+            node_desc(net, u) + " as a user, but that node has no such fanin");
+    }
+  }
+
+  // Primary-input list consistency.
+  if (!eng.saturated()) {
+    std::vector<std::size_t> listed(n, 0);
+    for (NodeId i : net.inputs()) {
+      if (i >= n) {
+        err("inputs list entry " + std::to_string(i) + " out of range");
+        continue;
+      }
+      ++listed[i];
+      if (net.node(i).dead)
+        err("inputs list references dead node " + node_desc(net, i));
+      else if (net.node(i).type != GateType::Input)
+        err("inputs list entry " + node_desc(net, i) + " is not an Input");
+    }
+    for (NodeId i = 0; i < n && !eng.saturated(); ++i) {
+      if (net.is_dead(i) || net.node(i).type != GateType::Input) continue;
+      if (listed[i] != 1)
+        err("live Input " + node_desc(net, i) + " appears " +
+            std::to_string(listed[i]) + "x in the inputs list");
+    }
+  }
+
+  // Primary outputs: in range, alive, names unique.
+  if (!eng.saturated()) {
+    const auto& outs = net.outputs();
+    const auto& names = net.output_names();
+    if (outs.size() != names.size())
+      err("outputs/output_names size mismatch: " +
+          std::to_string(outs.size()) + " vs " + std::to_string(names.size()));
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t k = 0; k < outs.size() && !eng.saturated(); ++k) {
+      NodeId o = outs[k];
+      if (o >= n)
+        err("primary output " + std::to_string(k) + " node id " +
+            std::to_string(o) + " out of range");
+      else if (net.node(o).dead)
+        err("primary output " + (k < names.size() ? names[k] : "?") +
+            " driven by dead node " + node_desc(net, o));
+      if (k < names.size()) {
+        auto [it, fresh] = seen.emplace(names[k], k);
+        if (!fresh)
+          err("duplicate primary output name \"" + names[k] +
+              "\" (slots " + std::to_string(it->second) + " and " +
+              std::to_string(k) + ")");
+      }
+    }
+  }
+
+  // Combinational acyclicity — only meaningful once references are sane.
+  if (refs_ok && !eng.saturated()) {
+    auto order = net.topo_order();
+    if (order.size() != net.num_live()) {
+      err("combinational cycle: " + find_cycle(net));
+    } else {
+      std::vector<int> pos(n, -1);
+      for (std::size_t k = 0; k < order.size(); ++k)
+        pos[order[k]] = static_cast<int>(k);
+      for (NodeId v : order) {
+        if (net.node(v).type == GateType::Dff) continue;
+        for (NodeId f : net.node(v).fanins)
+          if (pos[f] > pos[v]) {
+            err("combinational cycle through " + node_desc(net, v) + " and " +
+                node_desc(net, f));
+            break;
+          }
+      }
+    }
+  }
+
+  return eng.num_errors() - errors_before;
+}
+
+std::vector<diag::Diagnostic> validate(const Netlist& net,
+                                       std::size_t max_diags) {
+  diag::DiagEngine eng(max_diags);
+  validate(net, eng);
+  return eng.diagnostics();
+}
+
+}  // namespace lps

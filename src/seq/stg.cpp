@@ -116,53 +116,189 @@ std::string Stg::check() const {
   return {};
 }
 
-Stg read_kiss(std::istream& is) {
-  int ni = 0, no = 0, ns = 0;
+namespace {
+
+// The library's cube strings use 0/1/-; anything else on a transition row is
+// a parse error, not something to feed downstream.
+bool valid_bits(const std::string& s, bool allow_dash, std::size_t* bad) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '0' || c == '1') continue;
+    if (c == '-' && allow_dash) continue;
+    *bad = i;
+    return false;
+  }
+  return true;
+}
+
+// Inputs wider than 63 bits overflow the 2^n minterm weights used by the
+// Markov-chain analysis; no real KISS machine is anywhere near this.
+constexpr int kMaxKissWidth = 63;
+
+}  // namespace
+
+std::optional<Stg> parse_kiss(std::istream& is, diag::DiagEngine& eng,
+                              const std::string& filename) {
+  int ni = -1, no = -1, ns = -1, np = -1;
+  int lineno = 0, reset_line = 0;
+  bool saw_anything = false;
   std::string reset_name;
-  std::vector<std::array<std::string, 4>> rows;
+  struct Row {
+    std::array<std::string, 4> f;  // cube, from, to, output
+    int line;
+  };
+  std::vector<Row> rows;
   std::string line;
+  auto read_int = [&](std::istringstream& ls, const char* what, int& out,
+                      int max) {
+    long long v = 0;
+    if (!(ls >> v) || v < 0 || v > max) {
+      eng.error(std::string(what) + " header needs an integer in [0, " +
+                    std::to_string(max) + "]",
+                {filename, lineno, 0});
+      return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+  };
   while (std::getline(is, line)) {
+    ++lineno;
     if (auto p = line.find('#'); p != std::string::npos) line.resize(p);
     std::istringstream ls(line);
     std::string a;
     if (!(ls >> a)) continue;
+    saw_anything = true;
     if (a == ".i") {
-      ls >> ni;
+      read_int(ls, ".i", ni, kMaxKissWidth);
     } else if (a == ".o") {
-      ls >> no;
+      read_int(ls, ".o", no, kMaxKissWidth);
     } else if (a == ".s") {
-      ls >> ns;
+      read_int(ls, ".s", ns, INT32_MAX);
     } else if (a == ".p") {
-      int np;
-      ls >> np;
+      read_int(ls, ".p", np, INT32_MAX);
     } else if (a == ".r") {
-      ls >> reset_name;
+      if (!(ls >> reset_name))
+        eng.error(".r header needs a state name", {filename, lineno, 0});
+      reset_line = lineno;
     } else if (a == ".e" || a == ".end") {
       break;
+    } else if (a[0] == '.') {
+      eng.warning("unknown KISS directive \"" + a + "\" ignored",
+                  {filename, lineno, 0});
     } else {
-      std::array<std::string, 4> row;
-      row[0] = a;
-      if (!(ls >> row[1] >> row[2] >> row[3]))
-        throw std::runtime_error("kiss: malformed transition line");
-      rows.push_back(std::move(row));
+      Row r;
+      r.f[0] = a;
+      r.line = lineno;
+      if (!(ls >> r.f[1] >> r.f[2] >> r.f[3])) {
+        eng.error(
+            "malformed transition (need <input-cube> <from> <to> <output>)",
+            {filename, lineno, 0});
+        continue;
+      }
+      std::string extra;
+      if (ls >> extra)
+        eng.warning("trailing token \"" + extra + "\" on transition ignored",
+                    {filename, lineno, 0});
+      rows.push_back(std::move(r));
     }
   }
+  if (!saw_anything) {
+    eng.error("empty input: no KISS constructs found", {filename, 0, 0});
+    return std::nullopt;
+  }
+  // Infer missing widths from the first transition so old header-less
+  // fragments still load, but say so.
+  if (ni < 0) {
+    ni = rows.empty() ? 0 : static_cast<int>(rows[0].f[0].size());
+    eng.warning("missing .i header; inferring " + std::to_string(ni) +
+                    " inputs from the first transition",
+                {filename, rows.empty() ? 0 : rows[0].line, 0});
+  }
+  if (no < 0) {
+    no = rows.empty() ? 0 : static_cast<int>(rows[0].f[3].size());
+    eng.warning("missing .o header; inferring " + std::to_string(no) +
+                    " outputs from the first transition",
+                {filename, rows.empty() ? 0 : rows[0].line, 0});
+  }
+
   Stg g(ni, no);
   auto state_of = [&](const std::string& name) {
     int s = g.state_index(name);
     return s >= 0 ? s : g.add_state(name);
   };
   for (const auto& r : rows) {
-    int from = state_of(r[1]);
-    int to = state_of(r[2]);
-    g.add_transition(r[0], from, to, r[3]);
+    std::size_t bad = 0;
+    if (static_cast<int>(r.f[0].size()) != ni) {
+      eng.error("input cube \"" + r.f[0] + "\" has " +
+                    std::to_string(r.f[0].size()) + " bits, .i declares " +
+                    std::to_string(ni),
+                {filename, r.line, 1});
+      continue;
+    }
+    if (!valid_bits(r.f[0], /*allow_dash=*/true, &bad)) {
+      eng.error("bad input cube character '" + std::string(1, r.f[0][bad]) +
+                    "' (expected 0/1/-)",
+                {filename, r.line, static_cast<int>(bad + 1)});
+      continue;
+    }
+    if (static_cast<int>(r.f[3].size()) != no) {
+      eng.error("output bits \"" + r.f[3] + "\" have " +
+                    std::to_string(r.f[3].size()) + " bits, .o declares " +
+                    std::to_string(no),
+                {filename, r.line, 0});
+      continue;
+    }
+    if (!valid_bits(r.f[3], /*allow_dash=*/true, &bad)) {
+      eng.error("bad output bit character '" + std::string(1, r.f[3][bad]) +
+                    "' (expected 0/1/-)",
+                {filename, r.line, 0});
+      continue;
+    }
+    g.add_transition(r.f[0], state_of(r.f[1]), state_of(r.f[2]), r.f[3]);
   }
   if (!reset_name.empty()) {
     int rs = g.state_index(reset_name);
-    if (rs >= 0) g.set_reset_state(rs);
+    if (rs >= 0)
+      g.set_reset_state(rs);
+    else
+      eng.error("reset state \"" + reset_name + "\" not present in any "
+                "transition",
+                {filename, reset_line, 0});
   }
-  (void)ns;
+  if (ns >= 0 && ns != g.num_states())
+    eng.warning(".s declares " + std::to_string(ns) + " states but " +
+                    std::to_string(g.num_states()) + " appear in transitions",
+                {filename, 0, 0});
+  if (np >= 0 && np != static_cast<int>(rows.size()))
+    eng.warning(".p declares " + std::to_string(np) + " transitions but " +
+                    std::to_string(rows.size()) + " were given",
+                {filename, 0, 0});
+  if (!eng.ok()) return std::nullopt;
+  if (auto err = g.check(); !err.empty()) {
+    eng.error(err, {filename, 0, 0});
+    return std::nullopt;
+  }
   return g;
+}
+
+std::optional<Stg> parse_kiss_string(const std::string& text,
+                                     diag::DiagEngine& eng,
+                                     const std::string& filename) {
+  std::istringstream is(text);
+  return parse_kiss(is, eng, filename);
+}
+
+Stg read_kiss(std::istream& is) {
+  diag::DiagEngine eng(8);
+  auto g = parse_kiss(is, eng, "kiss");
+  if (!g) {
+    const diag::Diagnostic* d = eng.first_error();
+    throw diag::ParseError(d ? *d
+                             : diag::Diagnostic{diag::Severity::Error,
+                                                "parse failed",
+                                                {}});
+  }
+  return std::move(*g);
 }
 
 Stg read_kiss_string(const std::string& text) {

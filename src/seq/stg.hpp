@@ -11,8 +11,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "core/diag.hpp"
 
 namespace lps::seq {
 
@@ -67,7 +70,20 @@ class Stg {
   std::vector<StgTransition> trans_;
 };
 
-/// KISS2 reader/writer (.i/.o/.s/.p/.r headers + transition lines).
+/// Non-throwing KISS2 parse: every malformed construct (bad header values,
+/// short transition rows, wrong cube widths, bad cube characters,
+/// nondeterministic machines, unknown reset state) becomes a positioned
+/// Diagnostic in `eng`.  Returns the machine only when the input parsed
+/// without errors — and the result passes Stg::check().  Never crashes or
+/// hangs on arbitrary byte streams.
+std::optional<Stg> parse_kiss(std::istream& is, diag::DiagEngine& eng,
+                              const std::string& filename = "<kiss>");
+std::optional<Stg> parse_kiss_string(const std::string& text,
+                                     diag::DiagEngine& eng,
+                                     const std::string& filename = "<kiss>");
+
+/// KISS2 reader/writer (.i/.o/.s/.p/.r headers + transition lines).  The
+/// readers throw diag::ParseError (a std::runtime_error) on malformed input.
 Stg read_kiss(std::istream& is);
 Stg read_kiss_string(const std::string& text);
 void write_kiss(std::ostream& os, const Stg& stg);

@@ -23,7 +23,10 @@ Cube Cube::parse(const std::string& s) {
       case '-':
         break;
       default:
-        throw std::invalid_argument("Cube::parse: bad character");
+        throw std::invalid_argument(
+            "Cube::parse: bad character '" + std::string(1, s[v]) +
+            "' at column " + std::to_string(v + 1) + " of \"" + s +
+            "\" (expected 0/1/-)");
     }
   }
   return c;

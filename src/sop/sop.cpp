@@ -22,10 +22,14 @@ Sop Sop::parse(unsigned num_vars, const std::string& text) {
     }
   }
   if (!cur.empty()) terms.push_back(cur);
-  for (auto& t : terms) {
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    const auto& t = terms[k];
     if (t.empty()) continue;
     if (t.size() != num_vars)
-      throw std::invalid_argument("Sop::parse: cube width mismatch");
+      throw std::invalid_argument(
+          "Sop::parse: term " + std::to_string(k + 1) + " \"" + t + "\" has " +
+          std::to_string(t.size()) + " columns, expected " +
+          std::to_string(num_vars));
     s.add_cube(Cube::parse(t));
   }
   return s;

@@ -30,9 +30,11 @@ TEST(PassManager, RunsAndVerifies) {
   EXPECT_EQ(net.check(), "");
 }
 
-TEST(PassManager, CatchesFunctionBreakingPass) {
+TEST(PassManager, RollsBackFunctionBreakingPassAndContinues) {
   auto net = bench::c17();
+  auto golden = net.clone();
   PassManager pm(true);
+  pm.add(make_strash_pass());
   pm.add("saboteur", [](Netlist& n) {
     // Flip an output by inserting an inverter.
     NodeId out = n.outputs()[0];
@@ -43,7 +45,51 @@ TEST(PassManager, CatchesFunctionBreakingPass) {
     // logic is fine, we just need a function change.
     return std::string("flipped an output");
   });
-  EXPECT_THROW(pm.run(net), std::logic_error);
+  pm.add(make_sweep_pass());
+  auto records = pm.run(net);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_TRUE(records[1].rolled_back);
+  EXPECT_NE(records[1].diag.message.find("saboteur"), std::string::npos);
+  // The broken pass was contained: later passes still ran and the final
+  // circuit is equivalent to the input.
+  EXPECT_TRUE(records[2].ok);
+  EXPECT_FALSE(all_ok(records));
+  EXPECT_EQ(net.check(), "");
+  EXPECT_TRUE(sim::equivalent_random(golden, net, 1024, 99));
+}
+
+TEST(PassManager, StrictModeStillThrows) {
+  auto net = bench::c17();
+  PassManager::Options opt;
+  opt.rollback = false;
+  PassManager pm(opt);
+  pm.add("saboteur", [](Netlist& n) {
+    NodeId out = n.outputs()[0];
+    NodeId inv = n.add_not(out);
+    n.substitute(out, inv);
+    return std::string("flipped an output");
+  });
+  EXPECT_THROW(pm.run(net), diag::CheckError);
+}
+
+TEST(PassManager, RollsBackThrowingPass) {
+  auto net = bench::c17();
+  auto golden = net.clone();
+  PassManager pm(true);
+  pm.add("bomb", [](Netlist& n) -> std::string {
+    n.add_not(n.outputs()[0]);  // half-done rewrite, then...
+    throw std::runtime_error("boom");
+  });
+  pm.add(make_strash_pass());
+  auto records = pm.run(net);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_TRUE(records[0].rolled_back);
+  EXPECT_NE(records[0].diag.message.find("boom"), std::string::npos);
+  EXPECT_TRUE(records[1].ok);
+  EXPECT_TRUE(sim::equivalent_random(golden, net, 1024, 99));
 }
 
 TEST(Report, TableAligns) {
