@@ -11,6 +11,8 @@
 // from the google-benchmark section.
 
 #include "bench_util.hpp"
+#include "bdd/bdd_netlist.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "netlist/benchmarks.hpp"
 #include "power/activity.hpp"
@@ -65,6 +67,26 @@ void report() {
   t.print(std::cout);
   std::cout << "\n(negative bias = estimator misses glitch power; positive "
                "= overcounts via independence assumptions)\n\n";
+
+  // BDD package instrumentation: unique-table size and computed-table hit
+  // rate per circuit, so table-sizing wins stay visible across PRs.
+  core::Table bt({"circuit", "BDD nodes", "ITE lookups", "ITE hit %",
+                  "unique hits"});
+  for (auto& [name, net] : suite) {
+    auto b = bdd::build_bdds(net);
+    double hit_pct = b.mgr.cache_lookups() > 0
+                         ? 100.0 * static_cast<double>(b.mgr.cache_hits()) /
+                               static_cast<double>(b.mgr.cache_lookups())
+                         : 0.0;
+    bt.row({name, std::to_string(b.mgr.nodes()),
+            std::to_string(b.mgr.cache_lookups()),
+            core::Table::num(hit_pct, 1),
+            std::to_string(b.mgr.unique_hits())});
+  }
+  std::cout << "BDD manager counters (open-addressing unique table + lossy "
+               "ITE cache):\n";
+  bt.print(std::cout);
+  std::cout << '\n';
 }
 
 void bm_timed(benchmark::State& state) {
@@ -111,6 +133,38 @@ void bm_density(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_density);
+
+// Sharded Monte Carlo estimators at a fixed thread count (the Arg).  The
+// workload is large enough to fill every shard; results are bit-identical
+// across the Arg values by the determinism contract in core/parallel.hpp.
+void bm_zero_delay_par(benchmark::State& state) {
+  lps::core::ScopedThreads threads(static_cast<unsigned>(state.range(0)));
+  auto net = bench::alu(4);
+  for (auto _ : state) {
+    auto r = sim::measure_activity(net, 8192, 3);
+    benchmark::DoNotOptimize(r.patterns);
+  }
+}
+BENCHMARK(bm_zero_delay_par)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_timed_par(benchmark::State& state) {
+  lps::core::ScopedThreads threads(static_cast<unsigned>(state.range(0)));
+  auto net = bench::comparator_gt(8);
+  for (auto _ : state) {
+    auto r = sim::measure_timed_activity(net, 2048, 3);
+    benchmark::DoNotOptimize(r.vectors);
+  }
+}
+BENCHMARK(bm_timed_par)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_bdd_build(benchmark::State& state) {
+  auto net = bench::alu(4);
+  for (auto _ : state) {
+    auto b = bdd::build_bdds(net);
+    benchmark::DoNotOptimize(b.mgr.nodes());
+  }
+}
+BENCHMARK(bm_bdd_build);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 // tradeoff sweep.
 
 #include "bench_util.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "logicopt/path_balance.hpp"
 #include "netlist/benchmarks.hpp"
@@ -79,6 +80,19 @@ void bm_timed_sim(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_timed_sim);
+
+// The glitch counter sharded across the thread pool at a fixed thread count
+// (the Arg); shard decomposition is workload-only, so the counts are
+// bit-identical at /1, /2 and /4.
+void bm_timed_sim_par(benchmark::State& state) {
+  lps::core::ScopedThreads threads(static_cast<unsigned>(state.range(0)));
+  auto net = bench::array_multiplier(6);
+  for (auto _ : state) {
+    auto ts = sim::measure_timed_activity(net, 1024, 3);
+    benchmark::DoNotOptimize(ts.vectors);
+  }
+}
+BENCHMARK(bm_timed_sim_par)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

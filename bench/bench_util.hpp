@@ -4,12 +4,21 @@
 // the paper-style table on stdout (the reproduction artifact) and then runs
 // google-benchmark timings of the underlying algorithm (the engineering
 // artifact).  A custom main handles both.
+//
+// Passing `--json <file>` (or `--json=<file>`) additionally writes the
+// timing results as machine-readable JSON — one record per benchmark with
+// name / wall_ms (per iteration) / iterations — which
+// tools/aggregate_bench.py merges into the top-level BENCH_RESULTS.json so
+// the perf trajectory is tracked across PRs.
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/report.hpp"
 
@@ -20,15 +29,99 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "==== " << id << " ====\n" << claim << "\n\n";
 }
 
-/// Standard main: print tables first (via `report`), then run benchmarks.
-#define LPS_BENCH_MAIN(report_fn)                                   \
-  int main(int argc, char** argv) {                                 \
-    report_fn();                                                    \
-    ::benchmark::Initialize(&argc, argv);                           \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                          \
-    ::benchmark::Shutdown();                                        \
-    return 0;                                                       \
+/// Console reporter that also captures every run for JSON emission.
+class JsonCaptureReporter : public ::benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    std::string name;
+    double wall_ms = 0.0;  // real time per iteration
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      Result r;
+      r.name = run.benchmark_name();
+      r.iterations = run.iterations;
+      if (run.iterations > 0)
+        r.wall_ms = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e3;
+      results_.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Result>& results() const { return results_; }
+
+ private:
+  std::vector<Result> results_;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void write_json(const std::string& path, const std::string& binary,
+                       const std::vector<JsonCaptureReporter::Result>& rs) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench: cannot write " << path << '\n';
+    return;
+  }
+  os << "{\n  \"binary\": \"" << json_escape(binary) << "\",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    os << "    {\"name\": \"" << json_escape(rs[i].name)
+       << "\", \"wall_ms\": " << rs[i].wall_ms
+       << ", \"iterations\": " << rs[i].iterations << '}'
+       << (i + 1 < rs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+/// Shared main: strip our --json flag, print the report tables, then run
+/// the benchmarks (capturing results when JSON output was requested).
+inline int bench_main(int argc, char** argv, void (*report_fn)()) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  report_fn();
+  ::benchmark::Initialize(&filtered_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  JsonCaptureReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::string binary = argc > 0 ? argv[0] : "bench";
+    if (auto slash = binary.find_last_of('/'); slash != std::string::npos)
+      binary = binary.substr(slash + 1);
+    write_json(json_path, binary, reporter.results());
+  }
+  return 0;
+}
+
+#define LPS_BENCH_MAIN(report_fn)                          \
+  int main(int argc, char** argv) {                        \
+    return ::lps::benchx::bench_main(argc, argv, report_fn); \
   }
 
 }  // namespace lps::benchx

@@ -4,30 +4,80 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 namespace lps::bdd {
 
 namespace {
 constexpr unsigned kConstVar = 0xFFFFFFFFu;  // ordering sentinel for 0/1
-}
+constexpr std::size_t kMinUniqueSlots = 1u << 10;
+constexpr std::size_t kMinIteEntries = 1u << 12;
+constexpr std::size_t kMaxIteEntries = 1u << 20;
+}  // namespace
 
 Manager::Manager(unsigned num_vars, std::size_t node_limit)
     : num_vars_(num_vars), node_limit_(node_limit) {
   nodes_.push_back({kConstVar, kFalse, kFalse});  // FALSE
   nodes_.push_back({kConstVar, kTrue, kTrue});    // TRUE
+  unique_slots_.assign(kMinUniqueSlots, kEmptySlot);
+  ite_cache_.assign(kMinIteEntries, IteEntry{});
 }
 
 unsigned Manager::add_var() { return num_vars_++; }
 
+void Manager::grow_unique(std::size_t min_slots) {
+  std::size_t ns = unique_slots_.size();
+  while (ns < min_slots) ns <<= 1;
+  unique_slots_.assign(ns, kEmptySlot);
+  std::size_t mask = ns - 1;
+  for (Ref r = kTrue + 1; r < nodes_.size(); ++r) {
+    const Node& n = nodes_[r];
+    std::size_t i = hash3(n.var, n.lo, n.hi) & mask;
+    while (unique_slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    unique_slots_[i] = r;
+  }
+  // Scale the lossy computed table with the unique table (rehash in place;
+  // direct-mapped collisions simply evict).
+  std::size_t want =
+      std::clamp(ns / 2, kMinIteEntries, kMaxIteEntries);
+  if (want > ite_cache_.size()) {
+    std::vector<IteEntry> old;
+    old.swap(ite_cache_);
+    ite_cache_.assign(want, IteEntry{});
+    std::size_t imask = want - 1;
+    for (const IteEntry& e : old)
+      if (e.f != kEmptySlot) ite_cache_[hash3(e.f, e.g, e.h) & imask] = e;
+  }
+}
+
+void Manager::reserve(std::size_t n) {
+  nodes_.reserve(n + 2);
+  // Keep the probe table under ~70% load for n nodes.
+  std::size_t want = kMinUniqueSlots;
+  while (want * 7 < n * 10) want <<= 1;
+  if (want > unique_slots_.size()) grow_unique(want);
+}
+
 Ref Manager::mk(unsigned var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
-  Key k{var, lo, hi};
-  auto it = unique_.find(k);
-  if (it != unique_.end()) return it->second;
+  std::size_t mask = unique_slots_.size() - 1;
+  std::size_t i = hash3(var, lo, hi) & mask;
+  for (;;) {
+    Ref slot = unique_slots_[i];
+    if (slot == kEmptySlot) break;
+    const Node& n = nodes_[slot];
+    if (n.var == var && n.lo == lo && n.hi == hi) {
+      ++unique_hits_;
+      return slot;
+    }
+    i = (i + 1) & mask;
+  }
   if (nodes_.size() >= node_limit_) throw NodeLimitExceeded();
   Ref r = static_cast<Ref>(nodes_.size());
   nodes_.push_back({var, lo, hi});
-  unique_.emplace(k, r);
+  unique_slots_[i] = r;
+  if (++unique_used_ * 10 >= unique_slots_.size() * 7)
+    grow_unique(unique_slots_.size() * 2);
   return r;
 }
 
@@ -52,8 +102,15 @@ Ref Manager::ite(Ref f, Ref g, Ref h) {
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  Key k{f, g, h};
-  if (auto it = ite_cache_.find(k); it != ite_cache_.end()) return it->second;
+  std::size_t slot = hash3(f, g, h) & (ite_cache_.size() - 1);
+  ++cache_lookups_;
+  {
+    const IteEntry& e = ite_cache_[slot];
+    if (e.f == f && e.g == g && e.h == h) {
+      ++cache_hits_;
+      return e.result;
+    }
+  }
 
   unsigned v = nodes_[f].var;
   if (!is_const(g)) v = std::min(v, nodes_[g].var);
@@ -66,7 +123,8 @@ Ref Manager::ite(Ref f, Ref g, Ref h) {
   Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
   Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
   Ref r = mk(v, lo, hi);
-  ite_cache_.emplace(k, r);
+  // Recompute the slot: the recursion above may have grown the cache.
+  ite_cache_[hash3(f, g, h) & (ite_cache_.size() - 1)] = {f, g, h, r};
   return r;
 }
 
@@ -222,6 +280,9 @@ std::vector<std::string> Manager::cubes(Ref f, unsigned width) {
   return out;
 }
 
-void Manager::clear_caches() { ite_cache_.clear(); }
+void Manager::clear_caches() {
+  ite_cache_.assign(ite_cache_.size(), IteEntry{});
+  cache_hits_ = cache_lookups_ = 0;
+}
 
 }  // namespace lps::bdd

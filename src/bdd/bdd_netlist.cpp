@@ -1,5 +1,6 @@
 #include "bdd/bdd_netlist.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lps::bdd {
@@ -107,6 +108,9 @@ NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit) {
   auto dffs = net.dffs();
   out.mgr = Manager(
       static_cast<unsigned>(net.inputs().size() + dffs.size()), node_limit);
+  // Capacity hint: global BDDs for gate networks typically land within a
+  // small multiple of the gate count; pre-sizing avoids rehash churn.
+  out.mgr.reserve(std::min<std::size_t>(node_limit, 16 * net.num_gates()));
   // Assign variable indices in DFS order; feed build_into positionally.
   auto dfs = source_order_dfs(net);
   unsigned v = 0;

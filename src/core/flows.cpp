@@ -49,22 +49,25 @@ FlowResult optimize_combinational(const Netlist& input,
   // logic) can offset the savings, so a production flow measures and backs
   // out losing transforms.  A stage that throws, corrupts the netlist or
   // changes the function is likewise rolled back and recorded as failed;
-  // the remaining stages still run on the pre-stage circuit.
+  // the remaining stages still run on the pre-stage circuit.  Rollback uses
+  // the mutation journal (O(edit size)) and a pre-stage functional_trace
+  // digest instead of a deep pre-stage clone.
   auto attempt = [&](const std::string& stage, auto&& transform) {
-    Netlist before = res.circuit.clone();
+    sim::SimTrace ref = sim::functional_trace(res.circuit, 512, 17);
+    res.circuit.begin_undo();
     double p_before = res.stages.back().power_w;
     std::string failure;
     try {
       transform(res.circuit);
       if (auto err = res.circuit.check(); !err.empty())
         failure = "broke netlist invariants: " + err;
-      else if (!sim::equivalent_random(before, res.circuit, 512, 17))
+      else if (sim::functional_trace(res.circuit, 512, 17) != ref)
         failure = "changed circuit function";
     } catch (const std::exception& e) {
       failure = e.what();
     }
     if (!failure.empty()) {
-      res.circuit = std::move(before);
+      res.circuit.rollback_undo();
       StageReport rep = measure(stage + " (failed)", res.circuit, opt);
       rep.status = "failed";
       rep.note = failure;
@@ -73,9 +76,10 @@ FlowResult optimize_combinational(const Netlist& input,
     }
     StageReport rep = measure(stage, res.circuit, opt);
     if (rep.power_w <= p_before) {
+      res.circuit.commit_undo();
       res.stages.push_back(rep);
     } else {
-      res.circuit = std::move(before);
+      res.circuit.rollback_undo();
       rep = measure(stage + " (reverted)", res.circuit, opt);
       rep.status = "reverted";
       res.stages.push_back(rep);

@@ -1,0 +1,123 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace lps::core {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] {
+      std::unique_lock lk(mu_);
+      for (;;) {
+        cv_.wait(lk, [&] { return stop_ || (job_ && job_->next < job_->n); });
+        if (stop_) return;
+        drain(job_, lk);
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job* job, std::unique_lock<std::mutex>& lk) {
+  while (job->next < job->n) {
+    std::size_t i = job->next++;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !job->error) job->error = err;
+    if (++job->done == job->n) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::lock_guard submit(submit_mu_);
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  std::unique_lock lk(mu_);
+  job_ = &job;
+  cv_.notify_all();
+  drain(&job, lk);
+  done_cv_.wait(lk, [&] { return job.done == job.n; });
+  job_ = nullptr;
+  lk.unlock();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+
+std::mutex g_config_mu;
+unsigned g_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool;
+
+unsigned default_threads() {
+  if (const char* s = std::getenv("LPS_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v >= 1 && v <= 256)
+      return static_cast<unsigned>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 1;
+}
+
+}  // namespace
+
+unsigned num_threads() {
+  std::lock_guard lk(g_config_mu);
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+void set_num_threads(unsigned n) {
+  std::lock_guard lk(g_config_mu);
+  g_threads = std::clamp(n, 1u, 256u);
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  unsigned threads = num_threads();
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool* pool;
+  {
+    std::lock_guard lk(g_config_mu);
+    if (!g_pool || g_pool->lanes() != g_threads)
+      g_pool = std::make_unique<ThreadPool>(g_threads - 1);
+    pool = g_pool.get();
+  }
+  pool->for_each_index(n, fn);
+}
+
+ShardPlan plan_shards(std::size_t total, std::size_t min_per_shard,
+                      std::size_t max_shards) {
+  ShardPlan p;
+  p.total = total;
+  if (min_per_shard == 0) min_per_shard = 1;
+  p.shards = std::clamp<std::size_t>(total / min_per_shard, 1,
+                                     std::max<std::size_t>(1, max_shards));
+  p.per_shard = total / p.shards;
+  return p;
+}
+
+}  // namespace lps::core

@@ -1,0 +1,135 @@
+// parallel.hpp — shared thread pool and deterministic work sharding.
+//
+// Every Monte Carlo estimator in this library (bit-parallel activity
+// measurement, event-driven glitch counting) is embarrassingly parallel
+// across its vector stream.  This module provides the one pool they share:
+// a fixed set of worker threads fed from a blocking task queue, plus a
+// `parallel_for` that runs indexed chunks with the *calling thread
+// participating* (so a 1-thread configuration degenerates to a plain loop
+// with zero thread traffic).
+//
+// Determinism contract
+//   Work decomposition (shard count, shard sizes, per-shard seeds) is a
+//   function of the workload alone — never of the thread count.  Callers
+//   split their stream with plan_shards(), seed each shard with
+//   shard_seed(), and merge per-shard results in shard order.  The merged
+//   result is therefore bit-identical at 1, 2, 4, ... threads; threads only
+//   change which worker happens to execute a shard.
+//
+// Configuration: LPS_THREADS environment variable (default: hardware
+// concurrency), overridable at runtime with set_num_threads() or the
+// ScopedThreads RAII guard used by benchmarks and tests.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lps::core {
+
+/// Fixed-size pool of worker threads with a blocking task queue.  One job
+/// (an indexed loop) runs at a time; submitters serialize.
+class ThreadPool {
+ public:
+  /// `workers` background threads (0 is legal: every job then runs entirely
+  /// on the submitting thread).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes = workers + the submitting thread.
+  unsigned lanes() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(i) for every i in [0, n); blocks until all indices completed.
+  /// The calling thread participates.  The first exception thrown by any
+  /// index is rethrown here after the job drains.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;  // next index to hand out  (guarded by mu_)
+    std::size_t done = 0;  // indices completed       (guarded by mu_)
+    std::exception_ptr error;  // first failure        (guarded by mu_)
+  };
+
+  // Pull and run indices of *job until exhausted.  Called (and returns)
+  // with `lk` held.
+  void drain(Job* job, std::unique_lock<std::mutex>& lk);
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes workers: job posted / stop
+  std::condition_variable done_cv_;  // wakes the submitter: job finished
+  std::mutex submit_mu_;             // serializes for_each_index callers
+  Job* job_ = nullptr;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Current configured thread count (>= 1).  First call reads LPS_THREADS,
+/// falling back to std::thread::hardware_concurrency().
+unsigned num_threads();
+
+/// Override the thread count; rebuilds the shared pool lazily.  Not safe
+/// concurrently with running parallel_for calls.
+void set_num_threads(unsigned n);
+
+/// RAII thread-count override for benchmarks and determinism tests.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(unsigned n) : prev_(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ScopedThreads() { set_num_threads(prev_); }
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+/// Run fn(i) for i in [0, n) on the shared pool (caller participates).
+/// With 1 configured thread or n <= 1 this is a plain serial loop.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Finalizing 64-bit mixer (splitmix64).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-shard RNG seed: a pure function of the user seed and
+/// the shard index, independent of thread count.
+constexpr std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard) {
+  return mix64(seed + 0x9E3779B97F4A7C15ull * (shard + 1));
+}
+
+/// Deterministic decomposition of `total` items into shards: every shard
+/// gets `per_shard` items except the last, which absorbs the remainder.
+/// Depends only on the workload — the determinism contract above.
+struct ShardPlan {
+  std::size_t shards = 1;
+  std::size_t per_shard = 0;
+  std::size_t total = 0;
+
+  std::size_t begin(std::size_t s) const { return s * per_shard; }
+  std::size_t count(std::size_t s) const {
+    return s + 1 < shards ? per_shard : total - per_shard * (shards - 1);
+  }
+};
+
+/// Plan at least `min_per_shard` items per shard, at most `max_shards`
+/// shards (so tiny workloads stay serial and keep their legacy RNG stream).
+ShardPlan plan_shards(std::size_t total, std::size_t min_per_shard,
+                      std::size_t max_shards = 64);
+
+}  // namespace lps::core

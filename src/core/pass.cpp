@@ -17,18 +17,32 @@ bool all_ok(const std::vector<PassRecord>& records) {
 
 std::vector<PassRecord> PassManager::run(Netlist& net) const {
   std::vector<PassRecord> records;
-  const bool snapshot_needed =
+  const bool guard_needed =
       opt_.verify || opt_.check_invariants || opt_.rollback;
+  const bool use_undo = guard_needed && opt_.use_undo_log;
+  const bool use_snapshot = guard_needed && !opt_.use_undo_log;
   for (const auto& p : passes_) {
-    Netlist before = snapshot_needed ? net.clone() : Netlist{};
+    Netlist before = use_snapshot ? net.clone() : Netlist{};
     PassRecord rec;
     rec.pass = p->name();
 
+    // Functional reference for the undo-log path: a trace digest of the
+    // pre-pass circuit replaces keeping the circuit itself alive.
+    sim::SimTrace ref;
+    if (use_undo) {
+      if (opt_.verify)
+        ref = sim::functional_trace(net, opt_.verify_vectors, opt_.verify_seed);
+      net.begin_undo();
+    }
+
     // A failing pass may leave the netlist half-rewritten or structurally
-    // corrupt; every failure path restores the snapshot before recording
-    // (or rethrowing) the diagnostic.
+    // corrupt; every failure path restores the pre-pass state before
+    // recording (or rethrowing) the diagnostic.
     auto fail = [&](diag::Diagnostic d) {
-      if (snapshot_needed) net = std::move(before);
+      if (use_undo)
+        net.rollback_undo();
+      else if (use_snapshot)
+        net = std::move(before);
       rec.ok = false;
       rec.rolled_back = true;
       rec.diag = std::move(d);
@@ -47,8 +61,13 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
         }
       }
       if (rec.ok && opt_.verify) {
-        if (!sim::equivalent_random(before, net, opt_.verify_vectors,
-                                    opt_.verify_seed)) {
+        bool same =
+            use_undo
+                ? sim::functional_trace(net, opt_.verify_vectors,
+                                        opt_.verify_seed) == ref
+                : sim::equivalent_random(before, net, opt_.verify_vectors,
+                                         opt_.verify_seed);
+        if (!same) {
           fail({diag::Severity::Error,
                 "pass " + p->name() + " changed circuit function",
                 {}});
@@ -64,6 +83,7 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
             "pass " + p->name() + " threw: " + e.what(),
             {}});
     }
+    if (use_undo && rec.ok) net.commit_undo();
     records.push_back(std::move(rec));
   }
   return records;

@@ -7,10 +7,17 @@
 //
 // Failure containment: a pass that throws, breaks a netlist invariant
 // (Netlist::check()/validate()), or changes the circuit function is *rolled
-// back* — the pre-pass snapshot is restored, the failure is recorded as a
+// back* — the pre-pass state is restored, the failure is recorded as a
 // Diagnostic on its PassRecord, and the remaining passes still run.  Set
 // Options::rollback = false to get the old abort-on-first-failure behavior
 // (the failure is then rethrown as diag::CheckError).
+//
+// Rollback is implemented with the Netlist mutation journal
+// (begin_undo/rollback_undo): restoring a failed pass costs O(edit size)
+// instead of a whole-netlist deep copy per pass.  Function verification
+// compares a pre-pass functional_trace() digest against the post-pass one,
+// so no pre-pass clone is kept alive.  Options::use_undo_log = false
+// selects the legacy snapshot path (kept for differential testing).
 
 #pragma once
 
@@ -67,6 +74,10 @@ class PassManager {
     /// Contain failures: restore the snapshot and keep going.  When false a
     /// failing pass rethrows (diag::CheckError) after restoring the input.
     bool rollback = true;
+    /// Roll back via the Netlist mutation journal (O(edit size)); false
+    /// uses the legacy whole-netlist snapshot (O(circuit size)).  Both
+    /// restore the identical pre-pass state.
+    bool use_undo_log = true;
     std::size_t verify_vectors = 1024;
     std::uint64_t verify_seed = 0xABCD;
   };

@@ -125,7 +125,89 @@ std::size_t gate_max_arity(GateType t) {
   }
 }
 
+Netlist::Netlist(const Netlist& o)
+    : name_(o.name_),
+      nodes_(o.nodes_),
+      inputs_(o.inputs_),
+      outputs_(o.outputs_),
+      output_names_(o.output_names_) {}
+
+Netlist& Netlist::operator=(const Netlist& o) {
+  if (this == &o) return *this;
+  touch_all();
+  name_ = o.name_;
+  nodes_ = o.nodes_;
+  inputs_ = o.inputs_;
+  outputs_ = o.outputs_;
+  output_names_ = o.output_names_;
+  return *this;  // an active journal survives the wholesale replacement
+}
+
+Netlist& Netlist::operator=(Netlist&& o) {
+  if (this == &o) return *this;
+  touch_all();
+  name_ = std::move(o.name_);
+  nodes_ = std::move(o.nodes_);
+  inputs_ = std::move(o.inputs_);
+  outputs_ = std::move(o.outputs_);
+  output_names_ = std::move(o.output_names_);
+  return *this;
+}
+
+void Netlist::begin_undo() {
+  undo_ = std::make_unique<UndoLog>();
+  undo_->base_nodes = nodes_.size();
+  undo_->dirty.assign(nodes_.size(), 0);
+}
+
+void Netlist::commit_undo() { undo_.reset(); }
+
+void Netlist::rollback_undo() {
+  LPS_CHECK(undo_ != nullptr, "rollback_undo: no active undo log");
+  UndoLog& u = *undo_;
+  // Restore order matters: a wholesale pre-image rewinds to the point it
+  // was taken; node/io images (recorded before it) then rewind the earlier
+  // incremental edits; finally nodes created after begin_undo are dropped.
+  if (u.full_saved) {
+    nodes_ = std::move(u.full_nodes);
+    inputs_ = std::move(u.full_inputs);
+    outputs_ = std::move(u.full_outputs);
+    output_names_ = std::move(u.full_output_names);
+    name_ = std::move(u.full_name);
+  }
+  for (auto it = u.node_images.rbegin(); it != u.node_images.rend(); ++it)
+    nodes_[it->first] = std::move(it->second);
+  if (u.io_saved) {
+    inputs_ = std::move(u.inputs);
+    outputs_ = std::move(u.outputs);
+    output_names_ = std::move(u.output_names);
+    name_ = std::move(u.name);
+  }
+  if (nodes_.size() > u.base_nodes) nodes_.resize(u.base_nodes);
+  undo_.reset();
+}
+
+void Netlist::touch_io() {
+  if (!undo_ || undo_->full_saved || undo_->io_saved) return;
+  undo_->io_saved = true;
+  undo_->inputs = inputs_;
+  undo_->outputs = outputs_;
+  undo_->output_names = output_names_;
+  undo_->name = name_;
+}
+
+void Netlist::touch_all() {
+  if (!undo_ || undo_->full_saved) return;
+  undo_->full_saved = true;
+  undo_->full_nodes = nodes_;
+  undo_->full_inputs = inputs_;
+  undo_->full_outputs = outputs_;
+  undo_->full_output_names = output_names_;
+  undo_->full_name = name_;
+}
+
 NodeId Netlist::add_input(std::string name) {
+  touch_io();
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node n;
   n.type = GateType::Input;
@@ -175,6 +257,7 @@ NodeId Netlist::add_dff(NodeId d, bool init, std::string name) {
 }
 
 void Netlist::set_dff_enable(NodeId dff, NodeId enable) {
+  touch_node(dff);
   Node& n = nodes_[dff];
   if (n.type != GateType::Dff || n.fanins.size() != 1)
     throw std::invalid_argument("set_dff_enable: plain Dff expected");
@@ -183,6 +266,7 @@ void Netlist::set_dff_enable(NodeId dff, NodeId enable) {
 }
 
 void Netlist::add_output(NodeId n, std::string name) {
+  touch_io();
   outputs_.push_back(n);
   if (name.empty()) {
     name = nodes_[n].name.empty() ? ("po" + std::to_string(outputs_.size() - 1))
@@ -227,10 +311,12 @@ std::optional<NodeId> Netlist::find(std::string_view name) const {
 }
 
 void Netlist::link_fanin(NodeId user, NodeId used) {
+  touch_node(used);
   nodes_[used].fanouts.push_back(user);
 }
 
 void Netlist::unlink_fanin(NodeId user, NodeId used) {
+  touch_node(used);
   auto& fo = nodes_[used].fanouts;
   auto it = std::find(fo.begin(), fo.end(), user);
   LPS_CHECK(it != fo.end(), "unlink_fanin: node " + std::to_string(used) +
@@ -242,9 +328,11 @@ void Netlist::unlink_fanin(NodeId user, NodeId used) {
 void Netlist::substitute(NodeId old_node, NodeId new_node) {
   LPS_CHECK(old_node != new_node,
             "substitute: node " + std::to_string(old_node) + " with itself");
+  touch_io();  // POs may be redirected below
   // Redirect fanins of every user.  Copy the fanout list since we mutate it.
   std::vector<NodeId> users = nodes_[old_node].fanouts;
   for (NodeId u : users) {
+    touch_node(u);
     auto& f = nodes_[u].fanins;
     for (std::size_t k = 0; k < f.size(); ++k) {
       if (f[k] == old_node) {
@@ -262,6 +350,7 @@ void Netlist::substitute(NodeId old_node, NodeId new_node) {
 void Netlist::replace_fanin(NodeId n, std::size_t k, NodeId nf) {
   NodeId old = nodes_[n].fanins.at(k);
   if (old == nf) return;
+  touch_node(n);
   nodes_[n].fanins[k] = nf;
   unlink_fanin(n, old);
   link_fanin(n, nf);
@@ -273,10 +362,12 @@ void Netlist::remove(NodeId n) {
   LPS_CHECK(nodes_[n].fanouts.empty(),
             "remove: node " + std::to_string(n) + " still has " +
                 std::to_string(nodes_[n].fanouts.size()) + " fanouts");
+  touch_node(n);
   for (NodeId f : nodes_[n].fanins) unlink_fanin(n, f);
   nodes_[n].fanins.clear();
   nodes_[n].dead = true;
   if (nodes_[n].type == GateType::Input) {
+    touch_io();
     auto it = std::find(inputs_.begin(), inputs_.end(), n);
     if (it != inputs_.end()) inputs_.erase(it);
   }
@@ -319,6 +410,7 @@ std::size_t Netlist::sweep() {
 }
 
 std::vector<NodeId> Netlist::compact() {
+  touch_all();  // renumbering invalidates per-node journal entries
   std::vector<NodeId> remap(nodes_.size(), kNoNode);
   std::vector<Node> fresh;
   fresh.reserve(num_live());

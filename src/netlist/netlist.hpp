@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -94,8 +95,19 @@ class Netlist {
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
 
+  // Copies never carry the mutation journal; assignment onto a journaled
+  // netlist records a wholesale pre-image first (so `net = strash(net)`
+  // remains rollback-able).  See the mutation-journal section below.
+  Netlist(const Netlist& o);
+  Netlist(Netlist&& o) noexcept = default;
+  Netlist& operator=(const Netlist& o);
+  Netlist& operator=(Netlist&& o);
+
   const std::string& name() const { return name_; }
-  void set_name(std::string n) { name_ = std::move(n); }
+  void set_name(std::string n) {
+    touch_io();
+    name_ = std::move(n);
+  }
 
   // ---- construction -------------------------------------------------------
   NodeId add_input(std::string name);
@@ -128,7 +140,12 @@ class Netlist {
   // ---- access -------------------------------------------------------------
   std::size_t size() const { return nodes_.size(); }  // includes tombstones
   const Node& node(NodeId n) const { return nodes_[n]; }
-  Node& node(NodeId n) { return nodes_[n]; }
+  /// Mutable access journals the node's pre-image when an undo log is
+  /// active (passes edit size/delay/init through this reference).
+  Node& node(NodeId n) {
+    touch_node(n);
+    return nodes_[n];
+  }
   bool is_dead(NodeId n) const { return nodes_[n].dead; }
 
   const std::vector<NodeId>& inputs() const { return inputs_; }
@@ -183,7 +200,56 @@ class Netlist {
   /// Deep structural clone.
   Netlist clone() const;
 
+  // ---- mutation journal ---------------------------------------------------
+  // Alternative to cloning the whole netlist for rollback: begin_undo()
+  // starts recording pre-images of everything a pass touches — node
+  // pre-images on first write (copy-on-touch, one per node), the PI/PO
+  // lists on first change, or a single wholesale pre-image when the pass
+  // replaces the network outright (assignment, compact()).  rollback_undo()
+  // restores the exact begin_undo() state; commit_undo() drops the log.
+  // Cost scales with the pass's edit size, not the circuit size.
+  // Only one log is active at a time; begin_undo() replaces any prior log.
+
+  void begin_undo();
+  /// Keep all changes; discard the journal.
+  void commit_undo();
+  /// Restore the exact state captured by begin_undo(); discards the journal.
+  void rollback_undo();
+  bool undo_active() const { return undo_ != nullptr; }
+  /// Node pre-images recorded so far (diagnostic / test hook).
+  std::size_t undo_entries() const {
+    return undo_ ? undo_->node_images.size() : 0;
+  }
+
  private:
+  struct UndoLog {
+    std::size_t base_nodes = 0;            // nodes_.size() at begin_undo
+    std::vector<char> dirty;               // per pre-existing node: journaled?
+    std::vector<std::pair<NodeId, Node>> node_images;
+    bool io_saved = false;                 // PI/PO lists + name journaled?
+    std::vector<NodeId> inputs;
+    std::vector<NodeId> outputs;
+    std::vector<std::string> output_names;
+    std::string name;
+    bool full_saved = false;               // wholesale pre-image journaled?
+    std::vector<Node> full_nodes;
+    std::vector<NodeId> full_inputs;
+    std::vector<NodeId> full_outputs;
+    std::vector<std::string> full_output_names;
+    std::string full_name;
+  };
+
+  /// Journal node n's pre-image on its first mutation (no-op for nodes
+  /// created after begin_undo, or once a wholesale pre-image exists).
+  void touch_node(NodeId n) {
+    if (!undo_ || undo_->full_saved) return;
+    if (n >= undo_->base_nodes || undo_->dirty[n]) return;
+    undo_->dirty[n] = 1;
+    undo_->node_images.emplace_back(n, nodes_[n]);
+  }
+  void touch_io();   // journal PI/PO lists + name on first change
+  void touch_all();  // journal a wholesale pre-image (assignment, compact)
+
   void link_fanin(NodeId user, NodeId used);
   void unlink_fanin(NodeId user, NodeId used);
 
@@ -192,6 +258,7 @@ class Netlist {
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
   std::vector<std::string> output_names_;
+  std::unique_ptr<UndoLog> undo_;
 };
 
 /// Structural hashing: rebuilds the network bottom-up, merging structurally

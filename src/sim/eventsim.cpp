@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <map>
 #include <random>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace lps::sim {
 
@@ -26,8 +27,26 @@ double TimedStats::glitch_fraction() const {
   return (t - sum_functional()) / t;
 }
 
+void TimedStats::merge(const TimedStats& other) {
+  if (total_toggles.size() < other.total_toggles.size())
+    total_toggles.resize(other.total_toggles.size(), 0.0);
+  if (functional_toggles.size() < other.functional_toggles.size())
+    functional_toggles.resize(other.functional_toggles.size(), 0.0);
+  for (std::size_t i = 0; i < other.total_toggles.size(); ++i)
+    total_toggles[i] += other.total_toggles[i];
+  for (std::size_t i = 0; i < other.functional_toggles.size(); ++i)
+    functional_toggles[i] += other.functional_toggles[i];
+  vectors += other.vectors;
+}
+
 EventSim::EventSim(const Netlist& net)
     : net_(&net), order_(net.topo_order()), dffs_(net.dffs()) {
+  // Wheel span: events are scheduled at now + max(1, delay), so
+  // max(1, max delay) + 1 buckets distinguish every pending timestamp.
+  int maxd = 1;
+  for (NodeId id = 0; id < net.size(); ++id)
+    if (!net.is_dead(id)) maxd = std::max(maxd, net.node(id).delay);
+  wheel_.resize(static_cast<std::size_t>(maxd) + 1);
   reset();
 }
 
@@ -70,48 +89,56 @@ void EventSim::reset() {
   lsv_ = value_;
   settled_ = value_;
   primed_ = true;
+  for (auto& b : wheel_) b.clear();
+  init_.clear();
   clear_stats();
 }
 
-void EventSim::settle(std::vector<std::pair<NodeId, bool>> initial_changes) {
+void EventSim::settle() {
   const Netlist& n = *net_;
-  // time -> list of (node, new value).  Transport delay: every scheduled
-  // transition is applied (no inertial filtering), so glitches propagate.
-  std::map<int, std::vector<std::pair<NodeId, bool>>> wheel;
-  wheel[0] = std::move(initial_changes);
-  std::vector<std::uint64_t> scratch;
-  std::vector<NodeId> touched;
+  // Transport delay: every scheduled transition is applied (no inertial
+  // filtering), so glitches propagate.  All pending events lie within
+  // max-delay of the current step, so the circular wheel never wraps onto a
+  // live bucket; scheduling always targets a bucket != head (delay >= 1).
+  const std::size_t W = wheel_.size();
+  std::size_t head = 0;
+  std::size_t pending = init_.size();
+  wheel_[0].swap(init_);
 
-  while (!wheel.empty()) {
-    auto it = wheel.begin();
-    int t = it->first;
-    auto changes = std::move(it->second);
-    wheel.erase(it);
-
-    touched.clear();
-    for (auto [node, v] : changes) {
-      if ((value_[node] != 0) == v) continue;
-      value_[node] = v ? 1 : 0;
-      stats_.total_toggles[node] += 1.0;
-      for (NodeId fo : n.node(node).fanouts) {
-        if (n.node(fo).type == GateType::Dff) continue;  // clocked boundary
-        touched.push_back(fo);
+  while (pending > 0) {
+    auto& changes = wheel_[head];
+    if (!changes.empty()) {
+      pending -= changes.size();
+      touched_.clear();
+      for (auto [node, v] : changes) {
+        if ((value_[node] != 0) == v) continue;
+        value_[node] = v ? 1 : 0;
+        stats_.total_toggles[node] += 1.0;
+        for (NodeId fo : n.node(node).fanouts) {
+          if (n.node(fo).type == GateType::Dff) continue;  // clocked boundary
+          touched_.push_back(fo);
+        }
+      }
+      changes.clear();
+      // Evaluate each affected gate once per time step.
+      std::sort(touched_.begin(), touched_.end());
+      touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                     touched_.end());
+      for (NodeId g : touched_) {
+        const Node& nd = n.node(g);
+        scratch_.assign(nd.fanins.size(), 0);
+        for (std::size_t j = 0; j < nd.fanins.size(); ++j)
+          scratch_[j] = value_[nd.fanins[j]] ? ~0ULL : 0ULL;
+        bool v = (eval_gate(nd.type, scratch_) & 1ULL) != 0;
+        if ((lsv_[g] != 0) != v) {
+          lsv_[g] = v ? 1 : 0;
+          auto d = static_cast<std::size_t>(std::max(1, nd.delay));
+          wheel_[(head + d) % W].emplace_back(g, v);
+          ++pending;
+        }
       }
     }
-    // Evaluate each affected gate once per time step.
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-    for (NodeId g : touched) {
-      const Node& nd = n.node(g);
-      scratch.assign(nd.fanins.size(), 0);
-      for (std::size_t j = 0; j < nd.fanins.size(); ++j)
-        scratch[j] = value_[nd.fanins[j]] ? ~0ULL : 0ULL;
-      bool v = (eval_gate(nd.type, scratch) & 1ULL) != 0;
-      if ((lsv_[g] != 0) != v) {
-        lsv_[g] = v ? 1 : 0;
-        wheel[t + std::max(1, nd.delay)].emplace_back(g, v);
-      }
-    }
+    head = (head + 1) % W;
   }
 }
 
@@ -119,12 +146,12 @@ void EventSim::apply(std::span<const bool> pi_values) {
   const Netlist& n = *net_;
   if (pi_values.size() != n.inputs().size())
     throw std::invalid_argument("EventSim::apply: PI count mismatch");
-  std::vector<std::pair<NodeId, bool>> init;
+  init_.clear();
   for (std::size_t i = 0; i < pi_values.size(); ++i) {
     NodeId pi = n.inputs()[i];
     bool v = pi_values[i];
     if ((value_[pi] != 0) != v) {
-      init.emplace_back(pi, v);
+      init_.emplace_back(pi, v);
       lsv_[pi] = v ? 1 : 0;
     }
   }
@@ -136,12 +163,12 @@ void EventSim::apply(std::span<const bool> pi_values) {
     if (nd.fanins.size() == 2 && value_[nd.fanins[1]] == 0)
       next = value_[d] != 0;  // hold
     if ((value_[d] != 0) != next) {
-      init.emplace_back(d, next);
+      init_.emplace_back(d, next);
       lsv_[d] = next ? 1 : 0;
     }
     state_[d] = next ? 1 : 0;
   }
-  settle(std::move(init));
+  settle();
   // Functional toggles: settled value differs from previous settled value.
   for (NodeId id = 0; id < n.size(); ++id) {
     if (n.is_dead(id)) continue;
@@ -151,23 +178,50 @@ void EventSim::apply(std::span<const bool> pi_values) {
   ++stats_.vectors;
 }
 
-TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
-                                  std::uint64_t seed,
-                                  std::span<const double> pi_one_prob) {
+namespace {
+
+TimedStats simulate_timed_shard(const Netlist& net, std::size_t n_vectors,
+                                std::uint64_t seed,
+                                std::span<const double> pi_one_prob) {
   EventSim sim(net);
   std::mt19937_64 rng(seed);
-  std::vector<char> v(net.inputs().size());
-  std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, v.size())]);
+  std::size_t n_pi = net.inputs().size();
+  std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, n_pi)]);
   for (std::size_t k = 0; k < n_vectors; ++k) {
-    for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t i = 0; i < n_pi; ++i) {
       buf[i] = (rng() & 0xFFFF) < static_cast<std::uint64_t>(
                                       (pi_one_prob.empty() ? 0.5
                                                            : pi_one_prob[i]) *
                                       65536.0);
     }
-    sim.apply({buf.get(), v.size()});
+    sim.apply({buf.get(), n_pi});
   }
   return sim.stats();
+}
+
+}  // namespace
+
+TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
+                                  std::uint64_t seed,
+                                  std::span<const double> pi_one_prob) {
+  // Sequential nets carry register state vector-to-vector: one serial shard
+  // with the legacy stream.  Combinational nets shard; each shard starts
+  // from the reset (all-zero) settled state, so the decomposition — a
+  // function of n_vectors alone — fixes the counts at any thread count.
+  auto plan = core::plan_shards(net.dffs().empty() ? n_vectors : 0, 64);
+  if (plan.shards == 1)
+    return simulate_timed_shard(net, n_vectors, seed, pi_one_prob);
+
+  std::vector<TimedStats> parts(plan.shards);
+  core::parallel_for(plan.shards, [&](std::size_t s) {
+    parts[s] = simulate_timed_shard(net, plan.count(s),
+                                    core::shard_seed(seed, s), pi_one_prob);
+  });
+  TimedStats st;
+  st.total_toggles.assign(net.size(), 0.0);
+  st.functional_toggles.assign(net.size(), 0.0);
+  for (const auto& p : parts) st.merge(p);
+  return st;
 }
 
 }  // namespace lps::sim

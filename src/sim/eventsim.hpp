@@ -9,15 +9,26 @@
 // scheduled transition fires, so glitches travel through the network exactly
 // as they do in an unfiltered static CMOS implementation.
 //
+// The event queue is a circular timing wheel: gate delays are small bounded
+// integers, so `max_delay + 1` buckets indexed by (time mod size) cover every
+// pending event.  The wheel is sized once per simulator and its buckets are
+// reused across vectors, eliminating the per-vector ordered-map rebuild.
+//
 // Per input-vector pair the simulator counts, per node,
 //   total transitions   (timed, includes glitches)
 //   functional toggles  (settled value changed: 0 or 1 per vector)
 // so that  spurious = total - functional.
+//
+// measure_timed_activity shards its vector stream across the shared thread
+// pool for combinational nets (see core/parallel.hpp): shard decomposition
+// and seeds depend only on (n_vectors, seed), and per-shard counts merge in
+// shard order, so results are bit-identical at any thread count.
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -33,6 +44,10 @@ struct TimedStats {
   double sum_functional() const;
   /// Fraction of all switching that is spurious (0 when nothing toggles).
   double glitch_fraction() const;
+
+  /// Accumulate another run's counts (associative; counts are integer-valued
+  /// doubles, so shard-order merging is exact).
+  void merge(const TimedStats& other);
 };
 
 /// Event-driven timed simulator.  Gate delays come from Node::delay.
@@ -55,7 +70,10 @@ class EventSim {
   void clear_stats();
 
  private:
-  void settle(std::vector<std::pair<NodeId, bool>> initial_changes);
+  using Change = std::pair<NodeId, bool>;
+
+  // Propagate `init_` (changes at time 0) to quiescence.  Consumes init_.
+  void settle();
 
   const Netlist* net_;
   std::vector<NodeId> order_;
@@ -66,9 +84,21 @@ class EventSim {
   std::vector<char> state_;   // register state
   bool primed_ = false;
   TimedStats stats_;
+
+  // Circular timing wheel, sized max(1, max gate delay) + 1 buckets; bucket
+  // capacity persists across vectors.  Scratch buffers likewise reused.
+  std::vector<std::vector<Change>> wheel_;
+  std::vector<Change> init_;            // time-0 changes for the next settle
+  std::vector<NodeId> touched_;         // gates to re-evaluate this step
+  std::vector<std::uint64_t> scratch_;  // fanin words for eval_gate
 };
 
 /// Convenience driver: random vectors with optional per-PI one-probability.
+/// Combinational nets shard the vector stream across the thread pool (each
+/// shard simulates from the reset state under its own seeded stream);
+/// sequential nets carry register state and run as one serial shard with the
+/// legacy RNG stream.  Deterministic in (n_vectors, seed) at any thread
+/// count.
 TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
                                   std::uint64_t seed,
                                   std::span<const double> pi_one_prob = {});

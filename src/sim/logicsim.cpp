@@ -4,17 +4,19 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace lps::sim {
 
 LogicSim::LogicSim(const Netlist& net)
     : net_(&net), order_(net.topo_order()), dff_list_(net.dffs()) {}
 
-Frame LogicSim::eval(std::span<const std::uint64_t> pi_words,
-                     std::span<const std::uint64_t> dff_words) const {
+void LogicSim::eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
+                         std::span<const std::uint64_t> dff_words) const {
   const Netlist& n = *net_;
   if (pi_words.size() != n.inputs().size())
     throw std::invalid_argument("LogicSim::eval: PI word count mismatch");
-  Frame f(n.size(), 0);
+  f.assign(n.size(), 0);
   for (std::size_t i = 0; i < pi_words.size(); ++i)
     f[n.inputs()[i]] = pi_words[i];
   for (std::size_t i = 0; i < dff_list_.size(); ++i) {
@@ -49,6 +51,12 @@ Frame LogicSim::eval(std::span<const std::uint64_t> pi_words,
       }
     }
   }
+}
+
+Frame LogicSim::eval(std::span<const std::uint64_t> pi_words,
+                     std::span<const std::uint64_t> dff_words) const {
+  Frame f;
+  eval_into(f, pi_words, dff_words);
   return f;
 }
 
@@ -59,18 +67,26 @@ std::vector<std::uint64_t> LogicSim::outputs_of(const Frame& f) const {
   return r;
 }
 
-std::vector<std::uint64_t> LogicSim::next_state_of(const Frame& f) const {
-  std::vector<std::uint64_t> r;
-  r.reserve(dff_list_.size());
-  for (NodeId d : dff_list_) {
+void LogicSim::next_state_into(const Frame& f,
+                               std::vector<std::uint64_t>& state) const {
+  // `state` holds the current Q values, which load-enabled Dffs recirculate
+  // on EN = 0; they equal f[d], so the update is safe in place.
+  state.resize(dff_list_.size());
+  for (std::size_t i = 0; i < dff_list_.size(); ++i) {
+    NodeId d = dff_list_[i];
     const Node& nd = net_->node(d);
     std::uint64_t next = f[nd.fanins[0]];
     if (nd.fanins.size() == 2) {
       std::uint64_t en = f[nd.fanins[1]];
       next = (en & next) | (~en & f[d]);  // hold on EN = 0
     }
-    r.push_back(next);
+    state[i] = next;
   }
+}
+
+std::vector<std::uint64_t> LogicSim::next_state_of(const Frame& f) const {
+  std::vector<std::uint64_t> r(dff_list_.size());
+  next_state_into(f, r);
   return r;
 }
 
@@ -87,57 +103,102 @@ std::uint64_t biased_word(std::mt19937_64& rng, double p) {
   return w;
 }
 
+// Per-shard accumulator: exact integer counts merge associatively.
+struct ActivityAccum {
+  std::vector<std::uint64_t> ones;
+  std::vector<std::uint64_t> toggles;
+  std::size_t frames = 0;
+  std::size_t seams = 0;  // consecutive-frame boundaries counted
+};
+
+ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
+                                      std::span<const NodeId> dffs,
+                                      std::size_t n_frames,
+                                      std::uint64_t seed,
+                                      std::span<const double> pi_one_prob) {
+  const auto& pis = net.inputs();
+  ActivityAccum a;
+  a.ones.assign(net.size(), 0);
+  a.toggles.assign(net.size(), 0);
+  a.frames = n_frames;
+  a.seams = n_frames > 1 ? n_frames - 1 : 0;
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> pi_words(pis.size());
+  std::vector<std::uint64_t> state(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
+
+  Frame f, prev;
+  for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
+      pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
+    }
+    sim.eval_into(f, pi_words, state);
+    for (NodeId id = 0; id < net.size(); ++id) {
+      if (net.is_dead(id)) continue;
+      a.ones[id] += std::popcount(f[id]);
+      // Each of the 64 bit lanes carries an independent trajectory;
+      // transitions are counted per lane between consecutive frames.  This
+      // is exact for sequential circuits and, with iid inputs, for
+      // combinational ones too.
+      if (fr > 0) a.toggles[id] += std::popcount(f[id] ^ prev[id]);
+    }
+    sim.next_state_into(f, state);
+    std::swap(prev, f);
+  }
+  return a;
+}
+
 }  // namespace
 
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
                                std::span<const double> pi_one_prob) {
   LogicSim sim(net);
-  std::mt19937_64 rng(seed);
-  const auto& pis = net.inputs();
   auto dffs = net.dffs();
+
+  // Sequential nets form one continuous state trajectory — one shard.
+  // Combinational frame streams are iid and shard freely; the plan depends
+  // only on n_frames, so results are thread-count independent.
+  auto plan = core::plan_shards(dffs.empty() ? n_frames : 0, 64);
+  std::vector<ActivityAccum> parts(plan.shards);
+  if (plan.shards == 1) {
+    // Single shard keeps the legacy RNG stream (seeded with `seed` itself).
+    parts[0] = simulate_activity_shard(net, sim, dffs, n_frames, seed,
+                                       pi_one_prob);
+  } else {
+    core::parallel_for(plan.shards, [&](std::size_t s) {
+      parts[s] = simulate_activity_shard(net, sim, dffs, plan.count(s),
+                                         core::shard_seed(seed, s),
+                                         pi_one_prob);
+    });
+  }
+
+  // Fixed shard-order merge of exact integer counts: bit-identical results
+  // at any thread count.
+  std::vector<std::uint64_t> ones(net.size(), 0), toggles(net.size(), 0);
+  std::size_t frames = 0, seams = 0;
+  for (const auto& p : parts) {
+    for (NodeId id = 0; id < net.size(); ++id) {
+      ones[id] += p.ones[id];
+      toggles[id] += p.toggles[id];
+    }
+    frames += p.frames;
+    seams += p.seams;
+  }
 
   ActivityStats st;
   st.signal_prob.assign(net.size(), 0.0);
   st.transition_prob.assign(net.size(), 0.0);
-
-  std::vector<std::uint64_t> pi_words(pis.size());
-  std::vector<std::uint64_t> state(dffs.size());
-  for (std::size_t i = 0; i < dffs.size(); ++i)
-    state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
-
-  std::vector<std::uint64_t> ones(net.size(), 0);
-  std::vector<std::uint64_t> toggles(net.size(), 0);
-  Frame prev;
-  bool have_prev = false;
-
-  for (std::size_t fr = 0; fr < n_frames; ++fr) {
-    for (std::size_t i = 0; i < pis.size(); ++i) {
-      double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
-      pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
-    }
-    Frame f = sim.eval(pi_words, state);
-    for (NodeId id = 0; id < net.size(); ++id) {
-      if (net.is_dead(id)) continue;
-      ones[id] += std::popcount(f[id]);
-      // Each of the 64 bit lanes carries an independent trajectory;
-      // transitions are counted per lane between consecutive frames.  This
-      // is exact for sequential circuits and, with iid inputs, for
-      // combinational ones too.
-      if (have_prev) toggles[id] += std::popcount(f[id] ^ prev[id]);
-    }
-    state = sim.next_state_of(f);
-    prev = std::move(f);
-    have_prev = true;
-  }
-
-  double total = static_cast<double>(n_frames) * 64.0;
-  double seams =
-      n_frames > 1 ? static_cast<double>(n_frames - 1) * 64.0 : 0.0;
+  double total = static_cast<double>(frames) * 64.0;
+  double seam_patterns = static_cast<double>(seams) * 64.0;
   st.patterns = static_cast<std::size_t>(total);
   for (NodeId id = 0; id < net.size(); ++id) {
     st.signal_prob[id] = total > 0 ? ones[id] / total : 0.0;
-    st.transition_prob[id] = seams > 0 ? toggles[id] / seams : 0.0;
+    st.transition_prob[id] =
+        seam_patterns > 0 ? toggles[id] / seam_patterns : 0.0;
   }
   return st;
 }
@@ -155,18 +216,45 @@ bool equivalent_random(const Netlist& a, const Netlist& b,
     qa[i] = a.node(da[i]).init_value ? ~0ULL : 0ULL;
   for (std::size_t i = 0; i < db.size(); ++i)
     qb[i] = b.node(db[i]).init_value ? ~0ULL : 0ULL;
+  Frame fa, fb;
   for (std::size_t fr = 0; fr < n_frames; ++fr) {
     for (auto& w : pi) w = rng();
-    Frame fa = sa.eval(pi, qa);
-    Frame fb = sb.eval(pi, qb);
-    auto oa = sa.outputs_of(fa);
-    auto ob = sb.outputs_of(fb);
-    for (std::size_t i = 0; i < oa.size(); ++i)
-      if (oa[i] != ob[i]) return false;
-    qa = sa.next_state_of(fa);
-    qb = sb.next_state_of(fb);
+    sa.eval_into(fa, pi, qa);
+    sb.eval_into(fb, pi, qb);
+    for (std::size_t i = 0; i < a.outputs().size(); ++i)
+      if (fa[a.outputs()[i]] != fb[b.outputs()[i]]) return false;
+    sa.next_state_into(fa, qa);
+    sb.next_state_into(fb, qb);
   }
   return true;
+}
+
+SimTrace functional_trace(const Netlist& net, std::size_t n_frames,
+                          std::uint64_t seed) {
+  SimTrace t;
+  t.n_inputs = net.inputs().size();
+  t.n_outputs = net.outputs().size();
+  t.frames = n_frames;
+  t.seed = seed;
+
+  LogicSim sim(net);
+  auto dffs = net.dffs();
+  t.n_dffs = dffs.size();
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> pi(net.inputs().size());
+  std::vector<std::uint64_t> q(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    q[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
+  std::uint64_t digest = 0x5CA1AB1Eu;
+  Frame f;
+  for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    for (auto& w : pi) w = rng();
+    sim.eval_into(f, pi, q);
+    for (NodeId o : net.outputs()) digest = core::mix64(digest ^ f[o]);
+    sim.next_state_into(f, q);
+  }
+  t.digest = digest;
+  return t;
 }
 
 }  // namespace lps::sim

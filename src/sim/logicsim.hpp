@@ -4,6 +4,13 @@
 // (b) exact zero-delay switching-activity measurement (§I Eqn. 1 factor N),
 // and (c) signal/transition probability measurement under arbitrary input
 // statistics.  Each std::uint64_t word carries 64 independent patterns.
+//
+// Monte Carlo drivers shard their frame stream across the shared thread
+// pool (core/parallel.hpp).  The decomposition and per-shard seeds depend
+// only on the workload, and per-shard counts merge associatively in shard
+// order, so results are bit-identical at any thread count.  Sequential
+// netlists carry register state across frames and therefore always run as
+// one serial shard (preserving the single-trajectory semantics).
 
 #pragma once
 
@@ -31,10 +38,19 @@ class LogicSim {
   Frame eval(std::span<const std::uint64_t> pi_words,
              std::span<const std::uint64_t> dff_words = {}) const;
 
+  /// Allocation-free variant for hot loops: evaluates into `f`, reusing its
+  /// capacity across frames.
+  void eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
+                 std::span<const std::uint64_t> dff_words = {}) const;
+
   /// Values at the primary outputs extracted from a frame.
   std::vector<std::uint64_t> outputs_of(const Frame& f) const;
   /// Next-state values (Dff D inputs) extracted from a frame.
   std::vector<std::uint64_t> next_state_of(const Frame& f) const;
+  /// Allocation-free variant: writes next-state words into `state` (which
+  /// must already hold the current state — load-enabled Dffs read it).
+  void next_state_into(const Frame& f,
+                       std::vector<std::uint64_t>& state) const;
 
   const std::vector<NodeId>& order() const { return order_; }
 
@@ -55,7 +71,9 @@ struct ActivityStats {
 /// signal and transition probabilities per node.  `pi_one_prob` optionally
 /// sets a per-input probability of 1 (default 0.5).  For sequential nets the
 /// register state is carried across consecutive patterns within a word
-/// stream (one symbolic stream of length 64*n_frames).
+/// stream (one symbolic stream of length 64*n_frames).  Combinational nets
+/// shard the stream across the thread pool; results are deterministic in
+/// (n_frames, seed) and independent of the thread count.
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
                                std::span<const double> pi_one_prob = {});
@@ -66,5 +84,24 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
 /// patterns.  A miscompare is definitive; agreement is probabilistic.
 bool equivalent_random(const Netlist& a, const Netlist& b,
                        std::size_t n_frames, std::uint64_t seed);
+
+/// Deterministic functional fingerprint: the digest of a netlist's primary
+/// output stream under `n_frames` frames of seeded random stimulus (register
+/// state carried exactly as in equivalent_random).  Two netlists with equal
+/// traces for the same (n_frames, seed) are equivalent on that stream, up to
+/// a ~2^-64 digest collision — this lets the pass manager verify a rewrite
+/// against the *pre-pass* circuit without keeping a deep copy of it alive.
+struct SimTrace {
+  std::size_t n_inputs = 0;
+  std::size_t n_outputs = 0;
+  std::size_t n_dffs = 0;
+  std::size_t frames = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const SimTrace&) const = default;
+};
+
+SimTrace functional_trace(const Netlist& net, std::size_t n_frames,
+                          std::uint64_t seed);
 
 }  // namespace lps::sim

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Aggregate per-binary bench JSON files into BENCH_RESULTS.json.
+
+Each bench binary run with `--json <file>` writes
+    {"binary": "bench_estimators", "results": [{"name", "wall_ms", "iterations"}, ...]}
+This script merges those files, computes parallel speedups for benchmarks
+registered with thread-count Args (names like "bm_foo_par/1" vs
+"bm_foo_par/4"), and writes one top-level document so the perf trajectory
+is tracked across PRs.
+
+Usage:
+    python3 tools/aggregate_bench.py out/*.json -o BENCH_RESULTS.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "binary" not in doc or "results" not in doc:
+        raise ValueError(f"{path}: not a bench JSON file")
+    return doc
+
+
+def speedups(results):
+    """Pair up 'name/1' baselines with 'name/N' variants."""
+    base = {}
+    for r in results:
+        m = re.fullmatch(r"(.+)/1", r["name"])
+        if m:
+            base[m.group(1)] = r["wall_ms"]
+    out = []
+    for r in results:
+        m = re.fullmatch(r"(.+)/(\d+)", r["name"])
+        if not m or m.group(2) == "1":
+            continue
+        stem, threads = m.group(1), int(m.group(2))
+        if stem in base and r["wall_ms"] > 0:
+            out.append(
+                {
+                    "name": stem,
+                    "threads": threads,
+                    "speedup": round(base[stem] / r["wall_ms"], 3),
+                }
+            )
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+", help="per-binary bench JSON files")
+    ap.add_argument("-o", "--output", default="BENCH_RESULTS.json")
+    args = ap.parse_args(argv)
+
+    benches = []
+    for path in args.inputs:
+        doc = load(path)
+        benches.append(
+            {
+                "binary": doc["binary"],
+                "results": doc["results"],
+                "speedups": speedups(doc["results"]),
+            }
+        )
+    benches.sort(key=lambda b: b["binary"])
+
+    with open(args.output, "w") as f:
+        json.dump({"benchmarks": benches}, f, indent=2)
+        f.write("\n")
+    total = sum(len(b["results"]) for b in benches)
+    print(f"{args.output}: {len(benches)} binaries, {total} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
