@@ -28,6 +28,10 @@ void report() {
               << ((s.wire_word >> 3) & 1) << ((s.wire_word >> 2) & 1)
               << ((s.wire_word >> 1) & 1) << (s.wire_word & 1) << ", E="
               << (s.invert ? 1 : 0) << "  (paper: 0100, E=1)\n\n";
+    benchx::claim("E9.worked_example_wires", static_cast<double>(s.wire_word));
+    benchx::claim("E9.worked_example_E", s.invert);
+    benchx::claim("E9.worked_example_transitions",
+                  static_cast<double>(s.transitions));
   }
   {
     std::cout << "Bus-invert on uniform data (transition signalling "
@@ -38,6 +42,10 @@ void report() {
       auto s = sim::uniform_stream(w, 40000, 7 * w);
       auto st = evaluate_bus_invert(s, w);
       double n = static_cast<double>(s.size() - 1);
+      benchx::claim("E9.saving_w" + std::to_string(w), st.saving());
+      if (w == 8)
+        benchx::claim("E9.worst_coded_w8",
+                      static_cast<double>(st.worst_cycle_coded));
       t.row({std::to_string(w), core::Table::num(st.raw_transitions / n, 2),
              core::Table::num(st.coded_transitions / n, 2),
              core::Table::pct(st.saving()),
@@ -50,11 +58,17 @@ void report() {
     std::cout << "\nPartitioned bus-invert (one E line per group, w=32):\n";
     core::Table t({"groups", "saving"});
     auto s = sim::uniform_stream(32, 40000, 11);
-    for (int g : {1, 2, 4, 8})
-      t.row({std::to_string(g),
-             core::Table::pct(
-                 evaluate_partitioned_bus_invert(s, 32, g).saving())});
+    double sav_g1 = 0, sav_g8 = 0;
+    for (int g : {1, 2, 4, 8}) {
+      double sav = evaluate_partitioned_bus_invert(s, 32, g).saving();
+      if (g == 1) sav_g1 = sav;
+      if (g == 8) sav_g8 = sav;
+      t.row({std::to_string(g), core::Table::pct(sav)});
+    }
     t.print(std::cout);
+    benchx::claim("E9.part32_saving_g1", sav_g1);
+    benchx::claim("E9.part32_saving_g8", sav_g8);
+    benchx::claim("E9.partitioned_beats_monolithic", sav_g8 > sav_g1);
   }
   {
     std::cout << "\nLimited-weight codes (m=6 source bits, transition "

@@ -75,6 +75,9 @@ void report() {
   t.print(std::cout);
   std::cout << "activity-weighted no worse than literal on " << wins << "/"
             << total << " functions\n\n";
+  benchx::claim("E6.wins_fraction",
+                total > 0 ? static_cast<double>(wins) / total : 0.0);
+  benchx::claim("E6.functions_tested", static_cast<double>(total));
 }
 
 void bm_factor(benchmark::State& state) {

@@ -19,18 +19,27 @@ void report() {
                  "their clock power; savings track (1 - access duty) [9].");
   core::Table t({"register file", "FF bits", "gated", "enable duty",
                  "clock toggles free", "gated", "saving"});
+  double prev_saving = 0.0;
+  bool monotonic = true;
   for (auto [words, width] : {std::pair{4, 8}, {8, 8}, {16, 16}}) {
     auto rf = register_file(words, width);
     auto ps = detect_hold_patterns(rf);
     auto rep = clock_activity(rf, ps, 4096, 11);
+    double saving = rep.clock_power_saving_fraction();
+    benchx::claim("E11.saving_" + std::to_string(words) + "x" +
+                      std::to_string(width),
+                  saving);
+    monotonic = monotonic && saving > prev_saving;
+    prev_saving = saving;
     t.row({std::to_string(words) + "x" + std::to_string(width),
            std::to_string(rf.dffs().size()), std::to_string(ps.size()),
            core::Table::pct(rep.enable_one_prob_mean),
            core::Table::num(rep.clock_toggles_ungated / rep.cycles, 1),
            core::Table::num(rep.clock_toggles_gated / rep.cycles, 1),
-           core::Table::pct(rep.clock_power_saving_fraction())});
+           core::Table::pct(saving)});
   }
   t.print(std::cout);
+  benchx::claim("E11.saving_grows_with_file_size", monotonic);
   std::cout << "\n(duty = P(write enable selects the word); the larger the "
                "file, the rarer each word is written and the bigger the "
                "gated-clock win)\n\n";

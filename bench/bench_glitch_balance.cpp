@@ -25,6 +25,7 @@ void report() {
       power::AnalysisOptions ao;
       ao.n_vectors = 1024;
       auto a = power::analyze(net, ao);
+      benchx::claim("E5.glitch." + name, a.glitch_fraction);
       t.row({name, core::Table::pct(a.glitch_fraction)});
     }
     std::cout << "Glitch fraction over the suite (paper range: 10-40% for "
@@ -50,6 +51,10 @@ void report() {
                           : logicopt::partial_balance(net, budget);
       auto a = power::analyze(net, ao);
       double p = a.report.breakdown.total_w();
+      if (budget < 0) {
+        benchx::claim("E5.full_balance_saving", 1.0 - p / p0);
+        benchx::claim("E5.full_balance_glitch", a.glitch_fraction);
+      }
       t.row({budget < 0 ? "full balance" : "budget " + std::to_string(budget),
              std::to_string(r.buffers_inserted),
              std::to_string(net.critical_delay()),

@@ -38,6 +38,9 @@ void report() {
       ao.n_vectors = 2048;
       double pb = power::analyze(base, ao).report.breakdown.total_w();
       double pp = power::analyze(pre.circuit, ao).report.breakdown.total_w();
+      if (n == 4 || n == 24)
+        benchx::claim("E12.saving_n" + std::to_string(n), 1.0 - pp / pb);
+      if (n == 16) benchx::claim("E12.hit_prob_k2", sel.hit_probability);
       t.row({std::to_string(n), core::Table::pct(sel.hit_probability),
              std::to_string(pre.precompute_gates),
              core::Table::num(pb * 1e6, 1), core::Table::num(pp * 1e6, 1),
@@ -92,6 +95,8 @@ void report() {
       ao.pi_one_prob.back() = duty;  // select input
       double p0 = power::analyze(plain, ao).report.breakdown.total_w();
       double p1 = power::analyze(guarded, ao).report.breakdown.total_w();
+      benchx::claim("E12.guarded_saving_d" + core::Table::num(duty, 1),
+                    1.0 - p1 / p0);
       t.row({core::Table::num(duty, 1), core::Table::num(p0 * 1e6, 2),
              core::Table::num(p1 * 1e6, 2), core::Table::pct(1.0 - p1 / p0)});
     }
@@ -118,6 +123,9 @@ void report() {
       double p2 = power::analyze(stgg, ao).report.breakdown.total_w();
       auto ps = detect_hold_patterns(stgg);
       auto rep = clock_activity(stgg, ps, 4096, 7);
+      if (states == 32)
+        benchx::claim("E12.polling32_clock_saving",
+                      rep.clock_power_saving_fraction());
       t.row({"polling" + std::to_string(states),
              std::to_string(res.state_bits),
              std::to_string(res.comparator_gates) + "/" + std::to_string(pg),

@@ -50,6 +50,9 @@ void report() {
     add_row("packed loads [23]", packed);
     add_row("MAC-fused [23]", dsp);
     t.print(std::cout);
+    benchx::claim("E17.dsp_vs_naive_energy_ratio",
+                  program_energy(dsp).total_macycles() /
+                      program_energy(naive).total_macycles());
   }
   {
     std::cout << "\nAlgorithm choice [49] (degree-n polynomial, naive "
@@ -61,6 +64,9 @@ void report() {
       auto ph = poly_eval_horner(deg, 0, 40, 50);
       auto en = program_energy(pn);
       auto eh = program_energy(ph);
+      if (deg == 16)
+        benchx::claim("E17.horner_saving_deg16",
+                      1.0 - eh.total_macycles() / en.total_macycles());
       t.row({std::to_string(deg), std::to_string(en.cycles),
              std::to_string(eh.cycles),
              core::Table::num(en.total_macycles(), 1),
@@ -84,13 +90,18 @@ void report() {
             {Opcode::Add, 20 + i, 0, 20 + i, 20 + ((i + 1) % 6), 0, 0});
       vp.push_back({Opcode::Mul, 26 + round % 4, 0, 26 + round % 4, 20, 0, 0});
     }
+    double e_starved = 0, e_ample = 0;
     for (int regs : {2, 3, 4, 6, 8}) {
       auto r = allocate(vp, regs);
+      if (regs == 2) e_starved = r.energy.total_macycles();
+      if (regs == 8) e_ample = r.energy.total_macycles();
       t.row({std::to_string(regs), std::to_string(r.spill_loads),
              std::to_string(r.spill_stores),
              core::Table::num(r.energy.total_macycles(), 1)});
     }
     t.print(std::cout);
+    benchx::claim("E17.spill_energy_ratio_2v8",
+                  e_ample > 0 ? e_starved / e_ample : 0.0);
   }
   std::cout << '\n';
 }

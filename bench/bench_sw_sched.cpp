@@ -48,6 +48,10 @@ void report() {
     for (int groups : {2, 4, 8, 16}) {
       auto p = messy_block(groups, 7 * groups);
       auto r = schedule_for_power(p);
+      if (groups == 16)
+        benchx::claim("E18.overhead_reduction_80instr",
+                      1.0 - r.after.overhead_macycles /
+                                std::max(1e-9, r.before.overhead_macycles));
       t.row({std::to_string(groups * 5) + " instrs",
              core::Table::num(r.before.overhead_macycles, 2),
              core::Table::num(r.after.overhead_macycles, 2),
@@ -71,6 +75,9 @@ void report() {
       auto dsp = fuse_mac(pack_loads(naive).program, 0);
       auto e0 = program_energy(naive);
       auto e1 = dsp.after;
+      if (n == 32)
+        benchx::claim("E18.pairing_saving_n32",
+                      1.0 - e1.total_macycles() / e0.total_macycles());
       t.row({std::to_string(n), std::to_string(e0.cycles),
              std::to_string(e1.cycles),
              core::Table::num(e0.total_macycles(), 1),

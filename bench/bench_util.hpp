@@ -5,21 +5,31 @@
 // google-benchmark timings of the underlying algorithm (the engineering
 // artifact).  A custom main handles both.
 //
-// Passing `--json <file>` (or `--json=<file>`) additionally writes the
-// timing results as machine-readable JSON — one record per benchmark with
-// name / wall_ms (per iteration) / iterations — which
-// tools/aggregate_bench.py merges into the top-level BENCH_RESULTS.json so
-// the perf trajectory is tracked across PRs.
+// Flags handled here (stripped before google-benchmark sees argv):
+//   --json <file> / --json=<file>   write machine-readable JSON: timing
+//       results plus every claim() value the report recorded and a dump of
+//       the process metrics registry.  tools/aggregate_bench.py merges the
+//       timings into BENCH_RESULTS.json; tools/check_experiments.py
+//       validates the "claims" object against experiments_expected.json.
+//   --claims-only                   run the report (and JSON emission) but
+//       skip the benchmark timings — what the CI experiments job uses.
+//   --threads <n> / --threads=<n>   call core::set_num_threads(n), the
+//       authoritative thread-count override (LPS_THREADS is only sampled
+//       once per process; see core/parallel.hpp).
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/metrics.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
 namespace lps::benchx {
@@ -27,6 +37,24 @@ namespace lps::benchx {
 /// Print the experiment banner.
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "==== " << id << " ====\n" << claim << "\n\n";
+}
+
+/// Claims recorded by the current report run, in insertion order.  Each is
+/// a measured experiment value (a glitch fraction, a savings percentage, an
+/// encoding cost...) keyed "E<row>.<quantity>".
+inline std::vector<std::pair<std::string, double>>& claims_registry() {
+  static std::vector<std::pair<std::string, double>> reg;
+  return reg;
+}
+
+/// Record a measured claim value for machine-readable emission.  Report
+/// functions call this next to the printed table so the number the human
+/// reads and the number the regression gate checks are the same variable.
+inline void claim(const std::string& key, double value) {
+  claims_registry().emplace_back(key, value);
+}
+inline void claim(const std::string& key, bool value) {
+  claims_registry().emplace_back(key, value ? 1.0 : 0.0);
 }
 
 /// Console reporter that also captures every run for JSON emission.
@@ -74,6 +102,7 @@ inline void write_json(const std::string& path, const std::string& binary,
     std::cerr << "bench: cannot write " << path << '\n';
     return;
   }
+  os.precision(12);  // claim bands compare against these digits
   os << "{\n  \"binary\": \"" << json_escape(binary) << "\",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -82,13 +111,22 @@ inline void write_json(const std::string& path, const std::string& binary,
        << ", \"iterations\": " << rs[i].iterations << '}'
        << (i + 1 < rs.size() ? ",\n" : "\n");
   }
-  os << "  ]\n}\n";
+  os << "  ],\n  \"claims\": {";
+  const auto& claims = claims_registry();
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(claims[i].first)
+       << "\": " << claims[i].second;
+  }
+  os << (claims.empty() ? "" : "\n  ") << "},\n"
+     << "  \"metrics\": " << core::metrics::Registry::global().to_json()
+     << "\n}\n";
 }
 
-/// Shared main: strip our --json flag, print the report tables, then run
-/// the benchmarks (capturing results when JSON output was requested).
+/// Shared main: strip our flags, print the report tables, then run the
+/// benchmarks (capturing results when JSON output was requested).
 inline int bench_main(int argc, char** argv, void (*report_fn)()) {
   std::string json_path;
+  bool claims_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
@@ -96,6 +134,12 @@ inline int bench_main(int argc, char** argv, void (*report_fn)()) {
       json_path = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a == "--claims-only") {
+      claims_only = true;
+    } else if (a == "--threads" && i + 1 < argc) {
+      core::set_num_threads(std::atoi(argv[++i]));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      core::set_num_threads(std::atoi(a.c_str() + 10));
     } else {
       args.push_back(argv[i]);
     }
@@ -103,19 +147,22 @@ inline int bench_main(int argc, char** argv, void (*report_fn)()) {
   int filtered_argc = static_cast<int>(args.size());
   args.push_back(nullptr);
 
+  std::string binary = argc > 0 ? argv[0] : "bench";
+  if (auto slash = binary.find_last_of('/'); slash != std::string::npos)
+    binary = binary.substr(slash + 1);
+
   report_fn();
+  if (claims_only) {
+    if (!json_path.empty()) write_json(json_path, binary, {});
+    return 0;
+  }
   ::benchmark::Initialize(&filtered_argc, args.data());
   if (::benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
   JsonCaptureReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
-  if (!json_path.empty()) {
-    std::string binary = argc > 0 ? argv[0] : "bench";
-    if (auto slash = binary.find_last_of('/'); slash != std::string::npos)
-      binary = binary.substr(slash + 1);
-    write_json(json_path, binary, reporter.results());
-  }
+  if (!json_path.empty()) write_json(json_path, binary, reporter.results());
   return 0;
 }
 

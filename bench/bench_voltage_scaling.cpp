@@ -36,6 +36,9 @@ void report() {
       for (int k : {1, 2, 4}) {
         Dfg tr = k == 1 ? thr : tree_height_reduction(unroll(w.g, k));
         auto r = evaluate_voltage_gain(w.g, tr, k, lib);
+        if (w.name == "fir8" && k > 1)
+          benchx::claim("E14.fir8_unroll" + std::to_string(k) + "_power_ratio",
+                        r.power_ratio);
         std::string tname = (k == 1) ? "thr" : "unroll x" + std::to_string(k) + " + thr";
         t.row({w.name, tname,
                core::Table::num(
@@ -58,12 +61,17 @@ void report() {
         fast[i] = lib.fastest(ty);
     }
     int min_cs = asap(g, fast).length_cs;
+    double e_tight = 0, e_relaxed = 0;
     for (double mult : {1.0, 1.5, 2.0, 4.0}) {
       auto sel = select_modules(g, lib, static_cast<int>(min_cs * mult));
+      if (mult == 1.0) e_tight = sel.energy_pj;
+      if (mult == 4.0) e_relaxed = sel.energy_pj;
       t.row({core::Table::num(mult, 1), core::Table::num(sel.energy_pj, 1),
              std::to_string(sel.schedule_length_cs)});
     }
     t.print(std::cout);
+    benchx::claim("E14.module_sel_energy_ratio",
+                  e_tight > 0 ? e_relaxed / e_tight : 0.0);
   }
   std::cout << '\n';
 }

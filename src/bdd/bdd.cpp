@@ -1,6 +1,7 @@
 #include "bdd/bdd.hpp"
 
 #include "core/diag.hpp"
+#include "core/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -21,6 +22,16 @@ Manager::Manager(unsigned num_vars, std::size_t node_limit)
   nodes_.push_back({kConstVar, kTrue, kTrue});    // TRUE
   unique_slots_.assign(kMinUniqueSlots, kEmptySlot);
   ite_cache_.assign(kMinIteEntries, IteEntry{});
+}
+
+Manager::~Manager() {
+  if (nodes_.size() < 2) return;  // moved-from shell: its stats moved on
+  namespace m = core::metrics;
+  m::count("bdd.managers");
+  m::count("bdd.nodes", static_cast<double>(nodes_.size()));
+  m::count("bdd.ite_lookups", static_cast<double>(cache_lookups_));
+  m::count("bdd.ite_hits", static_cast<double>(cache_hits_));
+  m::count("bdd.unique_hits", static_cast<double>(unique_hits_));
 }
 
 unsigned Manager::add_var() { return num_vars_++; }

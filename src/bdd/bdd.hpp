@@ -42,6 +42,9 @@ class Manager {
   /// `node_limit` bounds total allocated nodes (guards against blowup on
   /// multiplier-like cones).
   explicit Manager(unsigned num_vars, std::size_t node_limit = 4u << 20);
+  /// Publishes the lifetime table counters (nodes allocated, ITE lookups /
+  /// hits, unique-table hits) to the global metrics registry under "bdd.*".
+  ~Manager();
 
   unsigned num_vars() const { return num_vars_; }
   std::size_t num_nodes() const { return nodes_.size(); }

@@ -28,9 +28,11 @@ BusInvertEncoder::Symbol BusInvertEncoder::encode(std::uint64_t word) {
   if (cost_flip < cost_plain) {
     s.wire_word = flipped;
     s.invert = true;
+    s.transitions = cost_flip;
   } else {
     s.wire_word = plain;
     s.invert = false;
+    s.transitions = cost_plain;
   }
   prev_wires_ = s.wire_word;
   prev_invert_ = s.invert;
@@ -46,23 +48,18 @@ BusCodingStats evaluate_bus_invert(const sim::WordStream& s, int width) {
   BusCodingStats st;
   BusInvertEncoder enc(width);
   std::uint64_t prev_raw = 0;
-  std::uint64_t prev_wires = 0;
-  bool prev_inv = false;
   bool first = true;
   for (auto w : s) {
     auto sym = enc.encode(w);
     if (!first) {
-      std::size_t raw = std::popcount((w ^ prev_raw) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1)));
-      std::size_t coded = std::popcount(sym.wire_word ^ prev_wires) +
-                          (sym.invert != prev_inv ? 1 : 0);
+      std::size_t raw = std::popcount((w ^ prev_raw) & mask_of(width));
+      auto coded = static_cast<std::size_t>(sym.transitions);
       st.raw_transitions += raw;
       st.coded_transitions += coded;
       st.worst_cycle_raw = std::max(st.worst_cycle_raw, raw);
       st.worst_cycle_coded = std::max(st.worst_cycle_coded, coded);
     }
     prev_raw = w;
-    prev_wires = sym.wire_word;
-    prev_inv = sym.invert;
     first = false;
   }
   return st;
@@ -86,21 +83,13 @@ BusCodingStats evaluate_partitioned_bus_invert(const sim::WordStream& s,
   }
   std::vector<BusInvertEncoder> encs;
   for (int w : gw) encs.emplace_back(w);
-  std::vector<std::uint64_t> prev_wires(gw.size(), 0);
-  std::vector<bool> prev_inv(gw.size(), false);
   std::uint64_t prev_raw = 0;
   bool first = true;
   for (auto word : s) {
     std::size_t coded = 0;
     for (std::size_t g = 0; g < gw.size(); ++g) {
       std::uint64_t chunk = (word >> gshift[g]) & mask_of(gw[g]);
-      auto sym = encs[g].encode(chunk);
-      if (!first) {
-        coded += std::popcount(sym.wire_word ^ prev_wires[g]) +
-                 (sym.invert != prev_inv[g] ? 1 : 0);
-      }
-      prev_wires[g] = sym.wire_word;
-      prev_inv[g] = sym.invert;
+      coded += static_cast<std::size_t>(encs[g].encode(chunk).transitions);
     }
     if (!first) {
       std::size_t raw = std::popcount((word ^ prev_raw) & mask_of(width));

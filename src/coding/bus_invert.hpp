@@ -24,12 +24,18 @@ class BusInvertEncoder {
   struct Symbol {
     std::uint64_t wire_word;  // what the data wires carry
     bool invert;              // the E line
+    int transitions = 0;      // wires toggled by this symbol, E line included
   };
   /// Encode the next word, choosing the polarity that toggles fewer wires
-  /// (including the E line itself in the count).
+  /// (including the E line itself in the count).  Symbol::transitions is the
+  /// realized toggle count against the encoder's previous symbol — the one
+  /// source of truth for tallies; callers must not re-track encoder state.
   Symbol encode(std::uint64_t word);
 
   int width() const { return width_; }
+  /// Previous symbol on the wires (reset state: all-zero data, E low).
+  std::uint64_t prev_word() const { return prev_wires_; }
+  bool prev_invert() const { return prev_invert_; }
 
  private:
   int width_;

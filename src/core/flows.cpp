@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "circuit/sizing.hpp"
+#include "core/metrics.hpp"
 #include "core/pass.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/resynth.hpp"
@@ -53,6 +54,7 @@ FlowResult optimize_combinational(const Netlist& input,
   // the mutation journal (O(edit size)) and a pre-stage functional_trace
   // digest instead of a deep pre-stage clone.
   auto attempt = [&](const std::string& stage, auto&& transform) {
+    metrics::ScopedTimer timer("flow." + stage, /*trace=*/true);
     sim::SimTrace ref = sim::functional_trace(res.circuit, 512, 17);
     res.circuit.begin_undo();
     double p_before = res.stages.back().power_w;
@@ -71,17 +73,20 @@ FlowResult optimize_combinational(const Netlist& input,
       StageReport rep = measure(stage + " (failed)", res.circuit, opt);
       rep.status = "failed";
       rep.note = failure;
+      metrics::count("flow.stages_failed");
       res.stages.push_back(std::move(rep));
       return;
     }
     StageReport rep = measure(stage, res.circuit, opt);
     if (rep.power_w <= p_before) {
       res.circuit.commit_undo();
+      metrics::count("flow.stages_kept");
       res.stages.push_back(rep);
     } else {
       res.circuit.rollback_undo();
       rep = measure(stage + " (reverted)", res.circuit, opt);
       rep.status = "reverted";
+      metrics::count("flow.stages_reverted");
       res.stages.push_back(rep);
     }
   };
@@ -118,6 +123,7 @@ FlowResult optimize_combinational(const Netlist& input,
 }
 
 FsmFlowResult optimize_fsm(const seq::Stg& stg, const FlowOptions& opt) {
+  metrics::ScopedTimer timer("flow.fsm", /*trace=*/true);
   FsmFlowResult r;
   auto binary = seq::binary_encoding(stg);
   seq::AnnealOptions an;

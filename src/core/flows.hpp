@@ -42,10 +42,24 @@ struct FlowOptions {
 struct FlowResult {
   Netlist circuit;
   std::vector<StageReport> stages;  // first entry = input circuit
+
+  /// The last stage whose transform was kept (reverted/failed tails report
+  /// the power of the circuit they *rolled back to*, not of the kept
+  /// result, so reading stages.back() unconditionally misattributes the
+  /// saving when the flow ends on a losing stage).  Returns nullptr when no
+  /// stage was kept.
+  const StageReport* last_kept_stage() const {
+    for (auto it = stages.rbegin(); it != stages.rend(); ++it)
+      if (it->status == "kept") return &*it;
+    return nullptr;
+  }
+
+  /// Fractional power saving of the final kept circuit vs the input stage.
+  /// 0 when there are no stages, no kept stage, or a zero-power baseline.
   double saving() const {
-    return stages.size() >= 2 && stages.front().power_w > 0
-               ? 1.0 - stages.back().power_w / stages.front().power_w
-               : 0.0;
+    const StageReport* last = last_kept_stage();
+    if (stages.size() < 2 || stages.front().power_w <= 0 || !last) return 0.0;
+    return 1.0 - last->power_w / stages.front().power_w;
   }
 };
 

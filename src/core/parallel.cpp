@@ -4,9 +4,12 @@
 #include <cstdlib>
 #include <memory>
 
+#include "core/metrics.hpp"
+
 namespace lps::core {
 
 ThreadPool::ThreadPool(unsigned workers) {
+  metrics::count("parallel.pools_built");
   workers_.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) {
     workers_.emplace_back([this] {
@@ -95,6 +98,8 @@ void set_num_threads(unsigned n) {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   unsigned threads = num_threads();
+  metrics::count("parallel.jobs");
+  metrics::count("parallel.indices", static_cast<double>(n));
   if (threads <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -19,6 +19,12 @@
 // Configuration: LPS_THREADS environment variable (default: hardware
 // concurrency), overridable at runtime with set_num_threads() or the
 // ScopedThreads RAII guard used by benchmarks and tests.
+//
+// Caching contract: LPS_THREADS is sampled exactly once — on the first
+// num_threads() call anywhere in the process — and never re-read.  Changing
+// the environment variable after that first call has NO effect; the only
+// authoritative runtime override is set_num_threads() (which ScopedThreads
+// and the bench binaries' --threads flag use).  test_parallel.cpp pins this.
 
 #pragma once
 
@@ -73,12 +79,15 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// Current configured thread count (>= 1).  First call reads LPS_THREADS,
-/// falling back to std::thread::hardware_concurrency().
+/// Current configured thread count (>= 1).  The FIRST call reads
+/// LPS_THREADS (falling back to std::thread::hardware_concurrency()) and
+/// caches the result; the environment is never consulted again.  Use
+/// set_num_threads() to change the count after that.
 unsigned num_threads();
 
-/// Override the thread count; rebuilds the shared pool lazily.  Not safe
-/// concurrently with running parallel_for calls.
+/// Authoritative thread-count override: wins over LPS_THREADS regardless of
+/// whether the environment was already sampled.  Rebuilds the shared pool
+/// lazily.  Not safe concurrently with running parallel_for calls.
 void set_num_threads(unsigned n);
 
 /// RAII thread-count override for benchmarks and determinism tests.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/metrics.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/path_balance.hpp"
 #include "netlist/validate.hpp"
@@ -22,6 +23,8 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
   const bool use_undo = guard_needed && opt_.use_undo_log;
   const bool use_snapshot = guard_needed && !opt_.use_undo_log;
   for (const auto& p : passes_) {
+    metrics::ScopedTimer timer("pass." + p->name(), /*trace=*/true);
+    metrics::count("pass.runs");
     Netlist before = use_snapshot ? net.clone() : Netlist{};
     PassRecord rec;
     rec.pass = p->name();
@@ -84,6 +87,8 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
             {}});
     }
     if (use_undo && rec.ok) net.commit_undo();
+    if (rec.rolled_back) metrics::count("pass.rolled_back");
+    if (rec.verified) metrics::count("pass.verified");
     records.push_back(std::move(rec));
   }
   return records;

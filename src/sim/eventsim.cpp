@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
 #include "core/parallel.hpp"
 
 namespace lps::sim {
@@ -209,18 +210,22 @@ TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
   // from the reset (all-zero) settled state, so the decomposition — a
   // function of n_vectors alone — fixes the counts at any thread count.
   auto plan = core::plan_shards(net.dffs().empty() ? n_vectors : 0, 64);
-  if (plan.shards == 1)
-    return simulate_timed_shard(net, n_vectors, seed, pi_one_prob);
-
-  std::vector<TimedStats> parts(plan.shards);
-  core::parallel_for(plan.shards, [&](std::size_t s) {
-    parts[s] = simulate_timed_shard(net, plan.count(s),
-                                    core::shard_seed(seed, s), pi_one_prob);
-  });
   TimedStats st;
-  st.total_toggles.assign(net.size(), 0.0);
-  st.functional_toggles.assign(net.size(), 0.0);
-  for (const auto& p : parts) st.merge(p);
+  if (plan.shards == 1) {
+    st = simulate_timed_shard(net, n_vectors, seed, pi_one_prob);
+  } else {
+    std::vector<TimedStats> parts(plan.shards);
+    core::parallel_for(plan.shards, [&](std::size_t s) {
+      parts[s] = simulate_timed_shard(net, plan.count(s),
+                                      core::shard_seed(seed, s), pi_one_prob);
+    });
+    st.total_toggles.assign(net.size(), 0.0);
+    st.functional_toggles.assign(net.size(), 0.0);
+    for (const auto& p : parts) st.merge(p);
+  }
+  core::metrics::count("sim.event.runs");
+  core::metrics::count("sim.event.vectors", static_cast<double>(st.vectors));
+  core::metrics::count("sim.event.transitions", st.sum_total());
   return st;
 }
 

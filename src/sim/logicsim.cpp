@@ -4,6 +4,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
 #include "core/parallel.hpp"
 
 namespace lps::sim {
@@ -188,6 +189,11 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
     frames += p.frames;
     seams += p.seams;
   }
+
+  core::metrics::count("sim.logic.runs");
+  core::metrics::count("sim.logic.frames", static_cast<double>(frames));
+  core::metrics::count("sim.logic.patterns",
+                       static_cast<double>(frames) * 64.0);
 
   ActivityStats st;
   st.signal_prob.assign(net.size(), 0.0);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <random>
 
@@ -22,6 +23,48 @@ TEST(BusInvert, PaperWorkedExample) {
   EXPECT_TRUE(sym.invert);
   EXPECT_EQ(sym.wire_word, 0b0100u);
   EXPECT_EQ(bus_invert_decode(sym.wire_word, sym.invert, 4), 0b1011u);
+}
+
+TEST(BusInvert, SymbolTransitionsIsTheSourceOfTruth) {
+  // The worked example again, this time through Symbol::transitions: sending
+  // 0100 with E raised toggles two wires (bit 2 plus the E line itself).
+  BusInvertEncoder enc(4);
+  auto first = enc.encode(0b0000);
+  EXPECT_EQ(first.transitions, 0);  // reset state is all-zero, E low
+  auto sym = enc.encode(0b1011);
+  EXPECT_EQ(sym.wire_word, 0b0100u);
+  EXPECT_TRUE(sym.invert);
+  EXPECT_EQ(sym.transitions, 2);
+  // The accessors expose the state the next cost will be charged against.
+  EXPECT_EQ(enc.prev_word(), 0b0100u);
+  EXPECT_TRUE(enc.prev_invert());
+}
+
+TEST(BusInvert, EvaluateTalliesEqualSymbolTransitionSums) {
+  // Regression for the duplicated-state bug: evaluate_bus_invert once kept
+  // its own prev_wires/prev_invert copies alongside the encoder's.  The
+  // tallies must be reproducible from Symbol::transitions alone.
+  std::mt19937_64 rng(7);
+  for (int width : {4, 8, 16}) {
+    std::uint64_t mask = (1ULL << width) - 1;
+    sim::WordStream s;
+    for (int i = 0; i < 300; ++i) s.push_back(rng() & mask);
+
+    auto stats = evaluate_bus_invert(s, width);
+    BusInvertEncoder enc(width);
+    std::size_t sum = 0, worst = 0;
+    bool first = true;
+    for (auto w : s) {
+      auto coded = static_cast<std::size_t>(enc.encode(w).transitions);
+      if (!first) {
+        sum += coded;
+        worst = std::max(worst, coded);
+      }
+      first = false;
+    }
+    EXPECT_EQ(stats.coded_transitions, sum) << "width " << width;
+    EXPECT_EQ(stats.worst_cycle_coded, worst) << "width " << width;
+  }
 }
 
 TEST(BusInvert, DecodeInvertsEncode) {

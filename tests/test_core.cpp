@@ -104,6 +104,94 @@ TEST(Report, TableAligns) {
   EXPECT_NE(s.find("|--"), std::string::npos);
 }
 
+TEST(Report, NumGoldenStrings) {
+  EXPECT_EQ(Table::num(1.5), "1.500");
+  EXPECT_EQ(Table::num(1.5, 1), "1.5");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.25, 2), "-0.25");
+  EXPECT_EQ(Table::num(0.1234, 2), "0.12");
+  EXPECT_EQ(Table::num(1234.5678, 1), "1234.6");
+  EXPECT_EQ(Table::num(0.0, 3), "0.000");
+}
+
+TEST(Report, PctGoldenStrings) {
+  EXPECT_EQ(Table::pct(0.123), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 2), "100.00%");
+  EXPECT_EQ(Table::pct(-0.05, 0), "-5%");
+  EXPECT_EQ(Table::pct(0.0), "0.0%");
+  EXPECT_EQ(Table::pct(0.004, 1), "0.4%");
+}
+
+TEST(Report, PrintPadsMixedWidthCellsToEqualLineLengths) {
+  Table t({"x", "a-much-wider-header"});
+  t.row({"short", "1"});
+  t.row({"a-longer-cell-than-header", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    // Cell rows end "| ", the separator row ends "|"; compare modulo
+    // trailing whitespace.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned row: " << line;
+  }
+  EXPECT_GT(width, 0u);
+}
+
+// saving() must be computed against the last *kept* stage — a trailing
+// reverted or failed stage reports the power of the circuit that was rolled
+// back, not the circuit the flow returns.
+TEST(Flows, SavingIgnoresTrailingRevertedStage) {
+  FlowResult r;
+  r.stages.push_back({"input", 10e-6, 0.0, 20, 8, "kept", ""});
+  r.stages.push_back({"strash", 8e-6, 0.0, 18, 8, "kept", ""});
+  r.stages.push_back({"resynth", 12e-6, 0.0, 18, 8, "reverted", ""});
+  ASSERT_NE(r.last_kept_stage(), nullptr);
+  EXPECT_EQ(r.last_kept_stage()->stage, "strash");
+  EXPECT_NEAR(r.saving(), 0.2, 1e-12);
+}
+
+TEST(Flows, SavingIgnoresTrailingFailedStage) {
+  FlowResult r;
+  r.stages.push_back({"input", 10e-6, 0.0, 20, 8, "kept", ""});
+  r.stages.push_back({"balance", 7e-6, 0.0, 20, 6, "kept", ""});
+  r.stages.push_back({"sizing", 10e-6, 0.0, 20, 6, "failed", "threw"});
+  EXPECT_NEAR(r.saving(), 0.3, 1e-12);
+}
+
+TEST(Flows, SavingIsZeroWithoutAKeptStageOrBaseline) {
+  FlowResult all_reverted;
+  all_reverted.stages.push_back({"input", 10e-6, 0.0, 20, 8, "reverted", ""});
+  all_reverted.stages.push_back({"strash", 12e-6, 0.0, 20, 8, "reverted", ""});
+  EXPECT_EQ(all_reverted.last_kept_stage(), nullptr);
+  EXPECT_EQ(all_reverted.saving(), 0.0);
+
+  FlowResult zero_baseline;
+  zero_baseline.stages.push_back({"input", 0.0, 0.0, 0, 0, "kept", ""});
+  zero_baseline.stages.push_back({"strash", 0.0, 0.0, 0, 0, "kept", ""});
+  EXPECT_EQ(zero_baseline.saving(), 0.0);
+
+  FlowResult too_short;
+  too_short.stages.push_back({"input", 10e-6, 0.0, 20, 8, "kept", ""});
+  EXPECT_EQ(too_short.saving(), 0.0);
+}
+
+TEST(Flows, RealFlowStagesCarryAStatus) {
+  auto net = bench::array_multiplier(4);
+  FlowOptions opt;
+  opt.sim_vectors = 256;
+  auto r = optimize_combinational(net, opt);
+  for (const auto& s : r.stages) {
+    EXPECT_TRUE(s.status == "kept" || s.status == "reverted" ||
+                s.status == "failed")
+        << s.stage << " has status '" << s.status << "'";
+  }
+  EXPECT_EQ(r.stages.front().status, "kept");  // input row is the baseline
+}
+
 TEST(Flows, CombinationalFlowNeverHurtsAndUsuallySaves) {
   auto net = bench::array_multiplier(4);
   FlowOptions opt;

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -74,6 +75,25 @@ TEST(ParallelFor, RespectsScopedThreadOverride) {
   std::vector<std::atomic<int>> hits(200);
   core::parallel_for(200, [&](std::size_t i) { hits[i]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EnvIsSampledOnceAndSetNumThreadsWins) {
+  // Caching contract (core/parallel.hpp): LPS_THREADS is read exactly once,
+  // on the first num_threads() call in the process; later env edits are
+  // invisible and set_num_threads() is the only runtime override.
+  unsigned before = core::num_threads();  // forces the one-time env sample
+  ::setenv("LPS_THREADS", "61", /*overwrite=*/1);
+  EXPECT_EQ(core::num_threads(), before);
+  core::set_num_threads(3);
+  EXPECT_EQ(core::num_threads(), 3u);
+  {
+    core::ScopedThreads guard(5);
+    EXPECT_EQ(core::num_threads(), 5u);
+  }
+  EXPECT_EQ(core::num_threads(), 3u);  // ScopedThreads restored its prev
+  ::unsetenv("LPS_THREADS");
+  EXPECT_EQ(core::num_threads(), 3u);  // still cached, not re-read
+  core::set_num_threads(before);
 }
 
 // ---- shard planning -------------------------------------------------------

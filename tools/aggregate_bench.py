@@ -2,20 +2,31 @@
 """Aggregate per-binary bench JSON files into BENCH_RESULTS.json.
 
 Each bench binary run with `--json <file>` writes
-    {"binary": "bench_estimators", "results": [{"name", "wall_ms", "iterations"}, ...]}
+    {"binary": "bench_estimators", "results": [{"name", "wall_ms", "iterations"}, ...],
+     "claims": {...}, "metrics": {...}}
 This script merges those files, computes parallel speedups for benchmarks
 registered with thread-count Args (names like "bm_foo_par/1" vs
 "bm_foo_par/4"), and writes one top-level document so the perf trajectory
 is tracked across PRs.
 
+By default an existing output file is MERGED, not overwritten: binaries
+absent from this run keep their previous entry, and each benchmark keeps a
+bounded wall_ms history (previous runs, oldest first) so a single partial
+run no longer wipes the trajectory.  Pass --fresh to discard the existing
+file and start over.
+
 Usage:
     python3 tools/aggregate_bench.py out/*.json -o BENCH_RESULTS.json
+    python3 tools/aggregate_bench.py out/*.json -o BENCH_RESULTS.json --fresh
 """
 
 import argparse
 import json
+import os
 import re
 import sys
+
+HISTORY_CAP = 20  # prior wall_ms samples kept per benchmark
 
 
 def load(path):
@@ -50,27 +61,68 @@ def speedups(results):
     return out
 
 
+def load_existing(path):
+    """Previous aggregate, keyed by binary name.  Missing/corrupt -> {}."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return {b["binary"]: b for b in doc.get("benchmarks", [])}
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
+
+
+def merge_results(new_results, old_entry):
+    """Attach per-benchmark wall_ms history from the previous aggregate.
+
+    The previous run's wall_ms (plus its own history, if any) becomes the
+    new record's "history" list, oldest first, capped at HISTORY_CAP.
+    """
+    old_by_name = {r["name"]: r for r in (old_entry or {}).get("results", [])}
+    merged = []
+    for r in new_results:
+        rec = dict(r)
+        prev = old_by_name.get(rec["name"])
+        if prev is not None:
+            history = list(prev.get("history", []))
+            if "wall_ms" in prev:
+                history.append(prev["wall_ms"])
+            rec["history"] = history[-HISTORY_CAP:]
+        merged.append(rec)
+    return merged
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("inputs", nargs="+", help="per-binary bench JSON files")
     ap.add_argument("-o", "--output", default="BENCH_RESULTS.json")
+    ap.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing output file instead of merging into it",
+    )
     args = ap.parse_args(argv)
 
-    benches = []
+    existing = {} if args.fresh else load_existing(args.output)
+
+    by_binary = dict(existing)  # binaries not re-run keep their old entry
     for path in args.inputs:
         doc = load(path)
-        benches.append(
-            {
-                "binary": doc["binary"],
-                "results": doc["results"],
-                "speedups": speedups(doc["results"]),
-            }
-        )
-    benches.sort(key=lambda b: b["binary"])
+        old = existing.get(doc["binary"])
+        entry = {
+            "binary": doc["binary"],
+            "results": merge_results(doc["results"], old),
+            "speedups": speedups(doc["results"]),
+        }
+        if doc.get("claims"):
+            entry["claims"] = doc["claims"]
+        by_binary[doc["binary"]] = entry
+    benches = sorted(by_binary.values(), key=lambda b: b["binary"])
 
-    with open(args.output, "w") as f:
+    tmp = args.output + ".tmp"
+    with open(tmp, "w") as f:
         json.dump({"benchmarks": benches}, f, indent=2)
         f.write("\n")
+    os.replace(tmp, args.output)
     total = sum(len(b["results"]) for b in benches)
     print(f"{args.output}: {len(benches)} binaries, {total} benchmarks")
     return 0

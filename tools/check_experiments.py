@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate measured experiment claims against their acceptance bands.
+
+Each bench binary run with `--json <file>` (optionally `--claims-only`)
+emits a "claims" object: the E-row values from EXPERIMENTS.md as
+machine-readable numbers ("E9.saving_w8": 0.184, ...).  This script checks
+every claim against the committed bands in experiments_expected.json and
+exits non-zero on any drift, so a regression in a reproduced result fails
+CI instead of silently rotting in a table nobody re-reads.
+
+Band forms (experiments_expected.json, {"claims": {key: band}}):
+    {"min": 0.10}                    value >= 0.10
+    {"max": 0.40}                    value <= 0.40
+    {"min": 0.10, "max": 0.40}      both
+    {"equals": 4}                    exact (tol defaults to 0)
+    {"equals": 0.5, "tol": 1e-9}    |value - 0.5| <= 1e-9
+A band may carry a "note" field (ignored here, documentation only).
+
+Usage:
+    python3 tools/check_experiments.py out/*.json
+    python3 tools/check_experiments.py out/*.json --expected experiments_expected.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_claims(paths):
+    """Collect the union of "claims" from bench JSON files."""
+    claims = {}
+    sources = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for key, value in doc.get("claims", {}).items():
+            if key in claims and claims[key] != value:
+                print(
+                    f"warning: {key} re-measured by {path} "
+                    f"({claims[key]} -> {value}); keeping the new value",
+                    file=sys.stderr,
+                )
+            claims[key] = value
+            sources[key] = doc.get("binary", path)
+    return claims, sources
+
+
+def check_band(value, band):
+    """Return None if value satisfies band, else a failure description."""
+    if "equals" in band:
+        tol = band.get("tol", 0.0)
+        if abs(value - band["equals"]) > tol:
+            return f"expected {band['equals']} (tol {tol})"
+        return None
+    lo = band.get("min")
+    hi = band.get("max")
+    if lo is None and hi is None:
+        return "band has no min/max/equals constraint"
+    if lo is not None and value < lo:
+        return f"below min {lo}"
+    if hi is not None and value > hi:
+        return f"above max {hi}"
+    return None
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+", help="bench JSON files with claims")
+    ap.add_argument("--expected", default="experiments_expected.json")
+    ap.add_argument(
+        "--strict-extra",
+        action="store_true",
+        help="also fail on measured claims that have no expected band",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.expected) as f:
+        expected = json.load(f)["claims"]
+    claims, sources = load_claims(args.inputs)
+
+    failures = []
+    checked = 0
+    for key in sorted(expected):
+        band = expected[key]
+        if key not in claims:
+            failures.append(f"{key}: MISSING (no bench emitted it)")
+            continue
+        checked += 1
+        err = check_band(claims[key], band)
+        status = "ok" if err is None else f"FAIL ({err})"
+        print(f"  {key} = {claims[key]:g} [{sources[key]}] ... {status}")
+        if err is not None:
+            failures.append(f"{key}: value {claims[key]:g} {err}")
+
+    extra = sorted(set(claims) - set(expected))
+    if extra:
+        label = "FAIL" if args.strict_extra else "note"
+        print(f"{label}: {len(extra)} measured claim(s) without a band: "
+              + ", ".join(extra))
+        if args.strict_extra:
+            failures.extend(f"{k}: no expected band" for k in extra)
+
+    experiments = {k.split(".", 1)[0] for k in expected}
+    print(
+        f"\n{checked}/{len(expected)} bands checked across "
+        f"{len(experiments)} experiments; {len(failures)} failure(s)"
+    )
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
