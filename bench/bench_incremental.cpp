@@ -1,0 +1,203 @@
+// E21 — incremental cone-scoped power re-estimation.  The synthesis loops
+// of §III re-estimate power after every local rewrite; re-running the full
+// Monte Carlo per candidate move makes activity-driven synthesis scale as
+// O(netlist x vectors) per stage.  IncrementalAnalyzer re-simulates only
+// the touched fanout cone over the cached frame stream and splices exact
+// integer counters, so the estimate is bit-identical to a fresh full
+// power::analyze while evaluating a fraction of the nodes.  This bench
+// pins the equality across the generated suite (the CI equality gate) and
+// reports the node-evaluation reduction and wall-clock speedup.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/flows.hpp"
+#include "core/report.hpp"
+#include "netlist/benchmarks.hpp"
+#include "power/incremental.hpp"
+#include "seq/stg.hpp"
+
+namespace {
+
+using namespace lps;
+
+power::AnalysisOptions zd_options() {
+  power::AnalysisOptions ao;
+  ao.mode = power::ActivityMode::ZeroDelay;
+  ao.n_vectors = 2048;
+  return ao;
+}
+
+// The scripted local rewrite: a double inverter spliced into one primary
+// output's driver — function-preserving, touches a thin output-side cone.
+Netlist::TouchedNodes mutate_po_driver(Netlist& net) {
+  net.begin_undo();
+  NodeId o = net.outputs()[0];
+  if (!net.node(o).fanins.empty())
+    net.replace_fanin(o, 0, net.add_not(net.add_not(net.node(o).fanins[0])));
+  else
+    net.add_output(net.add_not(o), "extra");
+  auto touched = net.touched_nodes();
+  net.commit_undo();
+  return touched;
+}
+
+bool stages_identical(const core::FlowResult& a, const core::FlowResult& b) {
+  if (a.stages.size() != b.stages.size()) return false;
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    if (a.stages[i].power_w != b.stages[i].power_w ||
+        a.stages[i].status != b.stages[i].status)
+      return false;
+  }
+  return true;
+}
+
+void report() {
+  benchx::banner(
+      "E21 bench_incremental",
+      "Incremental cone-scoped re-estimation: bit-identical to full "
+      "re-analysis while re-simulating only the touched fanout cone "
+      "(the Simopt-style metadata-reuse lever for synthesis loops).");
+
+  // ---- per-circuit mutation differential --------------------------------
+  core::Table t({"circuit", "live nodes", "cone nodes", "evals saved",
+                 "identical", "vectors"});
+  bool identical_all = true;
+  double reduction_max = 0.0;
+  std::size_t vectors_used = 0;
+  auto ao = zd_options();
+  for (auto& [name, net0] : bench::default_suite()) {
+    Netlist net = std::move(net0);
+    power::IncrementalAnalyzer inc(net, ao);
+    auto touched = mutate_po_driver(net);
+    inc.reanalyze(touched);
+    auto full = power::analyze(net, ao);
+    bool same =
+        inc.analysis().report.breakdown.total_w() ==
+            full.report.breakdown.total_w() &&
+        inc.analysis().report.weighted_activity == full.report.weighted_activity &&
+        inc.analysis().toggles_per_cycle == full.toggles_per_cycle;
+    identical_all = identical_all && same;
+    const auto& up = inc.last_update();
+    double reduction = up.resim_nodes > 0
+                           ? static_cast<double>(up.live_nodes) /
+                                 static_cast<double>(up.resim_nodes)
+                           : static_cast<double>(up.live_nodes);
+    reduction_max = std::max(reduction_max, reduction);
+    vectors_used = full.vectors_used;
+    t.row({name, std::to_string(up.live_nodes),
+           std::to_string(up.resim_nodes),
+           core::Table::num(reduction, 1) + "x", same ? "yes" : "NO",
+           std::to_string(full.vectors_used)});
+  }
+  t.print(std::cout);
+
+  // ---- flow equality gate: all three flows, both estimate paths ---------
+  bool flow_comb = true, flow_seq = true;
+  for (const auto& [name, net] : bench::default_suite()) {
+    if (net.num_gates() > 300) continue;  // keep the sweep quick
+    core::FlowOptions io;
+    io.sim_vectors = 512;
+    io.estimate_mode = power::ActivityMode::ZeroDelay;
+    core::FlowOptions fo = io;
+    fo.use_incremental_power = false;
+    flow_comb = flow_comb && stages_identical(core::optimize_combinational(net, io),
+                                              core::optimize_combinational(net, fo));
+  }
+  {
+    core::FlowOptions io;
+    io.sim_vectors = 512;
+    io.estimate_mode = power::ActivityMode::ZeroDelay;
+    core::FlowOptions fo = io;
+    fo.use_incremental_power = false;
+    for (auto* mk : {+[] { return bench::counter(8); },
+                     +[] { return bench::shift_register(16); }}) {
+      Netlist net = mk();
+      flow_seq = flow_seq && stages_identical(core::optimize_sequential(net, io),
+                                              core::optimize_sequential(net, fo));
+    }
+  }
+  bool flow_fsm = true;
+  {
+    core::FlowOptions io;
+    io.sim_vectors = 256;
+    io.estimate_mode = power::ActivityMode::ZeroDelay;
+    core::FlowOptions fo = io;
+    fo.use_incremental_power = false;
+    auto stg = seq::counter_fsm(8);
+    auto a = core::optimize_fsm(stg, io);
+    auto b = core::optimize_fsm(stg, fo);
+    flow_fsm = a.power_lowpower_w == b.power_lowpower_w &&
+               a.power_gated_w == b.power_gated_w;
+  }
+
+  std::cout << "\nflow equality (incremental vs full estimates): comb "
+            << (flow_comb ? "identical" : "DIFFERS") << ", seq "
+            << (flow_seq ? "identical" : "DIFFERS") << ", fsm "
+            << (flow_fsm ? "identical" : "DIFFERS") << "\n";
+
+  benchx::claim("E21.identical_all", identical_all);
+  benchx::claim("E21.flow_identical_comb", flow_comb);
+  benchx::claim("E21.flow_identical_seq", flow_seq);
+  benchx::claim("E21.flow_identical_fsm", flow_fsm);
+  benchx::claim("E21.eval_reduction_max", reduction_max);
+  benchx::claim("E21.vectors_used", static_cast<double>(vectors_used));
+  std::cout << '\n';
+}
+
+// ---- timings: full re-analysis vs incremental update, paired -------------
+// Names pair as <base>_full / <base>_inc; aggregate_bench.py derives the
+// incremental-vs-full speedup column from the pairs.
+
+template <typename Make>
+void bm_full(benchmark::State& state, Make make) {
+  Netlist net = make();
+  auto ao = zd_options();
+  mutate_po_driver(net);
+  for (auto _ : state) {
+    auto a = power::analyze(net, ao);
+    benchmark::DoNotOptimize(a.report.breakdown.switching_w);
+  }
+}
+
+template <typename Make>
+void bm_inc(benchmark::State& state, Make make) {
+  Netlist net = make();
+  auto ao = zd_options();
+  power::IncrementalAnalyzer inc(net, ao);
+  auto touched = mutate_po_driver(net);
+  for (auto _ : state) {
+    // Idempotent: the cone re-evaluates to the same words every iteration.
+    const auto& a = inc.reanalyze(touched);
+    benchmark::DoNotOptimize(a.report.breakdown.switching_w);
+  }
+}
+
+void bm_reestimate_mult8_full(benchmark::State& s) {
+  bm_full(s, [] { return bench::array_multiplier(8); });
+}
+void bm_reestimate_mult8_inc(benchmark::State& s) {
+  bm_inc(s, [] { return bench::array_multiplier(8); });
+}
+void bm_reestimate_dag_full(benchmark::State& s) {
+  bm_full(s, [] { return bench::random_dag(16, 400, 11); });
+}
+void bm_reestimate_dag_inc(benchmark::State& s) {
+  bm_inc(s, [] { return bench::random_dag(16, 400, 11); });
+}
+void bm_reestimate_counter_full(benchmark::State& s) {
+  bm_full(s, [] { return bench::counter(16); });
+}
+void bm_reestimate_counter_inc(benchmark::State& s) {
+  bm_inc(s, [] { return bench::counter(16); });
+}
+BENCHMARK(bm_reestimate_mult8_full);
+BENCHMARK(bm_reestimate_mult8_inc);
+BENCHMARK(bm_reestimate_dag_full);
+BENCHMARK(bm_reestimate_dag_inc);
+BENCHMARK(bm_reestimate_counter_full);
+BENCHMARK(bm_reestimate_counter_inc);
+
+}  // namespace
+
+LPS_BENCH_MAIN(report)

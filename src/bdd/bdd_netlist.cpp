@@ -103,14 +103,16 @@ std::vector<Ref> build_into(Manager& m, const Netlist& net,
 
 }  // namespace
 
-NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit) {
+NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit,
+                       std::size_t reserve_hint) {
   NetlistBdds out;
   auto dffs = net.dffs();
   out.mgr = Manager(
       static_cast<unsigned>(net.inputs().size() + dffs.size()), node_limit);
   // Capacity hint: global BDDs for gate networks typically land within a
   // small multiple of the gate count; pre-sizing avoids rehash churn.
-  out.mgr.reserve(std::min<std::size_t>(node_limit, 16 * net.num_gates()));
+  if (reserve_hint == 0) reserve_hint = 16 * net.num_gates();
+  out.mgr.reserve(std::min<std::size_t>(node_limit, reserve_hint));
   // Assign variable indices in DFS order; feed build_into positionally.
   auto dfs = source_order_dfs(net);
   unsigned v = 0;

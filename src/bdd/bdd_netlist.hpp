@@ -27,8 +27,11 @@ struct NetlistBdds {
 
 /// Build global BDDs for all live nodes.  Variables are assigned to PIs and
 /// Dff outputs in topological-name order.  Throws NodeLimitExceeded if the
-/// network is too wide for the budget.
-NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit = 4u << 20);
+/// network is too wide for the budget.  `reserve_hint` pre-sizes the
+/// manager's unique table before the build (avoiding mid-build rehash
+/// churn); 0 applies the default 16x-gate-count heuristic.
+NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit = 4u << 20,
+                       std::size_t reserve_hint = 0);
 
 /// Exact combinational equivalence: outputs matched by position, inputs
 /// matched by position (a and b must have equally many).  Sequential

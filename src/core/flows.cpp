@@ -1,5 +1,6 @@
 #include "core/flows.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "circuit/sizing.hpp"
@@ -8,6 +9,7 @@
 #include "logicopt/dontcare.hpp"
 #include "logicopt/resynth.hpp"
 #include "logicopt/path_balance.hpp"
+#include "power/incremental.hpp"
 #include "seq/clock_gating.hpp"
 #include "seq/encoding.hpp"
 #include "seq/guarded_eval.hpp"
@@ -17,14 +19,17 @@ namespace lps::core {
 
 namespace {
 
-StageReport measure(const std::string& stage, const Netlist& net,
-                    const FlowOptions& opt) {
+power::AnalysisOptions estimate_options(const FlowOptions& opt) {
   power::AnalysisOptions ao;
-  ao.mode = power::ActivityMode::Timed;
+  ao.mode = opt.estimate_mode;
   ao.n_vectors = opt.sim_vectors;
   ao.seed = opt.seed;
   ao.params = opt.params;
-  auto a = power::analyze(net, ao);
+  return ao;
+}
+
+StageReport stage_report(const std::string& stage, const Netlist& net,
+                         const power::Analysis& a) {
   StageReport r;
   r.stage = stage;
   r.power_w = a.report.breakdown.total_w();
@@ -34,79 +39,125 @@ StageReport measure(const std::string& stage, const Netlist& net,
   return r;
 }
 
-}  // namespace
+StageReport measure(const std::string& stage, const Netlist& net,
+                    const FlowOptions& opt) {
+  return stage_report(stage, net, power::analyze(net, estimate_options(opt)));
+}
 
-FlowResult optimize_combinational(const Netlist& input,
-                                  const FlowOptions& opt) {
-  FlowResult res;
-  res.circuit = strash(input);
-  if (!sim::equivalent_random(input, res.circuit, 512, 17))
-    throw std::logic_error("flow: strash changed function");
-  res.stages.push_back(measure("input", input, opt));
-  res.stages.push_back(measure("strash", res.circuit, opt));
+// Shared stage loop of the combinational and sequential flows: run each
+// transform under the mutation journal, verify function and invariants,
+// estimate power, and keep the rewrite only if it lowered power.  Estimates
+// go through IncrementalAnalyzer by default — only the touched fanout cone
+// is re-simulated per stage (ZeroDelay mode; Timed falls back to full runs,
+// recorded as such) — with FlowOptions::use_incremental_power = false
+// selecting the legacy full per-stage analysis for differential testing.
+// Both paths produce bit-identical StageReports.
+class StageRunner {
+ public:
+  StageRunner(FlowResult& res, const FlowOptions& opt)
+      : res_(res), opt_(opt), ao_(estimate_options(opt)) {
+    if (opt.use_incremental_power) inc_.emplace(res.circuit, ao_);
+  }
 
-  // Each stage is kept only if it actually lowers measured power — the
+  /// Report for the circuit as it stands (used for the post-strash entry).
+  StageReport current(const std::string& stage) {
+    return stage_report(stage, res_.circuit,
+                        inc_ ? inc_->analysis()
+                             : power::analyze(res_.circuit, ao_));
+  }
+
+  // Each stage is kept only if it actually lowers estimated power — the
   // survey repeatedly notes that overheads (buffer capacitance, gating
   // logic) can offset the savings, so a production flow measures and backs
   // out losing transforms.  A stage that throws, corrupts the netlist or
   // changes the function is likewise rolled back and recorded as failed;
   // the remaining stages still run on the pre-stage circuit.  Rollback uses
   // the mutation journal (O(edit size)) and a pre-stage functional_trace
-  // digest instead of a deep pre-stage clone.
-  auto attempt = [&](const std::string& stage, auto&& transform) {
+  // digest instead of a deep pre-stage clone; the same journal's touched
+  // set feeds the incremental estimator.
+  template <typename Fn>
+  void attempt(const std::string& stage, Fn&& transform) {
+    Netlist& net = res_.circuit;
     metrics::ScopedTimer timer("flow." + stage, /*trace=*/true);
-    sim::SimTrace ref = sim::functional_trace(res.circuit, 512, 17);
-    res.circuit.begin_undo();
-    double p_before = res.stages.back().power_w;
+    sim::SimTrace ref = sim::functional_trace(net, 512, 17);
+    net.begin_undo();
+    double p_before = res_.stages.back().power_w;
     std::string failure;
     try {
-      transform(res.circuit);
-      if (auto err = res.circuit.check(); !err.empty())
+      transform(net);
+      if (auto err = net.check(); !err.empty())
         failure = "broke netlist invariants: " + err;
-      else if (sim::functional_trace(res.circuit, 512, 17) != ref)
+      else if (sim::functional_trace(net, 512, 17) != ref)
         failure = "changed circuit function";
     } catch (const std::exception& e) {
       failure = e.what();
     }
     if (!failure.empty()) {
-      res.circuit.rollback_undo();
-      StageReport rep = measure(stage + " (failed)", res.circuit, opt);
+      // The estimator cache was never advanced, so after rollback it still
+      // matches the restored circuit — the failed-stage report reads it.
+      net.rollback_undo();
+      StageReport rep = inc_ ? current(stage + " (failed)")
+                             : measure(stage + " (failed)", net, opt_);
       rep.status = "failed";
       rep.note = failure;
       metrics::count("flow.stages_failed");
-      res.stages.push_back(std::move(rep));
+      res_.stages.push_back(std::move(rep));
       return;
     }
-    StageReport rep = measure(stage, res.circuit, opt);
-    if (rep.power_w <= p_before) {
-      res.circuit.commit_undo();
-      metrics::count("flow.stages_kept");
-      res.stages.push_back(rep);
+    // Estimate the mutated circuit: the journal's touched set (captured
+    // while the undo epoch is still open) scopes the re-simulation.
+    StageReport rep;
+    std::size_t resim = 0, full = 0;
+    if (inc_) {
+      auto touched = net.touched_nodes();
+      rep = stage_report(stage, net, inc_->reanalyze(touched));
+      resim = inc_->last_update().resim_nodes;
+      full = inc_->last_update().live_nodes;
     } else {
-      res.circuit.rollback_undo();
-      rep = measure(stage + " (reverted)", res.circuit, opt);
+      rep = measure(stage, net, opt_);
+    }
+    if (rep.power_w <= p_before) {
+      net.commit_undo();
+      metrics::count("flow.stages_kept");
+    } else {
+      net.rollback_undo();
+      if (inc_) {
+        inc_->revert_last();
+        rep = current(stage + " (reverted)");
+      } else {
+        rep = measure(stage + " (reverted)", net, opt_);
+      }
       rep.status = "reverted";
       metrics::count("flow.stages_reverted");
-      res.stages.push_back(rep);
     }
-  };
+    rep.resim_nodes = resim;  // the estimate's cost, kept or reverted
+    rep.full_nodes = full;
+    res_.stages.push_back(std::move(rep));
+  }
+
+ private:
+  FlowResult& res_;
+  const FlowOptions& opt_;
+  power::AnalysisOptions ao_;
+  std::optional<power::IncrementalAnalyzer> inc_;
+};
+
+void run_logic_stages(StageRunner& runner, const FlowOptions& opt) {
   if (opt.run_dontcare) {
-    attempt("dontcare", [&](Netlist& net) {
+    runner.attempt("dontcare", [&](Netlist& net) {
       auto st = sim::measure_activity(net, 64, opt.seed);
       logicopt::optimize_dontcare(net, st.transition_prob);
     });
-  }
-  if (opt.run_dontcare) {
-    attempt("resynth", [&](Netlist& net) {
+    runner.attempt("resynth", [&](Netlist& net) {
       auto st = sim::measure_activity(net, 64, opt.seed);
       logicopt::resynthesize_windows(net, st.transition_prob);
     });
   }
   if (opt.run_balance) {
-    attempt("balance", [&](Netlist& net) { logicopt::full_balance(net); });
+    runner.attempt("balance", [&](Netlist& net) { logicopt::full_balance(net); });
   }
   if (opt.run_sizing) {
-    attempt("sizing", [&](Netlist& net) {
+    runner.attempt("sizing", [&](Netlist& net) {
       power::AnalysisOptions ao;
       ao.mode = power::ActivityMode::Timed;
       ao.n_vectors = opt.sim_vectors;
@@ -118,6 +169,38 @@ FlowResult optimize_combinational(const Netlist& input,
       sp.step = 0.25;
       circuit::size_for_power(net, a.toggles_per_cycle, opt.params, sp);
     });
+  }
+}
+
+}  // namespace
+
+FlowResult optimize_combinational(const Netlist& input,
+                                  const FlowOptions& opt) {
+  FlowResult res;
+  res.circuit = strash(input);
+  if (!sim::equivalent_random(input, res.circuit, 512, 17))
+    throw std::logic_error("flow: strash changed function");
+  res.stages.push_back(measure("input", input, opt));
+  StageRunner runner(res, opt);
+  res.stages.push_back(runner.current("strash"));
+  run_logic_stages(runner, opt);
+  return res;
+}
+
+FlowResult optimize_sequential(const Netlist& input, const FlowOptions& opt) {
+  FlowResult res;
+  res.circuit = strash(input);
+  if (!sim::equivalent_random(input, res.circuit, 512, 17))
+    throw std::logic_error("flow: strash changed function");
+  res.stages.push_back(measure("input", input, opt));
+  StageRunner runner(res, opt);
+  res.stages.push_back(runner.current("strash"));
+  run_logic_stages(runner, opt);
+  // Hold-on-self-loop gating: functionally a no-op, kept only when the
+  // comparator's own power doesn't eat the clock-gating win.
+  if (!res.circuit.dffs().empty()) {
+    runner.attempt("selfloop-gate",
+                   [](Netlist& net) { seq::gate_fsm_self_loops(net); });
   }
   return res;
 }
@@ -134,15 +217,24 @@ FsmFlowResult optimize_fsm(const seq::Stg& stg, const FlowOptions& opt) {
 
   Netlist nb = seq::synthesize_fsm(stg, binary, stg.state_name(0) + "_bin");
   Netlist nl = seq::synthesize_fsm(stg, low, stg.state_name(0) + "_low");
-  power::AnalysisOptions ao;
-  ao.mode = power::ActivityMode::Timed;
-  ao.n_vectors = opt.sim_vectors;
-  ao.seed = opt.seed;
-  ao.params = opt.params;
+  power::AnalysisOptions ao = estimate_options(opt);
   r.power_binary_w = power::analyze(nb, ao).report.breakdown.total_w();
-  r.power_lowpower_w = power::analyze(nl, ao).report.breakdown.total_w();
 
-  seq::gate_fsm_self_loops(nl);
+  if (opt.use_incremental_power) {
+    // The gating rewrite is local, so the post-gating estimate reuses the
+    // pre-gating baseline and re-simulates only the touched cone.
+    power::IncrementalAnalyzer inc(nl, ao);
+    r.power_lowpower_w = inc.analysis().report.breakdown.total_w();
+    nl.begin_undo();
+    seq::gate_fsm_self_loops(nl);
+    auto touched = nl.touched_nodes();
+    nl.commit_undo();
+    r.power_gated_w = inc.reanalyze(touched).report.breakdown.total_w();
+  } else {
+    r.power_lowpower_w = power::analyze(nl, ao).report.breakdown.total_w();
+    seq::gate_fsm_self_loops(nl);
+    r.power_gated_w = power::analyze(nl, ao).report.breakdown.total_w();
+  }
   auto patterns = seq::detect_hold_patterns(nl);
   auto ca = seq::clock_activity(nl, patterns, opt.sim_vectors, opt.seed);
   r.clock_saving_fraction = ca.clock_power_saving_fraction();

@@ -28,6 +28,12 @@ struct StageReport {
   /// transform threw or broke the circuit — rolled back; see note).
   std::string status = "kept";
   std::string note;  // diagnostic text when status == "failed"
+  /// Incremental-estimate instrumentation (use_incremental_power only):
+  /// nodes re-simulated for this stage's estimate vs. what a full
+  /// re-analysis evaluates.  Equal on full fallbacks (e.g. Timed mode);
+  /// both 0 when the stage failed before estimation or on the legacy path.
+  std::size_t resim_nodes = 0;
+  std::size_t full_nodes = 0;
 };
 
 struct FlowOptions {
@@ -36,6 +42,18 @@ struct FlowOptions {
   bool run_dontcare = true;
   bool run_balance = true;
   bool run_sizing = true;
+  /// Activity source for the between-stage estimates.  Timed (default)
+  /// keeps the glitch-aware reports the survey's Eqn. (1) story is told
+  /// with; ZeroDelay trades glitch visibility for cone-scoped incremental
+  /// re-estimation (power/incremental.hpp) inside the stage loop.
+  power::ActivityMode estimate_mode = power::ActivityMode::Timed;
+  /// Route between-stage estimates through IncrementalAnalyzer.  The
+  /// result is bit-identical to per-stage full power::analyze runs (cone
+  /// updates in ZeroDelay mode; Timed mode falls back to full runs,
+  /// recorded in power.inc.* metrics).  false = legacy per-stage full
+  /// analysis, kept for differential testing — mirroring
+  /// PassManager::Options::use_undo_log.
+  bool use_incremental_power = true;
   power::PowerParams params;
 };
 
@@ -67,12 +85,21 @@ struct FlowResult {
 FlowResult optimize_combinational(const Netlist& input,
                                   const FlowOptions& opt = {});
 
+/// Sequential low-power flow: the combinational stage ladder (strash ->
+/// don't-care -> resynthesis -> balancing -> sizing) run on a netlist with
+/// registers, plus a final hold-on-self-loop gating stage
+/// (seq::gate_fsm_self_loops).  Register-crossing transforms make this the
+/// flow that exercises Dff-crossing incremental re-estimation.
+FlowResult optimize_sequential(const Netlist& input,
+                               const FlowOptions& opt = {});
+
 struct FsmFlowResult {
   Netlist circuit;
   double wswitch_binary = 0.0;    // weighted FF switching, binary codes
   double wswitch_lowpower = 0.0;  // after annealing
   double power_binary_w = 0.0;    // measured on synthesized logic
   double power_lowpower_w = 0.0;
+  double power_gated_w = 0.0;     // low-power encoding + self-loop gating
   double clock_saving_fraction = 0.0;  // from self-loop gating
 };
 

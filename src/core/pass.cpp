@@ -1,11 +1,13 @@
 #include "core/pass.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/metrics.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/path_balance.hpp"
 #include "netlist/validate.hpp"
+#include "power/incremental.hpp"
 #include "sim/logicsim.hpp"
 
 namespace lps::core {
@@ -22,6 +24,12 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
       opt_.verify || opt_.check_invariants || opt_.rollback;
   const bool use_undo = guard_needed && opt_.use_undo_log;
   const bool use_snapshot = guard_needed && !opt_.use_undo_log;
+  // Per-pass power estimates ride the same mutation journal rollback uses:
+  // a successful pass's touched set scopes the re-simulation to its fanout
+  // cone, and a rolled-back pass leaves the cached baseline valid as-is.
+  std::optional<power::IncrementalAnalyzer> analyzer;
+  if (opt_.estimate_power && opt_.use_incremental_power)
+    analyzer.emplace(net, opt_.estimate);
   for (const auto& p : passes_) {
     metrics::ScopedTimer timer("pass." + p->name(), /*trace=*/true);
     metrics::count("pass.runs");
@@ -86,7 +94,29 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
             "pass " + p->name() + " threw: " + e.what(),
             {}});
     }
-    if (use_undo && rec.ok) net.commit_undo();
+    if (use_undo && rec.ok) {
+      if (analyzer) {
+        // Touched set must be read while the undo epoch is still open.
+        auto touched = net.touched_nodes();
+        net.commit_undo();
+        analyzer->reanalyze(touched);
+      } else {
+        net.commit_undo();
+      }
+    } else if (analyzer && rec.ok) {
+      // No journal (snapshot or unguarded run): full re-baseline.
+      Netlist::TouchedNodes all;
+      all.all = true;
+      analyzer->reanalyze(all);
+    }
+    if (opt_.estimate_power) {
+      // Rolled-back passes restored the pre-pass circuit, which the cached
+      // analysis still describes.
+      rec.power_w =
+          analyzer
+              ? analyzer->analysis().report.breakdown.total_w()
+              : power::analyze(net, opt_.estimate).report.breakdown.total_w();
+    }
     if (rec.rolled_back) metrics::count("pass.rolled_back");
     if (rec.verified) metrics::count("pass.verified");
     records.push_back(std::move(rec));

@@ -28,6 +28,7 @@
 
 #include "core/diag.hpp"
 #include "netlist/netlist.hpp"
+#include "power/activity.hpp"
 
 namespace lps::core {
 
@@ -59,6 +60,9 @@ struct PassRecord {
   bool ok = true;            // pass ran without throwing/breaking anything
   bool rolled_back = false;  // pre-pass snapshot was restored
   diag::Diagnostic diag;     // why the pass failed (when !ok)
+  /// Estimated total power after this pass (Options::estimate_power only;
+  /// rolled-back passes report the restored circuit's power).
+  double power_w = 0.0;
 };
 
 /// True when every record succeeded.
@@ -80,6 +84,15 @@ class PassManager {
     bool use_undo_log = true;
     std::size_t verify_vectors = 1024;
     std::uint64_t verify_seed = 0xABCD;
+    /// Record an estimated power number on every PassRecord.
+    bool estimate_power = false;
+    /// Estimates go through the cone-scoped incremental analyzer
+    /// (power/incremental.hpp), fed by the same mutation journal rollback
+    /// uses; false selects a full power::analyze per pass — bit-identical
+    /// results, kept for differential testing (like use_undo_log).
+    bool use_incremental_power = true;
+    /// Analysis options for the per-pass estimate (estimate_power only).
+    power::AnalysisOptions estimate;
   };
 
   explicit PassManager(Options opt) : opt_(opt) {}

@@ -546,6 +546,79 @@ std::vector<bool> Netlist::cone_of(std::span<const NodeId> roots) const {
   return mask;
 }
 
+std::vector<bool> Netlist::fanout_cone_of(std::span<const NodeId> roots,
+                                          bool through_dffs) const {
+  std::vector<bool> mask(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    if (!mask[r]) {
+      mask[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    // A register reached through a pin marks a cycle boundary: its Q only
+    // changes one clock later.  Roots that ARE registers always expand —
+    // the change is at their output already.
+    if (!through_dffs && nodes_[n].type == GateType::Dff) {
+      bool is_root = false;
+      for (NodeId r : roots)
+        if (r == n) {
+          is_root = true;
+          break;
+        }
+      if (!is_root) continue;
+    }
+    for (NodeId fo : nodes_[n].fanouts) {
+      if (!mask[fo]) {
+        mask[fo] = true;
+        stack.push_back(fo);
+      }
+    }
+  }
+  return mask;
+}
+
+Netlist::TouchedNodes Netlist::touched_nodes() const {
+  TouchedNodes t;
+  if (!undo_ || undo_->full_saved) {
+    t.all = true;
+    return t;
+  }
+  // A PI-list change re-maps input positions to nodes, so every simulated
+  // value is suspect; PO/name-only changes are harmless to node values.
+  if (undo_->io_saved && undo_->inputs != inputs_) {
+    t.all = true;
+    return t;
+  }
+  t.ids.reserve(undo_->node_images.size() +
+                (nodes_.size() - undo_->base_nodes));
+  // Journaled pre-images: every touched node is reported, but only those
+  // whose value-determining fields actually differ from the pre-image seed
+  // a re-simulation cone.  Fanout-list, size, delay and name edits leave
+  // the node's simulated words unchanged (capacitance is recomputed from
+  // the live netlist on every estimate, so they still affect power).
+  std::vector<NodeId> roots;
+  for (const auto& [id, img] : undo_->node_images) {
+    t.ids.push_back(id);
+    const Node& cur = nodes_[id];
+    if (img.type != cur.type || img.fanins != cur.fanins ||
+        img.init_value != cur.init_value || img.dead != cur.dead)
+      roots.push_back(id);
+  }
+  std::sort(t.ids.begin(), t.ids.end());
+  std::sort(roots.begin(), roots.end());
+  for (NodeId n = static_cast<NodeId>(undo_->base_nodes); n < nodes_.size();
+       ++n) {
+    t.ids.push_back(n);
+    roots.push_back(n);
+  }
+  t.value_roots = std::move(roots);
+  return t;
+}
+
 std::string Netlist::check() const {
   diag::DiagEngine eng(/*max_kept=*/1);
   validate(*this, eng);

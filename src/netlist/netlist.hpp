@@ -190,6 +190,13 @@ class Netlist {
   int critical_delay() const;
   /// Transitive fanin cone of `roots`, as a node mask.
   std::vector<bool> cone_of(std::span<const NodeId> roots) const;
+  /// Transitive fanout cone of `roots` (the nodes whose value can change
+  /// when a root changes), as a node mask.  Registers reached through their
+  /// D or EN pins are included; with `through_dffs` the traversal continues
+  /// past them (their Q changes in later cycles), which is the dirty set an
+  /// incremental re-estimator must re-simulate on a sequential netlist.
+  std::vector<bool> fanout_cone_of(std::span<const NodeId> roots,
+                                   bool through_dffs = false) const;
 
   /// Validate invariants; returns an error description or empty string.
   /// The full checker (every violation as a positioned diagnostic, cycle
@@ -220,6 +227,29 @@ class Netlist {
   std::size_t undo_entries() const {
     return undo_ ? undo_->node_images.size() : 0;
   }
+
+  /// The set of nodes the active journal has seen change: journaled
+  /// pre-images plus every node created after begin_undo().  `all` is set
+  /// when per-node attribution is impossible — no journal is active, a
+  /// wholesale pre-image was recorded (assignment, compact()), or the
+  /// primary-input list changed (input positions feed the simulators, so
+  /// nothing can be scoped).  PO-list-only changes keep `all` false: they
+  /// redirect observation, not simulated values.  Consumed by the
+  /// incremental power analyzer (power/incremental.hpp) to scope
+  /// re-simulation to the dirty fanout cone.
+  struct TouchedNodes {
+    bool all = false;
+    std::vector<NodeId> ids;  // ascending, unique; empty when all
+    /// The subset of `ids` whose *value stream* may actually have changed:
+    /// the journaled pre-image differs in type, fanins, init_value or
+    /// liveness, or the node was created this epoch.  A node touched only
+    /// for a fanout-list, size, delay or name edit keeps its simulated
+    /// values bit-for-bit, so it seeds no re-simulation cone — this is what
+    /// lets a sizing pass (size-only edits across the whole netlist)
+    /// re-estimate without re-simulating a single node.
+    std::vector<NodeId> value_roots;  // ascending, unique; subset of ids
+  };
+  TouchedNodes touched_nodes() const;
 
  private:
   struct UndoLog {

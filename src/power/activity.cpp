@@ -43,20 +43,32 @@ std::vector<double> enable_duties(const Netlist& net,
 
 }  // namespace
 
+namespace detail {
+
+Analysis assemble_zero_delay(const Netlist& net, const sim::ActivityStats& st,
+                             const AnalysisOptions& opt) {
+  Analysis a;
+  a.toggles_per_cycle = st.transition_prob;
+  a.report = compute_power(net, a.toggles_per_cycle, opt.params);
+  a.clock_power_w =
+      clock_power(net, enable_duties(net, st.signal_prob), opt.params);
+  a.report.breakdown.switching_w += a.clock_power_w;
+  a.vectors_used = st.patterns;
+  return a;
+}
+
+}  // namespace detail
+
 Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
   Analysis a;
   if (opt.mode == ActivityMode::ZeroDelay) {
-    std::size_t frames = std::max<std::size_t>(2, opt.n_vectors / 64);
-    auto st = sim::measure_activity(net, frames, opt.seed, opt.pi_one_prob);
-    a.toggles_per_cycle = st.transition_prob;
-    a.report = compute_power(net, a.toggles_per_cycle, opt.params);
-    a.clock_power_w = clock_power(
-        net, enable_duties(net, st.signal_prob), opt.params);
-    a.report.breakdown.switching_w += a.clock_power_w;
-    return a;
+    auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
+                                    opt.seed, opt.pi_one_prob);
+    return detail::assemble_zero_delay(net, st, opt);
   }
   auto ts = sim::measure_timed_activity(net, opt.n_vectors, opt.seed,
                                         opt.pi_one_prob);
+  a.vectors_used = ts.vectors;
   a.toggles_per_cycle.assign(net.size(), 0.0);
   std::vector<double> functional(net.size(), 0.0);
   double nv = static_cast<double>(std::max<std::size_t>(1, ts.vectors));
@@ -72,9 +84,8 @@ Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
                           ? a.glitch_power_w / a.report.breakdown.switching_w
                           : 0.0;
   // Clock power: enable duties from a quick zero-delay probability run.
-  auto st = sim::measure_activity(
-      net, std::max<std::size_t>(2, opt.n_vectors / 64), opt.seed,
-      opt.pi_one_prob);
+  auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
+                                  opt.seed, opt.pi_one_prob);
   a.clock_power_w =
       clock_power(net, enable_duties(net, st.signal_prob), opt.params);
   a.report.breakdown.switching_w += a.clock_power_w;
@@ -95,6 +106,7 @@ Analysis analyze_sequence(const Netlist& net,
   }
   const auto& ts = es.stats();
   Analysis a;
+  a.vectors_used = ts.vectors;
   double nv = static_cast<double>(std::max<std::size_t>(1, ts.vectors));
   a.toggles_per_cycle.assign(net.size(), 0.0);
   std::vector<double> functional(net.size(), 0.0);

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,10 +35,31 @@ struct Analysis {
   double glitch_power_w = 0.0;            // switching power due to glitches
   double clock_power_w = 0.0;             // clock-pin power (gating-aware);
                                           // already included in report totals
+  /// Vectors actually simulated.  ZeroDelay packs 64 patterns per frame and
+  /// rounds `n_vectors` down to a frame multiple (min 2 frames = 128), so
+  /// this can differ from AnalysisOptions::n_vectors — check it instead of
+  /// assuming the request was honored exactly.
+  std::size_t vectors_used = 0;
 };
 
 /// Simulate and evaluate Eqn. (1).  Deterministic in `seed`.
 Analysis analyze(const Netlist& net, const AnalysisOptions& opt = {});
+
+/// Number of zero-delay frames analyze() simulates for a vector request —
+/// the rounding rule Analysis::vectors_used reports (64 patterns per frame,
+/// min 2 frames).
+inline std::size_t zero_delay_frames(std::size_t n_vectors) {
+  return std::max<std::size_t>(2, n_vectors / 64);
+}
+
+namespace detail {
+/// Assemble the ZeroDelay Analysis from measured activity statistics.
+/// Shared between analyze() and the incremental re-estimator
+/// (power/incremental.hpp) so both derive the final report through
+/// identical arithmetic — the bit-equality contract depends on it.
+Analysis assemble_zero_delay(const Netlist& net, const sim::ActivityStats& st,
+                             const AnalysisOptions& opt);
+}  // namespace detail
 
 /// Power under a *user-specified* input sequence rather than random
 /// vectors — the sequential-estimation setting of Monteiro & Devadas [28]

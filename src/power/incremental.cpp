@@ -1,0 +1,195 @@
+#include "power/incremental.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "core/metrics.hpp"
+
+namespace lps::power {
+
+IncrementalAnalyzer::IncrementalAnalyzer(const Netlist& net,
+                                         AnalysisOptions opt)
+    : net_(&net), opt_(std::move(opt)) {
+  run_full();
+}
+
+void IncrementalAnalyzer::run_full() {
+  if (opt_.mode == ActivityMode::ZeroDelay) {
+    // Same frames/seed/arithmetic as analyze()'s ZeroDelay branch, plus the
+    // raw trace capture the cone updates replay against.
+    auto st = sim::measure_activity(*net_, zero_delay_frames(opt_.n_vectors),
+                                    opt_.seed, opt_.pi_one_prob, &trace_);
+    analysis_ = detail::assemble_zero_delay(*net_, st, opt_);
+    have_trace_ = true;
+  } else {
+    // Timed mode keeps no per-frame cache; every update is a full run.
+    analysis_ = analyze(*net_, opt_);
+    trace_ = {};
+    have_trace_ = false;
+  }
+}
+
+void IncrementalAnalyzer::rebaseline() {
+  snap_.reset();
+  last_ = {};
+  run_full();
+}
+
+const Analysis& IncrementalAnalyzer::reanalyze(
+    const Netlist::TouchedNodes& touched) {
+  const Netlist& net = *net_;
+  last_ = {};
+  last_.live_nodes = net.num_live();
+  core::metrics::count("power.inc.updates");
+
+  std::size_t n_frames = trace_.frames.size();
+  bool cone_ok = have_trace_ && !touched.all &&
+                 net.size() >= trace_.ones.size();
+  if (!cone_ok) {
+    // Full fallback: the old cache moves wholesale into the snapshot (no
+    // copies), then the baseline is rebuilt for the mutated netlist.
+    Snapshot s;
+    s.full = true;
+    s.trace = std::move(trace_);
+    s.have_trace = have_trace_;
+    s.analysis = std::move(analysis_);
+    run_full();
+    snap_ = std::move(s);
+    last_.full_rebaseline = true;
+    last_.resim_nodes = last_.live_nodes;
+    core::metrics::count("power.inc.fallback_full");
+    // Frame-equivalent eval volume (Timed keeps no trace; use the request).
+    double frames_eq = static_cast<double>(
+        have_trace_ ? trace_.frames.size() : opt_.n_vectors);
+    double evals = static_cast<double>(last_.live_nodes) * frames_eq;
+    core::metrics::count("power.inc.node_evals", evals);
+    core::metrics::count("power.inc.node_evals_full", evals);
+    return analysis_;
+  }
+
+  // ---- Cone-scoped update -------------------------------------------------
+  // Dirty set: transitive fanout of the *value-relevant* touched nodes,
+  // crossing registers (a changed D/EN driver changes the register's value
+  // stream from the next frame on).  Touched nodes whose pre-image differs
+  // only in fanouts/size/delay/name seed nothing — their value streams are
+  // unchanged, and capacitance is recomputed from the live netlist below.
+  auto mask = net.fanout_cone_of(touched.value_roots, /*through_dffs=*/true);
+  sim::LogicSim sim(net);
+  auto sched = sim.cone_schedule(mask);
+
+  Snapshot s;
+  s.full = false;
+  s.old_size = trace_.ones.size();
+  s.analysis = analysis_;
+
+  // Grow the cache for appended nodes (cone path never shrinks: compact()
+  // and wholesale restores report `all` and take the fallback above).
+  if (net.size() > s.old_size) {
+    trace_.ones.resize(net.size(), 0);
+    trace_.toggles.resize(net.size(), 0);
+    for (auto& f : trace_.frames) f.resize(net.size(), 0);
+  }
+
+  // Count-update set: every non-input cone node.  Gates and registers get
+  // re-simulated; cone nodes that are now dead just have their counters
+  // zeroed (full analysis skips dead nodes).  Inputs never change value.
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (!mask[id] || net.node(id).type == GateType::Input) continue;
+    if (id < s.old_size) {
+      s.count_ids.push_back(id);
+      s.counts.emplace_back(trace_.ones[id], trace_.toggles[id]);
+    }
+    trace_.ones[id] = 0;
+    trace_.toggles[id] = 0;
+  }
+
+  // Snapshot the frame columns the sweep will overwrite.
+  auto snapshot_column = [&](NodeId id) {
+    if (id >= s.old_size) return;  // truncated away on revert
+    s.resim_ids.push_back(id);
+    auto& col = s.columns.emplace_back();
+    col.reserve(n_frames);
+    for (std::size_t fr = 0; fr < n_frames; ++fr)
+      col.push_back(trace_.frames[fr][id]);
+  };
+  for (NodeId id : sched.gates) snapshot_column(id);
+  for (NodeId id : sched.dffs) snapshot_column(id);
+
+  // Frame-by-frame in-place sweep.  frames[fr-1] is already updated when
+  // frame fr is processed, so register stepping and toggle counting read
+  // the new value stream exactly as a full re-simulation would.
+  for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    sim::Frame& f = trace_.frames[fr];
+    const sim::Frame* prev =
+        trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
+    for (NodeId d : sched.dffs) {
+      const Node& nd = net.node(d);
+      if (!prev) {
+        f[d] = nd.init_value ? ~0ULL : 0ULL;
+      } else {
+        std::uint64_t next = (*prev)[nd.fanins[0]];
+        if (nd.fanins.size() == 2) {
+          std::uint64_t en = (*prev)[nd.fanins[1]];
+          next = (en & next) | (~en & (*prev)[d]);  // hold on EN = 0
+        }
+        f[d] = next;
+      }
+    }
+    sim.eval_cone_into(f, sched);
+    auto count = [&](NodeId id) {
+      trace_.ones[id] += std::popcount(f[id]);
+      if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
+    };
+    for (NodeId id : sched.dffs) count(id);
+    for (NodeId id : sched.gates) count(id);
+  }
+
+  // Splice: derive the report from the updated integer counters through
+  // the exact arithmetic analyze() uses.
+  auto st = sim::stats_from_counts(trace_.ones, trace_.toggles,
+                                   trace_.patterns, trace_.seam_patterns);
+  analysis_ = detail::assemble_zero_delay(net, st, opt_);
+  snap_ = std::move(s);
+
+  last_.resim_nodes = sched.resim_nodes();
+  core::metrics::count(
+      "power.inc.node_evals",
+      static_cast<double>(last_.resim_nodes) * static_cast<double>(n_frames));
+  core::metrics::count(
+      "power.inc.node_evals_full",
+      static_cast<double>(last_.live_nodes) * static_cast<double>(n_frames));
+  return analysis_;
+}
+
+void IncrementalAnalyzer::revert_last() {
+  if (!snap_)
+    throw std::logic_error(
+        "IncrementalAnalyzer::revert_last: no update to revert");
+  Snapshot s = std::move(*snap_);
+  snap_.reset();
+  core::metrics::count("power.inc.reverts");
+  if (s.full) {
+    trace_ = std::move(s.trace);
+    have_trace_ = s.have_trace;
+    analysis_ = std::move(s.analysis);
+    return;
+  }
+  // Truncate nodes appended by the reverted mutation, restore the cone's
+  // old frame words and counters.
+  trace_.ones.resize(s.old_size);
+  trace_.toggles.resize(s.old_size);
+  for (auto& f : trace_.frames) f.resize(s.old_size);
+  for (std::size_t i = 0; i < s.resim_ids.size(); ++i) {
+    NodeId id = s.resim_ids[i];
+    for (std::size_t fr = 0; fr < trace_.frames.size(); ++fr)
+      trace_.frames[fr][id] = s.columns[i][fr];
+  }
+  for (std::size_t i = 0; i < s.count_ids.size(); ++i) {
+    trace_.ones[s.count_ids[i]] = s.counts[i].first;
+    trace_.toggles[s.count_ids[i]] = s.counts[i].second;
+  }
+  analysis_ = std::move(s.analysis);
+}
+
+}  // namespace lps::power

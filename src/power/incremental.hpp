@@ -1,0 +1,109 @@
+// incremental.hpp — cone-scoped incremental power re-estimation.
+//
+// Every optimization loop (core/pass.hpp, core/flows.cpp) is gated on
+// re-estimating switching activity after each local rewrite, yet a local
+// rewrite touches a handful of nodes while `power::analyze` re-simulates
+// the whole netlist.  IncrementalAnalyzer caches the raw simulation record
+// of one full baseline run — the per-frame value words and the exact
+// integer toggle counters behind the ActivityStats doubles — and after a
+// mutation re-evaluates only the transitive fanout cone of the touched
+// nodes over the *same* cached frames: same seed, same frame count, same
+// shard seams.  The updated per-node counters are spliced into the cached
+// totals, and the final report is assembled through the same arithmetic
+// `analyze()` uses (power::detail::assemble_zero_delay), so the result is
+// bit-identical to a fresh full analysis of the mutated netlist.
+//
+// Why the splice is exact: primary-input value words depend only on the
+// seed and the input's position in `inputs()` (never on netlist edits), so
+// everything outside the fanout cone of the touched set replays to the
+// very same words — the cached frame already holds them.  Re-evaluating
+// the cone in place inside such a frame (LogicSim::eval_cone_into) then
+// produces word-for-word what a full re-simulation would, and integer
+// popcount splicing introduces no floating-point divergence.
+//
+// Cache invalidation rule — fall back to a full re-baseline when:
+//   * the touched-node report says `all` (no journal, wholesale restore
+//     such as compact()/assignment, or a PI-list change that re-maps the
+//     input→stream binding);
+//   * the analyzer runs in Timed mode (event-driven glitch simulation has
+//     no per-frame cache; the fallback is recorded as such in metrics);
+//   * there is no baseline yet.
+// Fallbacks are full analyze() runs, so correctness never depends on the
+// cone path applying.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "power/activity.hpp"
+#include "sim/logicsim.hpp"
+
+namespace lps::power {
+
+class IncrementalAnalyzer {
+ public:
+  /// What the most recent reanalyze() actually did.
+  struct UpdateStats {
+    bool full_rebaseline = false;  // fell back to a fresh full analysis
+    std::size_t resim_nodes = 0;   // nodes re-evaluated (cone, or all live)
+    std::size_t live_nodes = 0;    // what a full re-analysis evaluates
+  };
+
+  /// Binds to `net` and runs the full baseline analysis immediately.  The
+  /// netlist must outlive the analyzer.
+  explicit IncrementalAnalyzer(const Netlist& net, AnalysisOptions opt = {});
+
+  /// Current estimate — always equal (bit-for-bit) to what
+  /// `power::analyze(net, options())` would return for the bound netlist's
+  /// current state, provided every mutation was reported via reanalyze().
+  const Analysis& analysis() const { return analysis_; }
+  const AnalysisOptions& options() const { return opt_; }
+  const UpdateStats& last_update() const { return last_; }
+
+  /// Drop all cached state and re-run the full baseline analysis.  Also
+  /// forgets any pending revert_last() snapshot.
+  void rebaseline();
+
+  /// Re-estimate after a mutation of the bound netlist.  `touched` must be
+  /// captured via Netlist::touched_nodes() *before* the undo epoch is
+  /// committed or rolled back (the journal is the source of the set), and
+  /// the netlist must currently be in the mutated state.  Returns the
+  /// updated analysis().
+  const Analysis& reanalyze(const Netlist::TouchedNodes& touched);
+
+  /// Restore the cache and analysis to their state before the most recent
+  /// reanalyze().  Call after rolling back the corresponding netlist
+  /// mutation (Netlist::rollback_undo) so cache and netlist agree again.
+  /// One level deep; throws std::logic_error if there is nothing to revert.
+  void revert_last();
+
+ private:
+  struct Snapshot {
+    bool full = false;  // snapshot of a whole pre-fallback cache
+    // full == true: the entire previous trace (moved, so cost-free).
+    sim::ActivityTrace trace;
+    bool have_trace = false;
+    // full == false: per-node deltas, all ids < old_size.
+    std::size_t old_size = 0;
+    std::vector<NodeId> resim_ids;  // columns[i] = old frame words of id i
+    std::vector<std::vector<std::uint64_t>> columns;
+    std::vector<NodeId> count_ids;  // old (ones, toggles) per id
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    Analysis analysis;
+  };
+
+  void run_full();  // (re)build trace_ + analysis_ from scratch
+
+  const Netlist* net_;
+  AnalysisOptions opt_;
+  Analysis analysis_;
+  sim::ActivityTrace trace_;  // ZeroDelay frame/counter cache
+  bool have_trace_ = false;
+  UpdateStats last_;
+  std::optional<Snapshot> snap_;
+};
+
+}  // namespace lps::power

@@ -4,10 +4,26 @@
 #include <stdexcept>
 
 #include "bdd/bdd_netlist.hpp"
+#include "core/metrics.hpp"
 
 namespace lps::power {
 
 namespace {
+
+// Global BDD build sized from the netlist up front: every live node gets a
+// function, so the unique table is pre-sized for the whole network rather
+// than the default gate-count heuristic, and the build's table statistics
+// are published under power.exact.* for observability.
+bdd::NetlistBdds build_global_bdds(const Netlist& net) {
+  auto bdds = bdd::build_bdds(net, /*node_limit=*/4u << 20,
+                              /*reserve_hint=*/16 * net.num_live());
+  core::metrics::count("power.exact.bdd_builds");
+  core::metrics::count("power.exact.bdd_nodes",
+                       static_cast<double>(bdds.mgr.num_nodes()));
+  core::metrics::count("power.exact.bdd_cache_hits",
+                       static_cast<double>(bdds.mgr.cache_hits()));
+  return bdds;
+}
 
 double and_prob(const std::vector<double>& p, const Node& nd) {
   double q = 1.0;
@@ -94,7 +110,7 @@ std::vector<double> signal_probs_independent(const Netlist& net,
 std::vector<double> signal_probs_exact(const Netlist& net,
                                        std::span<const double> pi_prob) {
   auto pip = pi_probability_vector(net, pi_prob);
-  auto bdds = bdd::build_bdds(net);
+  auto bdds = build_global_bdds(net);
   std::vector<double> var_p(bdds.mgr.num_vars(), 0.5);
   for (std::size_t i = 0; i < net.inputs().size(); ++i)
     var_p[bdds.var_of.at(net.inputs()[i])] = pip[i];
@@ -123,7 +139,7 @@ std::vector<double> transition_density(const Netlist& net,
       throw std::invalid_argument("pi density vector size mismatch");
     dens.assign(pi_density.begin(), pi_density.end());
   }
-  auto bdds = bdd::build_bdds(net);
+  auto bdds = build_global_bdds(net);
   auto& m = bdds.mgr;
   std::vector<double> var_p(m.num_vars(), 0.5);
   std::vector<double> var_d(m.num_vars(), 0.5);

@@ -12,6 +12,38 @@ namespace lps::sim {
 LogicSim::LogicSim(const Netlist& net)
     : net_(&net), order_(net.topo_order()), dff_list_(net.dffs()) {}
 
+namespace {
+
+// Shared per-gate word evaluation of eval_into and eval_cone_into: both
+// must produce bit-identical words for the incremental splice to hold.
+inline void eval_gate_word(const Node& nd, NodeId id, Frame& f) {
+  switch (nd.type) {
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+    case GateType::Const0:
+      f[id] = 0;
+      break;
+    case GateType::Const1:
+      f[id] = ~0ULL;
+      break;
+    default: {
+      std::uint64_t fin[64];
+      std::size_t k = nd.fanins.size();
+      if (k <= 64) {
+        for (std::size_t j = 0; j < k; ++j) fin[j] = f[nd.fanins[j]];
+        f[id] = eval_gate(nd.type, {fin, k});
+      } else {
+        std::vector<std::uint64_t> big(k);
+        for (std::size_t j = 0; j < k; ++j) big[j] = f[nd.fanins[j]];
+        f[id] = eval_gate(nd.type, big);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void LogicSim::eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
                          std::span<const std::uint64_t> dff_words) const {
   const Netlist& n = *net_;
@@ -26,32 +58,28 @@ void LogicSim::eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
                           ? (d.init_value ? ~0ULL : 0ULL)
                           : dff_words[i];
   }
-  std::uint64_t fin[64];
+  for (NodeId id : order_) eval_gate_word(n.node(id), id, f);
+}
+
+ConeSchedule LogicSim::cone_schedule(const std::vector<bool>& mask) const {
+  if (mask.size() != net_->size())
+    throw std::invalid_argument("LogicSim::cone_schedule: mask size mismatch");
+  ConeSchedule s;
   for (NodeId id : order_) {
-    const Node& nd = n.node(id);
-    switch (nd.type) {
-      case GateType::Input:
-      case GateType::Dff:
-        break;
-      case GateType::Const0:
-        f[id] = 0;
-        break;
-      case GateType::Const1:
-        f[id] = ~0ULL;
-        break;
-      default: {
-        std::size_t k = nd.fanins.size();
-        if (k <= 64) {
-          for (std::size_t j = 0; j < k; ++j) fin[j] = f[nd.fanins[j]];
-          f[id] = eval_gate(nd.type, {fin, k});
-        } else {
-          std::vector<std::uint64_t> big(k);
-          for (std::size_t j = 0; j < k; ++j) big[j] = f[nd.fanins[j]];
-          f[id] = eval_gate(nd.type, big);
-        }
-      }
-    }
+    if (!mask[id]) continue;
+    const Node& nd = net_->node(id);
+    if (nd.type == GateType::Input) continue;
+    if (nd.type == GateType::Dff)
+      s.dffs.push_back(id);
+    else
+      s.gates.push_back(id);
   }
+  return s;
+}
+
+void LogicSim::eval_cone_into(Frame& f, const ConeSchedule& sched) const {
+  const Netlist& n = *net_;
+  for (NodeId id : sched.gates) eval_gate_word(n.node(id), id, f);
 }
 
 Frame LogicSim::eval(std::span<const std::uint64_t> pi_words,
@@ -116,7 +144,8 @@ ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
                                       std::span<const NodeId> dffs,
                                       std::size_t n_frames,
                                       std::uint64_t seed,
-                                      std::span<const double> pi_one_prob) {
+                                      std::span<const double> pi_one_prob,
+                                      Frame* capture_frames = nullptr) {
   const auto& pis = net.inputs();
   ActivityAccum a;
   a.ones.assign(net.size(), 0);
@@ -137,6 +166,7 @@ ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
       pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
     }
     sim.eval_into(f, pi_words, state);
+    if (capture_frames) capture_frames[fr] = f;
     for (NodeId id = 0; id < net.size(); ++id) {
       if (net.is_dead(id)) continue;
       a.ones[id] += std::popcount(f[id]);
@@ -154,9 +184,27 @@ ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
 
 }  // namespace
 
+ActivityStats stats_from_counts(std::span<const std::uint64_t> ones,
+                                std::span<const std::uint64_t> toggles,
+                                std::size_t patterns,
+                                std::size_t seam_patterns) {
+  ActivityStats st;
+  st.signal_prob.assign(ones.size(), 0.0);
+  st.transition_prob.assign(ones.size(), 0.0);
+  double total = static_cast<double>(patterns);
+  double seams = static_cast<double>(seam_patterns);
+  st.patterns = patterns;
+  for (std::size_t id = 0; id < ones.size(); ++id) {
+    st.signal_prob[id] = total > 0 ? ones[id] / total : 0.0;
+    st.transition_prob[id] = seams > 0 ? toggles[id] / seams : 0.0;
+  }
+  return st;
+}
+
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
-                               std::span<const double> pi_one_prob) {
+                               std::span<const double> pi_one_prob,
+                               ActivityTrace* capture) {
   LogicSim sim(net);
   auto dffs = net.dffs();
 
@@ -164,16 +212,28 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
   // Combinational frame streams are iid and shard freely; the plan depends
   // only on n_frames, so results are thread-count independent.
   auto plan = core::plan_shards(dffs.empty() ? n_frames : 0, 64);
+  if (capture) {
+    capture->frames.assign(n_frames, Frame{});
+    capture->shard_start.assign(n_frames, 0);
+    if (plan.shards == 1) {
+      if (n_frames > 0) capture->shard_start[0] = 1;
+    } else {
+      for (std::size_t s = 0; s < plan.shards; ++s)
+        capture->shard_start[plan.begin(s)] = 1;
+    }
+  }
   std::vector<ActivityAccum> parts(plan.shards);
   if (plan.shards == 1) {
     // Single shard keeps the legacy RNG stream (seeded with `seed` itself).
-    parts[0] = simulate_activity_shard(net, sim, dffs, n_frames, seed,
-                                       pi_one_prob);
+    parts[0] = simulate_activity_shard(
+        net, sim, dffs, n_frames, seed, pi_one_prob,
+        capture ? capture->frames.data() : nullptr);
   } else {
     core::parallel_for(plan.shards, [&](std::size_t s) {
-      parts[s] = simulate_activity_shard(net, sim, dffs, plan.count(s),
-                                         core::shard_seed(seed, s),
-                                         pi_one_prob);
+      parts[s] = simulate_activity_shard(
+          net, sim, dffs, plan.count(s), core::shard_seed(seed, s),
+          pi_one_prob,
+          capture ? capture->frames.data() + plan.begin(s) : nullptr);
     });
   }
 
@@ -195,16 +255,12 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
   core::metrics::count("sim.logic.patterns",
                        static_cast<double>(frames) * 64.0);
 
-  ActivityStats st;
-  st.signal_prob.assign(net.size(), 0.0);
-  st.transition_prob.assign(net.size(), 0.0);
-  double total = static_cast<double>(frames) * 64.0;
-  double seam_patterns = static_cast<double>(seams) * 64.0;
-  st.patterns = static_cast<std::size_t>(total);
-  for (NodeId id = 0; id < net.size(); ++id) {
-    st.signal_prob[id] = total > 0 ? ones[id] / total : 0.0;
-    st.transition_prob[id] =
-        seam_patterns > 0 ? toggles[id] / seam_patterns : 0.0;
+  ActivityStats st = stats_from_counts(ones, toggles, frames * 64, seams * 64);
+  if (capture) {
+    capture->ones = std::move(ones);
+    capture->toggles = std::move(toggles);
+    capture->patterns = frames * 64;
+    capture->seam_patterns = seams * 64;
   }
   return st;
 }

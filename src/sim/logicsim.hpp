@@ -25,6 +25,20 @@ namespace lps::sim {
 /// One simulation frame: value word per node (64 parallel patterns).
 using Frame = std::vector<std::uint64_t>;
 
+/// Precomputed evaluation schedule for one cone of the network: the cone's
+/// logic gates in topological order plus its registers.  Built once per
+/// dirty set by LogicSim::cone_schedule() and replayed over every cached
+/// frame by eval_cone_into() — the inner loop of incremental power
+/// re-estimation (power/incremental.hpp).
+struct ConeSchedule {
+  std::vector<NodeId> gates;  // live non-source, non-Dff cone nodes, topo order
+  std::vector<NodeId> dffs;   // live cone registers (state stepped by caller)
+  /// Live cone nodes whose per-frame values must be (re)computed: gates +
+  /// dffs.  Primary inputs are excluded — their value stream is fixed by
+  /// the seed and input position, never by netlist edits.
+  std::size_t resim_nodes() const { return gates.size() + dffs.size(); }
+};
+
 /// Zero-delay combinational evaluator bound to one netlist.
 class LogicSim {
  public:
@@ -42,6 +56,20 @@ class LogicSim {
   /// capacity across frames.
   void eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
                  std::span<const std::uint64_t> dff_words = {}) const;
+
+  /// Restrict this netlist's topological order to the nodes set in `mask`
+  /// (sized net.size(); dead nodes and primary inputs are dropped).
+  ConeSchedule cone_schedule(const std::vector<bool>& mask) const;
+
+  /// Cone-restricted re-evaluation: recompute exactly `sched.gates` (in
+  /// order) in place in `f`, reading every fanin from `f` itself.  `f` must
+  /// be a full-network frame whose outside-the-cone entries already hold
+  /// valid values — the caller supplies PI and register words (including
+  /// the cone's registers) before the call.  Evaluating a cone inside a
+  /// frame whose complement is up to date yields bit-identical words to a
+  /// full eval_into() pass, which is the splice guarantee incremental
+  /// power analysis rests on.
+  void eval_cone_into(Frame& f, const ConeSchedule& sched) const;
 
   /// Values at the primary outputs extracted from a frame.
   std::vector<std::uint64_t> outputs_of(const Frame& f) const;
@@ -67,16 +95,44 @@ struct ActivityStats {
   std::size_t patterns = 0;
 };
 
+/// Raw simulation record behind one measure_activity() run, captured so an
+/// incremental re-estimator can later re-derive any node's value stream
+/// without re-running the untouched part of the network.  Frames are
+/// concatenated in shard order (the merge order of the determinism
+/// contract); `shard_start[fr]` marks stream seams, across which no toggle
+/// is counted.  `ones`/`toggles` are the exact per-node integer counters
+/// the ActivityStats doubles are derived from.
+struct ActivityTrace {
+  std::vector<Frame> frames;     // [frame][node] value words, shard order
+  std::vector<char> shard_start;  // per frame: first frame of its shard?
+  std::vector<std::uint64_t> ones;     // per node, summed over frames
+  std::vector<std::uint64_t> toggles;  // per node, intra-shard seams only
+  std::size_t patterns = 0;       // frames * 64
+  std::size_t seam_patterns = 0;  // toggle-counted boundaries * 64
+};
+
+/// Derive the probability view from a trace's exact counters — the same
+/// arithmetic measure_activity() applies, exposed so spliced counters
+/// reproduce bit-identical doubles.
+ActivityStats stats_from_counts(std::span<const std::uint64_t> ones,
+                                std::span<const std::uint64_t> toggles,
+                                std::size_t patterns,
+                                std::size_t seam_patterns);
+
 /// Run `n_frames` frames of random-vector simulation and measure zero-delay
 /// signal and transition probabilities per node.  `pi_one_prob` optionally
 /// sets a per-input probability of 1 (default 0.5).  For sequential nets the
 /// register state is carried across consecutive patterns within a word
 /// stream (one symbolic stream of length 64*n_frames).  Combinational nets
 /// shard the stream across the thread pool; results are deterministic in
-/// (n_frames, seed) and independent of the thread count.
+/// (n_frames, seed) and independent of the thread count.  When `capture` is
+/// non-null the full per-frame value matrix and exact counters are recorded
+/// into it (one extra frame copy per simulated frame; the statistics are
+/// unchanged).
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
-                               std::span<const double> pi_one_prob = {});
+                               std::span<const double> pi_one_prob = {},
+                               ActivityTrace* capture = nullptr);
 
 /// Random-vector combinational equivalence check: simulates both networks on
 /// the same input stream (inputs matched by position) and compares outputs

@@ -6,8 +6,9 @@ Each bench binary run with `--json <file>` writes
      "claims": {...}, "metrics": {...}}
 This script merges those files, computes parallel speedups for benchmarks
 registered with thread-count Args (names like "bm_foo_par/1" vs
-"bm_foo_par/4"), and writes one top-level document so the perf trajectory
-is tracked across PRs.
+"bm_foo_par/4"), computes incremental-vs-full speedups for paired names
+("bm_foo_full" vs "bm_foo_inc"), and writes one top-level document so the
+perf trajectory is tracked across PRs.
 
 By default an existing output file is MERGED, not overwritten: binaries
 absent from this run keep their previous entry, and each benchmark keeps a
@@ -56,6 +57,33 @@ def speedups(results):
                     "name": stem,
                     "threads": threads,
                     "speedup": round(base[stem] / r["wall_ms"], 3),
+                }
+            )
+    return out
+
+
+def incremental_speedups(results):
+    """Pair up '<stem>_full' baselines with '<stem>_inc' variants.
+
+    bench_incremental registers each re-estimation workload twice: a full
+    power::analyze per iteration (_full) and an IncrementalAnalyzer cone
+    update (_inc).  The ratio is the wall-clock win of cone-scoped
+    re-estimation; < 1 is possible (and honest) when the touched cone
+    covers the whole circuit, e.g. a mutation feeding a register chain.
+    """
+    full = {}
+    for r in results:
+        m = re.fullmatch(r"(.+)_full", r["name"])
+        if m:
+            full[m.group(1)] = r["wall_ms"]
+    out = []
+    for r in results:
+        m = re.fullmatch(r"(.+)_inc", r["name"])
+        if m and m.group(1) in full and r["wall_ms"] > 0:
+            out.append(
+                {
+                    "name": m.group(1),
+                    "speedup": round(full[m.group(1)] / r["wall_ms"], 3),
                 }
             )
     return out
@@ -113,6 +141,9 @@ def main(argv):
             "results": merge_results(doc["results"], old),
             "speedups": speedups(doc["results"]),
         }
+        inc = incremental_speedups(doc["results"])
+        if inc:
+            entry["incremental_speedups"] = inc
         if doc.get("claims"):
             entry["claims"] = doc["claims"]
         by_binary[doc["binary"]] = entry

@@ -107,6 +107,31 @@ class AggregateBenchTest(unittest.TestCase):
         self.assertEqual(sp["threads"], 4)
         self.assertAlmostEqual(sp["speedup"], 4.0)
 
+    def test_incremental_speedups_from_full_inc_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_incremental", 10.0)
+        doc["results"] += [
+            {"name": "bm_reest_m8_full", "wall_ms": 9.0, "iterations": 5},
+            {"name": "bm_reest_m8_inc", "wall_ms": 1.5, "iterations": 5},
+            {"name": "bm_reest_ctr_full", "wall_ms": 2.0, "iterations": 5},
+            {"name": "bm_reest_ctr_inc", "wall_ms": 2.5, "iterations": 5},
+            # Unpaired names contribute nothing.
+            {"name": "bm_orphan_inc", "wall_ms": 1.0, "iterations": 5},
+        ]
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        by_name = {s["name"]: s["speedup"]
+                   for s in entry["incremental_speedups"]}
+        self.assertEqual(by_name, {"bm_reest_m8": 6.0, "bm_reest_ctr": 0.8})
+
+    def test_incremental_speedups_absent_without_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        write_json(a, bench_doc("bench_a", 10.0))
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertNotIn("incremental_speedups", entry)
+
 
 class CheckExperimentsTest(unittest.TestCase):
     def setUp(self):
