@@ -10,6 +10,10 @@
 // Accuracy is total switched capacitance vs the reference; runtimes come
 // from the google-benchmark section.
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "bench_util.hpp"
 #include "bdd/bdd_netlist.hpp"
 #include "core/parallel.hpp"
@@ -17,10 +21,124 @@
 #include "netlist/benchmarks.hpp"
 #include "power/activity.hpp"
 #include "power/probability.hpp"
+#include "sim/compiled.hpp"
 
 namespace {
 
 using namespace lps;
+
+// Best-of-3 wall time of one measure_activity run under the given engine.
+// Best-of (not mean) because the question is the engines' intrinsic cost
+// ratio, and the minimum is the least contaminated by scheduling noise.
+double activity_ms(const Netlist& net, bool compiled, std::size_t frames) {
+  sim::SimOptions o = sim::sim_options();
+  o.use_compiled = compiled;
+  sim::ScopedSimOptions scope(o);
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::measure_activity(net, frames, 3);
+    benchmark::DoNotOptimize(r.patterns);
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+// E22 — compiled flat-tape simulation vs the per-gate interpreter.  The
+// tape must be a pure speed lever: bit-identical counters on every suite
+// circuit (including a sequential one), and a >=2x single-thread win on
+// the medium/large circuits where the Monte Carlo loop actually hurts.
+void report_compiled() {
+  std::cout << "E22: compiled tape vs interpreter (block="
+            << sim::sim_options().block << ")\n";
+
+  // Equality gate across the suite, plus a register circuit for the
+  // sequential (block=1) driver path.
+  auto suite = bench::default_suite();
+  suite.push_back({"counter16", bench::counter(16)});
+  bool identical = true;
+  for (const auto& [name, net] : suite) {
+    sim::SimOptions comp = sim::sim_options();
+    comp.use_compiled = true;
+    sim::SimOptions interp = comp;
+    interp.use_compiled = false;
+    sim::ActivityStats a, b;
+    {
+      sim::ScopedSimOptions s(comp);
+      a = sim::measure_activity(net, 128, 3);
+    }
+    {
+      sim::ScopedSimOptions s(interp);
+      b = sim::measure_activity(net, 128, 3);
+    }
+    bool same = a.patterns == b.patterns && a.signal_prob == b.signal_prob &&
+                a.transition_prob == b.transition_prob;
+    identical = identical && same;
+    if (!same) std::cout << "  MISMATCH on " << name << "\n";
+  }
+
+  // Single-thread speedup, medium/large circuits, geometric mean.  One
+  // thread isolates the tape-vs-interpreter ratio from shard scheduling.
+  core::Table t({"circuit", "nodes", "interp ms", "compiled ms", "speedup"});
+  double log_sum = 0.0;
+  std::size_t timed = 0;
+  {
+    core::ScopedThreads one(1);
+    for (const auto& [name, net] : suite) {
+      if (net.size() < 100 || !net.dffs().empty()) continue;
+      double mi = activity_ms(net, false, 2048);
+      double mc = activity_ms(net, true, 2048);
+      double sp = mc > 0 ? mi / mc : 0.0;
+      log_sum += std::log(sp);
+      ++timed;
+      t.row({name, std::to_string(net.size()), core::Table::num(mi, 2),
+             core::Table::num(mc, 2), core::Table::num(sp, 2) + "x"});
+    }
+  }
+  double geomean = timed > 0 ? std::exp(log_sum / static_cast<double>(timed))
+                             : 0.0;
+  t.print(std::cout);
+  std::cout << "identical across suite: " << (identical ? "yes" : "NO")
+            << ", single-thread speedup geomean: "
+            << core::Table::num(geomean, 2) << "x\n";
+
+  benchx::claim("E22.compiled_identical_suite", identical);
+  benchx::claim("E22.compiled_speedup_suite", geomean);
+
+  // Parallel scaling of the sharded Monte Carlo loop.  Only measurable
+  // (and only claimed) on hosts with >=4 hardware threads; the band in
+  // experiments_expected.json is marked optional for that reason.
+  if (std::thread::hardware_concurrency() >= 4) {
+    auto net = bench::alu(4);
+    auto par_ms = [&](unsigned n) {
+      core::ScopedThreads threads(n);
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = sim::measure_activity(net, 8192, 3);
+        benchmark::DoNotOptimize(r.patterns);
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      return best;
+    };
+    double m1 = par_ms(1), m4 = par_ms(4);
+    double sp = m4 > 0 ? m1 / m4 : 0.0;
+    std::cout << "parallel alu4 x8192 frames: 1t "
+              << core::Table::num(m1, 2) << " ms, 4t "
+              << core::Table::num(m4, 2) << " ms ("
+              << core::Table::num(sp, 2) << "x)\n";
+    benchx::claim("E22.parallel_speedup_4t", sp);
+  } else {
+    std::cout << "parallel speedup: skipped ("
+              << std::thread::hardware_concurrency()
+              << " hardware thread(s); claim is optional)\n";
+  }
+  std::cout << '\n';
+}
 
 double weighted_cap(const Netlist& net, const std::vector<double>& toggles) {
   power::PowerParams pp;
@@ -99,6 +217,8 @@ void report() {
                "ITE cache):\n";
   bt.print(std::cout);
   std::cout << '\n';
+
+  report_compiled();
 }
 
 void bm_timed(benchmark::State& state) {
@@ -168,6 +288,38 @@ void bm_timed_par(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_timed_par)->Arg(1)->Arg(2)->Arg(4);
+
+// Engine-paired Monte Carlo benches.  Names pair as <base>_interp /
+// <base>_comp; aggregate_bench.py derives the compiled-vs-interpreted
+// speedup column from the pairs (same workload, only the engine differs).
+template <typename Make>
+void bm_activity_engine(benchmark::State& state, Make make, bool compiled) {
+  sim::SimOptions o = sim::sim_options();
+  o.use_compiled = compiled;
+  sim::ScopedSimOptions scope(o);
+  Netlist net = make();
+  for (auto _ : state) {
+    auto r = sim::measure_activity(net, 2048, 3);
+    benchmark::DoNotOptimize(r.patterns);
+  }
+}
+
+void bm_zero_delay_mult8_interp(benchmark::State& s) {
+  bm_activity_engine(s, [] { return bench::array_multiplier(8); }, false);
+}
+void bm_zero_delay_mult8_comp(benchmark::State& s) {
+  bm_activity_engine(s, [] { return bench::array_multiplier(8); }, true);
+}
+void bm_zero_delay_dag_interp(benchmark::State& s) {
+  bm_activity_engine(s, [] { return bench::random_dag(16, 400, 11); }, false);
+}
+void bm_zero_delay_dag_comp(benchmark::State& s) {
+  bm_activity_engine(s, [] { return bench::random_dag(16, 400, 11); }, true);
+}
+BENCHMARK(bm_zero_delay_mult8_interp);
+BENCHMARK(bm_zero_delay_mult8_comp);
+BENCHMARK(bm_zero_delay_dag_interp);
+BENCHMARK(bm_zero_delay_dag_comp);
 
 void bm_bdd_build(benchmark::State& state) {
   auto net = bench::alu(4);

@@ -1,12 +1,20 @@
 #include "power/activity.hpp"
 
+#include <algorithm>
 #include <memory>
-#include <set>
 #include <stdexcept>
 
 namespace lps::power {
 
 namespace {
+
+// True when some register has a load-enable pin — only then do enable
+// duties differ from 1.0 and gating cells exist.
+bool has_enabled_dff(const Netlist& net) {
+  for (NodeId d : net.dffs())
+    if (net.node(d).fanins.size() == 2) return true;
+  return false;
+}
 
 // Gating-aware clock-pin power: free-running registers see two clock-pin
 // transitions per cycle; a register with a load-enable pin is clock-gated
@@ -16,16 +24,20 @@ double clock_power(const Netlist& net,
                    const std::vector<double>& enable_duty,
                    const PowerParams& p) {
   double cap_toggles_ff = 0.0;  // fF-toggles per cycle
-  std::set<NodeId> enables;
+  // Distinct enable signals, deduplicated by sort+unique (a per-call
+  // std::set costs one allocation per register).
+  std::vector<NodeId> enables;
   for (NodeId d : net.dffs()) {
     const Node& nd = net.node(d);
     if (nd.fanins.size() == 2) {
       cap_toggles_ff += p.clock_pin_ff * 2.0 * enable_duty[d];
-      enables.insert(nd.fanins[1]);
+      enables.push_back(nd.fanins[1]);
     } else {
       cap_toggles_ff += p.clock_pin_ff * 2.0;
     }
   }
+  std::sort(enables.begin(), enables.end());
+  enables.erase(std::unique(enables.begin(), enables.end()), enables.end());
   cap_toggles_ff += p.gating_cell_ff * 2.0 * static_cast<double>(enables.size());
   return 0.5 * cap_toggles_ff * 1e-15 * p.vdd * p.vdd * p.freq;
 }
@@ -83,11 +95,18 @@ Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
   a.glitch_fraction = a.report.breakdown.switching_w > 0
                           ? a.glitch_power_w / a.report.breakdown.switching_w
                           : 0.0;
-  // Clock power: enable duties from a quick zero-delay probability run.
-  auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
-                                  opt.seed, opt.pi_one_prob);
-  a.clock_power_w =
-      clock_power(net, enable_duties(net, st.signal_prob), opt.params);
+  // Clock power: enable duties from a quick zero-delay probability run —
+  // skipped entirely when no register has a load-enable pin, since every
+  // duty is then 1.0 regardless of the signal probabilities.
+  if (has_enabled_dff(net)) {
+    auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
+                                    opt.seed, opt.pi_one_prob);
+    a.clock_power_w =
+        clock_power(net, enable_duties(net, st.signal_prob), opt.params);
+  } else {
+    a.clock_power_w =
+        clock_power(net, std::vector<double>(net.size(), 1.0), opt.params);
+  }
   a.report.breakdown.switching_w += a.clock_power_w;
   return a;
 }

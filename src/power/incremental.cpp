@@ -22,11 +22,22 @@ void IncrementalAnalyzer::run_full() {
                                     opt_.seed, opt_.pi_one_prob, &trace_);
     analysis_ = detail::assemble_zero_delay(*net_, st, opt_);
     have_trace_ = true;
+    // Fresh compact tape for the cone updates (patched per mutation from
+    // here on).
+    if (sim::sim_options().use_compiled) {
+      if (csim_)
+        csim_->rebuild();
+      else
+        csim_.emplace(*net_);
+    } else {
+      csim_.reset();
+    }
   } else {
     // Timed mode keeps no per-frame cache; every update is a full run.
     analysis_ = analyze(*net_, opt_);
     trace_ = {};
     have_trace_ = false;
+    csim_.reset();
   }
 }
 
@@ -75,12 +86,30 @@ const Analysis& IncrementalAnalyzer::reanalyze(
   // only in fanouts/size/delay/name seed nothing — their value streams are
   // unchanged, and capacitance is recomputed from the live netlist below.
   auto mask = net.fanout_cone_of(touched.value_roots, /*through_dffs=*/true);
-  sim::LogicSim sim(net);
-  auto sched = sim.cone_schedule(mask);
+
+  // Engine selection.  The compiled tape persists across updates and is
+  // patched from the same touched-node report (O(edit)); the interpreted
+  // engine re-walks the topo order per call (O(netlist)).  Both produce
+  // bit-identical cone words, so the splice below is engine-agnostic.
+  const bool use_compiled = sim::sim_options().use_compiled;
+  std::optional<sim::LogicSim> isim;
+  sim::ConeSchedule sched;
+  if (use_compiled) {
+    if (csim_)
+      csim_->update(touched);
+    else
+      csim_.emplace(net);
+    sched = csim_->cone_schedule(mask);
+  } else {
+    csim_.reset();
+    isim.emplace(net);
+    sched = isim->cone_schedule(mask);
+  }
 
   Snapshot s;
   s.full = false;
   s.old_size = trace_.ones.size();
+  s.patched.assign(touched.value_roots.begin(), touched.value_roots.end());
   s.analysis = analysis_;
 
   // Grow the cache for appended nodes (cone path never shrinks: compact()
@@ -136,7 +165,10 @@ const Analysis& IncrementalAnalyzer::reanalyze(
         f[d] = next;
       }
     }
-    sim.eval_cone_into(f, sched);
+    if (use_compiled)
+      csim_->exec_gates(f.data(), 1, sched.gates);
+    else
+      isim->eval_cone_into(f, sched);
     auto count = [&](NodeId id) {
       trace_.ones[id] += std::popcount(f[id]);
       if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
@@ -173,10 +205,14 @@ void IncrementalAnalyzer::revert_last() {
     trace_ = std::move(s.trace);
     have_trace_ = s.have_trace;
     analysis_ = std::move(s.analysis);
+    // The netlist was restored wholesale; recompile against it.
+    if (csim_) csim_->rebuild();
     return;
   }
   // Truncate nodes appended by the reverted mutation, restore the cone's
-  // old frame words and counters.
+  // old frame words and counters.  The compiled tape re-emits the patch
+  // roots' records from the restored netlist (O(edit)).
+  if (csim_) csim_->revert_to(s.old_size, s.patched);
   trace_.ones.resize(s.old_size);
   trace_.toggles.resize(s.old_size);
   for (auto& f : trace_.frames) f.resize(s.old_size);

@@ -39,6 +39,7 @@
 
 #include "netlist/netlist.hpp"
 #include "power/activity.hpp"
+#include "sim/compiled.hpp"
 #include "sim/logicsim.hpp"
 
 namespace lps::power {
@@ -92,6 +93,9 @@ class IncrementalAnalyzer {
     std::vector<std::vector<std::uint64_t>> columns;
     std::vector<NodeId> count_ids;  // old (ones, toggles) per id
     std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    // Tape-patch roots of the reverted mutation (compiled engine):
+    // revert_to() re-emits their records from the restored netlist.
+    std::vector<NodeId> patched;
     Analysis analysis;
   };
 
@@ -102,6 +106,10 @@ class IncrementalAnalyzer {
   Analysis analysis_;
   sim::ActivityTrace trace_;  // ZeroDelay frame/counter cache
   bool have_trace_ = false;
+  // Persistent compiled tape (SimOptions::use_compiled): patched in place
+  // from each mutation's touched-node report instead of recompiled, so a
+  // pass loop pays O(edit) per candidate, not O(netlist).
+  std::optional<sim::CompiledSim> csim_;
   UpdateStats last_;
   std::optional<Snapshot> snap_;
 };

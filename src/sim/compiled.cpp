@@ -1,0 +1,402 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "core/metrics.hpp"
+
+namespace lps::sim {
+
+std::size_t normalize_block(std::size_t b) {
+  if (b >= 16) return 16;
+  if (b >= 8) return 8;
+  if (b >= 4) return 4;
+  if (b >= 2) return 2;
+  return 1;
+}
+
+SimOptions& sim_options() {
+  static SimOptions opt = [] {
+    SimOptions o;
+    if (const char* s = std::getenv("LPS_SIM_COMPILED"))
+      o.use_compiled = !(s[0] == '0' && s[1] == '\0');
+    if (const char* s = std::getenv("LPS_SIM_BLOCK")) {
+      char* end = nullptr;
+      long v = std::strtol(s, &end, 10);
+      if (end != s && *end == '\0' && v >= 1 && v <= 16)
+        o.block = normalize_block(static_cast<std::size_t>(v));
+    }
+    return o;
+  }();
+  return opt;
+}
+
+namespace {
+
+// Tape opcodes: specialized forms for the dominant small gates, n-ary
+// folds for everything wider.  Record layout (std::uint32_t words):
+//   [op | n_fanins << 8] [output node] [fanin node]*n_fanins
+enum class Op : std::uint8_t {
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And2,
+  Or2,
+  Nand2,
+  Nor2,
+  Xor2,
+  Xnor2,
+  Mux,
+  AndN,
+  OrN,
+  NandN,
+  NorN,
+  XorN,
+  XnorN,
+};
+
+// Execute one record over a block of B words per node and return the
+// pointer past the record.  Each opcode is the same bitwise expression
+// eval_gate (netlist.cpp) computes, with n-ary operands folded in fanin
+// order — this is what makes tape frames bit-identical to LogicSim's.
+template <unsigned B>
+inline const std::uint32_t* exec_record(const std::uint32_t* p,
+                                        std::uint64_t* val) {
+  const std::uint32_t h = *p++;
+  const std::uint32_t n = h >> 8;
+  // The network is acyclic, so a record's output slot never aliases any of
+  // its operand slots; restrict lets the per-lane loops autovectorize.
+  std::uint64_t* __restrict out = val + static_cast<std::size_t>(*p++) * B;
+  auto in = [&](std::uint32_t i) {
+    return static_cast<const std::uint64_t*>(val +
+                                             static_cast<std::size_t>(p[i]) *
+                                                 B);
+  };
+  switch (static_cast<Op>(h & 0xFFu)) {
+    case Op::Const0:
+      for (unsigned j = 0; j < B; ++j) out[j] = 0;
+      break;
+    case Op::Const1:
+      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
+      break;
+    case Op::Buf: {
+      const std::uint64_t* a = in(0);
+      for (unsigned j = 0; j < B; ++j) out[j] = a[j];
+      break;
+    }
+    case Op::Not: {
+      const std::uint64_t* a = in(0);
+      for (unsigned j = 0; j < B; ++j) out[j] = ~a[j];
+      break;
+    }
+    case Op::And2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = a[j] & b[j];
+      break;
+    }
+    case Op::Or2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = a[j] | b[j];
+      break;
+    }
+    case Op::Nand2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] & b[j]);
+      break;
+    }
+    case Op::Nor2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] | b[j]);
+      break;
+    }
+    case Op::Xor2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = a[j] ^ b[j];
+      break;
+    }
+    case Op::Xnor2: {
+      const std::uint64_t *a = in(0), *b = in(1);
+      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] ^ b[j]);
+      break;
+    }
+    case Op::Mux: {
+      // fanins: s, a, b -> s ? b : a  (eval_gate's (~s & a) | (s & b))
+      const std::uint64_t *s = in(0), *a = in(1), *b = in(2);
+      for (unsigned j = 0; j < B; ++j)
+        out[j] = (~s[j] & a[j]) | (s[j] & b[j]);
+      break;
+    }
+    case Op::AndN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] &= a[j];
+      }
+      break;
+    }
+    case Op::OrN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] |= a[j];
+      }
+      break;
+    }
+    case Op::NandN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] &= a[j];
+      }
+      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
+      break;
+    }
+    case Op::NorN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] |= a[j];
+      }
+      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
+      break;
+    }
+    case Op::XorN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] ^= a[j];
+      }
+      break;
+    }
+    case Op::XnorN: {
+      for (unsigned j = 0; j < B; ++j) out[j] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t* a = in(i);
+        for (unsigned j = 0; j < B; ++j) out[j] ^= a[j];
+      }
+      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
+      break;
+    }
+  }
+  return p + n;
+}
+
+template <unsigned B>
+void exec_linear(const std::uint32_t* p, const std::uint32_t* end,
+                 std::uint64_t* val) {
+  while (p != end) p = exec_record<B>(p, val);
+}
+
+template <unsigned B>
+void exec_list(const std::uint32_t* tape, const std::uint32_t* offset,
+               std::span<const lps::NodeId> gates, std::uint32_t no_record,
+               std::uint64_t* val) {
+  for (NodeId id : gates) {
+    std::uint32_t off = offset[id];
+    if (off != no_record) exec_record<B>(tape + off, val);
+  }
+}
+
+}  // namespace
+
+CompiledSim::CompiledSim(const Netlist& net) : net_(&net) { rebuild(); }
+
+void CompiledSim::rebuild() {
+  const Netlist& n = *net_;
+  tape_.clear();
+  records_ = 0;
+  offset_.assign(n.size(), kNoRecord);
+  order_.clear();
+  live_.clear();
+  dff_list_ = n.dffs();
+  for (NodeId id : n.topo_order()) {
+    const Node& nd = n.node(id);
+    if (nd.type == GateType::Input || nd.type == GateType::Dff) continue;
+    order_.push_back(id);
+  }
+  std::size_t words = 0;
+  for (NodeId id : order_) words += 2 + n.node(id).fanins.size();
+  tape_.reserve(words);
+  for (NodeId id : order_) emit(id);
+  for (NodeId id = 0; id < n.size(); ++id)
+    if (!n.is_dead(id)) live_.push_back(id);
+  base_words_ = tape_.size();
+  compact_ = true;
+  core::metrics::count("sim.compiled.rebuilds");
+  core::metrics::count("sim.compiled.records", static_cast<double>(records_));
+}
+
+void CompiledSim::emit(NodeId id) {
+  const Netlist& net = *net_;
+  const Node& nd = net.node(id);
+  if (nd.dead || nd.type == GateType::Input || nd.type == GateType::Dff) {
+    if (offset_[id] != kNoRecord) {
+      offset_[id] = kNoRecord;
+      --records_;
+    }
+    return;
+  }
+  const auto n = static_cast<std::uint32_t>(nd.fanins.size());
+  Op op;
+  switch (nd.type) {
+    case GateType::Const0: op = Op::Const0; break;
+    case GateType::Const1: op = Op::Const1; break;
+    case GateType::Buf: op = Op::Buf; break;
+    case GateType::Not: op = Op::Not; break;
+    case GateType::And: op = n == 2 ? Op::And2 : Op::AndN; break;
+    case GateType::Or: op = n == 2 ? Op::Or2 : Op::OrN; break;
+    case GateType::Nand: op = n == 2 ? Op::Nand2 : Op::NandN; break;
+    case GateType::Nor: op = n == 2 ? Op::Nor2 : Op::NorN; break;
+    case GateType::Xor: op = n == 2 ? Op::Xor2 : Op::XorN; break;
+    case GateType::Xnor: op = n == 2 ? Op::Xnor2 : Op::XnorN; break;
+    case GateType::Mux: op = Op::Mux; break;
+    default:
+      return;  // Input/Dff handled above; nothing else exists
+  }
+  if (offset_[id] == kNoRecord) ++records_;
+  offset_[id] = static_cast<std::uint32_t>(tape_.size());
+  tape_.push_back(static_cast<std::uint32_t>(op) | (n << 8));
+  tape_.push_back(id);
+  for (NodeId f : nd.fanins) tape_.push_back(f);
+}
+
+void CompiledSim::update(const Netlist::TouchedNodes& touched) {
+  if (touched.all) {
+    rebuild();
+    return;
+  }
+  const Netlist& n = *net_;
+  if (offset_.size() < n.size()) offset_.resize(n.size(), kNoRecord);
+  for (NodeId id : touched.value_roots) emit(id);
+  if (!touched.value_roots.empty()) compact_ = false;
+  core::metrics::count("sim.compiled.patches");
+  core::metrics::count("sim.compiled.patched_nodes",
+                       static_cast<double>(touched.value_roots.size()));
+  // Garbage bound: once stale records outweigh the original program,
+  // recompile (which also restores the linear-replay form).
+  if (tape_.size() > 2 * std::max<std::size_t>(base_words_, 256)) rebuild();
+}
+
+void CompiledSim::revert_to(std::size_t n_nodes,
+                            std::span<const NodeId> patched) {
+  if (offset_.size() > n_nodes) {
+    for (std::size_t id = n_nodes; id < offset_.size(); ++id)
+      if (offset_[id] != kNoRecord) --records_;
+    offset_.resize(n_nodes);
+  }
+  for (NodeId id : patched)
+    if (id < n_nodes) emit(id);
+  compact_ = false;
+  if (tape_.size() > 2 * std::max<std::size_t>(base_words_, 256)) rebuild();
+}
+
+void CompiledSim::exec_all(std::uint64_t* val, std::size_t block) const {
+  if (!compact_)
+    throw std::logic_error(
+        "CompiledSim::exec_all: tape is patched; use exec_gates");
+  const std::uint32_t* p = tape_.data();
+  const std::uint32_t* end = p + tape_.size();
+  switch (block) {
+    case 1: exec_linear<1>(p, end, val); break;
+    case 2: exec_linear<2>(p, end, val); break;
+    case 4: exec_linear<4>(p, end, val); break;
+    case 8: exec_linear<8>(p, end, val); break;
+    case 16: exec_linear<16>(p, end, val); break;
+    default:
+      throw std::invalid_argument("CompiledSim::exec_all: unsupported block");
+  }
+}
+
+void CompiledSim::exec_gates(std::uint64_t* val, std::size_t block,
+                             std::span<const NodeId> gates) const {
+  const std::uint32_t* tape = tape_.data();
+  const std::uint32_t* offs = offset_.data();
+  switch (block) {
+    case 1: exec_list<1>(tape, offs, gates, kNoRecord, val); break;
+    case 2: exec_list<2>(tape, offs, gates, kNoRecord, val); break;
+    case 4: exec_list<4>(tape, offs, gates, kNoRecord, val); break;
+    case 8: exec_list<8>(tape, offs, gates, kNoRecord, val); break;
+    case 16: exec_list<16>(tape, offs, gates, kNoRecord, val); break;
+    default:
+      throw std::invalid_argument(
+          "CompiledSim::exec_gates: unsupported block");
+  }
+}
+
+ConeSchedule CompiledSim::cone_schedule(const std::vector<bool>& mask) const {
+  const Netlist& n = *net_;
+  if (mask.size() != n.size())
+    throw std::invalid_argument(
+        "CompiledSim::cone_schedule: mask size mismatch");
+  ConeSchedule s;
+  // Depth-first postorder over the masked subgraph only: O(cone) rather
+  // than a full topo sort, and valid after patches (new nodes are ordered
+  // here, not by the stale compact order()).
+  std::vector<std::uint8_t> state(n.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<NodeId, std::uint32_t>> stack;
+  auto leaf = [&](NodeId id) {
+    const Node& nd = n.node(id);
+    if (nd.dead || nd.type == GateType::Input) {
+      state[id] = 2;
+      return true;
+    }
+    if (nd.type == GateType::Dff) {
+      s.dffs.push_back(id);
+      state[id] = 2;
+      return true;
+    }
+    return false;
+  };
+  for (NodeId root = 0; root < n.size(); ++root) {
+    if (!mask[root] || state[root] || leaf(root)) continue;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, k] = stack.back();
+      const auto& fi = n.node(id).fanins;
+      if (k == fi.size()) {
+        s.gates.push_back(id);
+        state[id] = 2;
+        stack.pop_back();
+        continue;
+      }
+      NodeId f = fi[k++];
+      if (mask[f] && !state[f] && !leaf(f)) {
+        stack.emplace_back(f, 0);
+        state[f] = 1;
+      }
+    }
+  }
+  return s;
+}
+
+void CompiledSim::eval_into(Frame& f, std::span<const std::uint64_t> pi_words,
+                            std::span<const std::uint64_t> dff_words) const {
+  const Netlist& n = *net_;
+  if (pi_words.size() != n.inputs().size())
+    throw std::invalid_argument("CompiledSim::eval: PI word count mismatch");
+  f.assign(n.size(), 0);
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    f[n.inputs()[i]] = pi_words[i];
+  // dff_list_ goes stale after patches; re-derive in that case.
+  const std::vector<NodeId> fresh = compact_ ? std::vector<NodeId>{} : n.dffs();
+  const std::vector<NodeId>& dffs = compact_ ? dff_list_ : fresh;
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const Node& d = n.node(dffs[i]);
+    f[dffs[i]] =
+        dff_words.empty() ? (d.init_value ? ~0ULL : 0ULL) : dff_words[i];
+  }
+  if (compact_) {
+    exec_all(f.data(), 1);
+  } else {
+    std::vector<bool> mask(n.size());
+    for (NodeId id = 0; id < n.size(); ++id) mask[id] = !n.is_dead(id);
+    auto sched = cone_schedule(mask);
+    exec_gates(f.data(), 1, sched.gates);
+  }
+}
+
+}  // namespace lps::sim

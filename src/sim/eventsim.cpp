@@ -181,13 +181,10 @@ void EventSim::apply(std::span<const bool> pi_values) {
 
 namespace {
 
-TimedStats simulate_timed_shard(const Netlist& net, std::size_t n_vectors,
-                                std::uint64_t seed,
-                                std::span<const double> pi_one_prob) {
-  EventSim sim(net);
+void simulate_timed_shard(EventSim& sim, std::size_t n_pi,
+                          std::size_t n_vectors, std::uint64_t seed,
+                          std::span<const double> pi_one_prob, bool* buf) {
   std::mt19937_64 rng(seed);
-  std::size_t n_pi = net.inputs().size();
-  std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, n_pi)]);
   for (std::size_t k = 0; k < n_vectors; ++k) {
     for (std::size_t i = 0; i < n_pi; ++i) {
       buf[i] = (rng() & 0xFFFF) < static_cast<std::uint64_t>(
@@ -195,9 +192,8 @@ TimedStats simulate_timed_shard(const Netlist& net, std::size_t n_vectors,
                                                            : pi_one_prob[i]) *
                                       65536.0);
     }
-    sim.apply({buf.get(), n_pi});
+    sim.apply({buf, n_pi});
   }
-  return sim.stats();
 }
 
 }  // namespace
@@ -209,15 +205,41 @@ TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
   // with the legacy stream.  Combinational nets shard; each shard starts
   // from the reset (all-zero) settled state, so the decomposition — a
   // function of n_vectors alone — fixes the counts at any thread count.
+  //
+  // Dispatch grain: at most one pool index per execution lane.  Each chunk
+  // runs a contiguous shard range serially on ONE EventSim instance
+  // (reset() restores the clean settled state between shards, so the
+  // timing wheel and value arrays are allocated once per worker, not once
+  // per shard).  Toggle counters are integer-valued doubles, whose sums
+  // are exact, so the chunk-order merge below equals the shard-order merge
+  // at any thread count.
   auto plan = core::plan_shards(net.dffs().empty() ? n_vectors : 0, 64);
+  const std::size_t n_pi = net.inputs().size();
   TimedStats st;
   if (plan.shards == 1) {
-    st = simulate_timed_shard(net, n_vectors, seed, pi_one_prob);
+    EventSim sim(net);
+    std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, n_pi)]);
+    simulate_timed_shard(sim, n_pi, n_vectors, seed, pi_one_prob, buf.get());
+    st = sim.stats();
   } else {
-    std::vector<TimedStats> parts(plan.shards);
-    core::parallel_for(plan.shards, [&](std::size_t s) {
-      parts[s] = simulate_timed_shard(net, plan.count(s),
-                                      core::shard_seed(seed, s), pi_one_prob);
+    const std::size_t n_chunks = std::max<std::size_t>(
+        1, std::min<std::size_t>(plan.shards, core::num_threads()));
+    std::vector<TimedStats> parts(n_chunks);
+    core::parallel_for(n_chunks, [&](std::size_t c) {
+      const std::size_t s_begin = c * plan.shards / n_chunks;
+      const std::size_t s_end = (c + 1) * plan.shards / n_chunks;
+      EventSim sim(net);
+      std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, n_pi)]);
+      TimedStats& acc = parts[c];
+      acc.total_toggles.assign(net.size(), 0.0);
+      acc.functional_toggles.assign(net.size(), 0.0);
+      for (std::size_t s = s_begin; s < s_end; ++s) {
+        simulate_timed_shard(sim, n_pi, plan.count(s),
+                             core::shard_seed(seed, s), pi_one_prob,
+                             buf.get());
+        acc.merge(sim.stats());
+        sim.reset();
+      }
     });
     st.total_toggles.assign(net.size(), 0.0);
     st.functional_toggles.assign(net.size(), 0.0);

@@ -1,11 +1,13 @@
 #include "sim/logicsim.hpp"
 
 #include <bit>
+#include <optional>
 #include <random>
 #include <stdexcept>
 
 #include "core/metrics.hpp"
 #include "core/parallel.hpp"
+#include "sim/compiled.hpp"
 
 namespace lps::sim {
 
@@ -34,7 +36,11 @@ inline void eval_gate_word(const Node& nd, NodeId id, Frame& f) {
         for (std::size_t j = 0; j < k; ++j) fin[j] = f[nd.fanins[j]];
         f[id] = eval_gate(nd.type, {fin, k});
       } else {
-        std::vector<std::uint64_t> big(k);
+        // One LogicSim instance is shared read-only across shard threads,
+        // so the wide-gate scratch cannot live in the object; thread_local
+        // reuses the allocation across gates and frames without racing.
+        static thread_local std::vector<std::uint64_t> big;
+        big.resize(k);
         for (std::size_t j = 0; j < k; ++j) big[j] = f[nd.fanins[j]];
         f[id] = eval_gate(nd.type, big);
       }
@@ -132,40 +138,53 @@ std::uint64_t biased_word(std::mt19937_64& rng, double p) {
   return w;
 }
 
-// Per-shard accumulator: exact integer counts merge associatively.
-struct ActivityAccum {
+// Per-chunk accumulator: exact integer counts merge associatively, so a
+// chunk may fold several consecutive shards into one accumulator and the
+// chunk-order merge still equals the shard-order merge bit for bit.
+// alignas keeps adjacent chunks' hot scalar fields off a shared cache line.
+struct alignas(64) ActivityAccum {
   std::vector<std::uint64_t> ones;
   std::vector<std::uint64_t> toggles;
   std::size_t frames = 0;
   std::size_t seams = 0;  // consecutive-frame boundaries counted
 };
 
-ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
-                                      std::span<const NodeId> dffs,
-                                      std::size_t n_frames,
-                                      std::uint64_t seed,
-                                      std::span<const double> pi_one_prob,
-                                      Frame* capture_frames = nullptr) {
+// Scratch buffers reused across every shard of one chunk (one allocation
+// per worker per run instead of per shard).
+struct ActivityScratch {
+  // interpreted engine
+  Frame f, prev;
+  std::vector<std::uint64_t> pi_words;
+  std::vector<std::uint64_t> state;
+  // compiled engine
+  std::vector<std::uint64_t> val;   // node-major value block, n * B words
+  std::vector<std::uint64_t> last;  // previous frame's word per node
+};
+
+void simulate_activity_shard(const Netlist& net, const LogicSim& sim,
+                             std::span<const NodeId> dffs,
+                             std::size_t n_frames, std::uint64_t seed,
+                             std::span<const double> pi_one_prob,
+                             Frame* capture_frames, ActivityAccum& a,
+                             ActivityScratch& sc) {
   const auto& pis = net.inputs();
-  ActivityAccum a;
-  a.ones.assign(net.size(), 0);
-  a.toggles.assign(net.size(), 0);
-  a.frames = n_frames;
-  a.seams = n_frames > 1 ? n_frames - 1 : 0;
+  a.frames += n_frames;
+  a.seams += n_frames > 1 ? n_frames - 1 : 0;
 
   std::mt19937_64 rng(seed);
-  std::vector<std::uint64_t> pi_words(pis.size());
-  std::vector<std::uint64_t> state(dffs.size());
+  sc.pi_words.resize(pis.size());
+  sc.state.resize(dffs.size());
   for (std::size_t i = 0; i < dffs.size(); ++i)
-    state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
+    sc.state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
 
-  Frame f, prev;
+  Frame& f = sc.f;
+  Frame& prev = sc.prev;
   for (std::size_t fr = 0; fr < n_frames; ++fr) {
     for (std::size_t i = 0; i < pis.size(); ++i) {
       double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
-      pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
+      sc.pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
     }
-    sim.eval_into(f, pi_words, state);
+    sim.eval_into(f, sc.pi_words, sc.state);
     if (capture_frames) capture_frames[fr] = f;
     for (NodeId id = 0; id < net.size(); ++id) {
       if (net.is_dead(id)) continue;
@@ -176,10 +195,95 @@ ActivityAccum simulate_activity_shard(const Netlist& net, const LogicSim& sim,
       // combinational ones too.
       if (fr > 0) a.toggles[id] += std::popcount(f[id] ^ prev[id]);
     }
-    sim.next_state_into(f, state);
+    sim.next_state_into(f, sc.state);
     std::swap(prev, f);
   }
-  return a;
+}
+
+// Compiled-tape twin of simulate_activity_shard: same RNG consumption
+// order, same counting rules, bit-identical counters.  Combinational
+// streams evaluate `block` 64-pattern words per tape replay (PI words are
+// drawn frame-major — lane j fully before lane j+1 — preserving the exact
+// per-frame stream of the interpreted engine); sequential streams carry
+// register state frame to frame and run with block == 1.
+void simulate_activity_shard_compiled(const Netlist& net,
+                                      const CompiledSim& cs, std::size_t block,
+                                      std::size_t n_frames, std::uint64_t seed,
+                                      std::span<const double> pi_one_prob,
+                                      Frame* capture_frames, ActivityAccum& a,
+                                      ActivityScratch& sc) {
+  const auto& pis = net.inputs();
+  const auto& live = cs.live();
+  const auto& dffs = cs.dffs();
+  a.frames += n_frames;
+  a.seams += n_frames > 1 ? n_frames - 1 : 0;
+
+  std::mt19937_64 rng(seed);
+  auto pi_word = [&](std::size_t i) {
+    double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
+    return (p == 0.5) ? rng() : biased_word(rng, p);
+  };
+  std::uint64_t* val = sc.val.data();
+  std::uint64_t* last = sc.last.data();
+
+  if (dffs.empty()) {
+    const std::size_t B = block;
+    for (std::size_t f0 = 0; f0 < n_frames; f0 += B) {
+      // Tail blocks evaluate all B lanes but only the first `b` are drawn,
+      // counted and captured; stale trailing lanes are inert.
+      const std::size_t b = std::min(B, n_frames - f0);
+      for (std::size_t j = 0; j < b; ++j)
+        for (std::size_t i = 0; i < pis.size(); ++i)
+          val[static_cast<std::size_t>(pis[i]) * B + j] = pi_word(i);
+      cs.exec_all(val, B);
+      for (NodeId id : live) {
+        const std::uint64_t* w = val + static_cast<std::size_t>(id) * B;
+        for (std::size_t j = 0; j < b; ++j) {
+          a.ones[id] += std::popcount(w[j]);
+          if (f0 + j > 0)
+            a.toggles[id] += std::popcount(w[j] ^ (j ? w[j - 1] : last[id]));
+        }
+        last[id] = w[b - 1];
+      }
+      if (capture_frames)
+        for (std::size_t j = 0; j < b; ++j) {
+          Frame& fr = capture_frames[f0 + j];
+          fr.assign(net.size(), 0);
+          for (NodeId id : live)
+            fr[id] = val[static_cast<std::size_t>(id) * B + j];
+        }
+    }
+  } else {
+    // Sequential: one symbolic trajectory, state stepped per frame.
+    sc.state.resize(dffs.size());
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      sc.state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
+    for (std::size_t fr = 0; fr < n_frames; ++fr) {
+      for (std::size_t i = 0; i < pis.size(); ++i) val[pis[i]] = pi_word(i);
+      for (std::size_t i = 0; i < dffs.size(); ++i)
+        val[dffs[i]] = sc.state[i];
+      cs.exec_all(val, 1);
+      for (NodeId id : live) {
+        a.ones[id] += std::popcount(val[id]);
+        if (fr > 0) a.toggles[id] += std::popcount(val[id] ^ last[id]);
+        last[id] = val[id];
+      }
+      if (capture_frames) {
+        Frame& cf = capture_frames[fr];
+        cf.assign(net.size(), 0);
+        for (NodeId id : live) cf[id] = val[id];
+      }
+      for (std::size_t i = 0; i < dffs.size(); ++i) {
+        const Node& nd = net.node(dffs[i]);
+        std::uint64_t next = val[nd.fanins[0]];
+        if (nd.fanins.size() == 2) {
+          std::uint64_t en = val[nd.fanins[1]];
+          next = (en & next) | (~en & val[dffs[i]]);  // hold on EN = 0
+        }
+        sc.state[i] = next;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -205,8 +309,12 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
                                std::span<const double> pi_one_prob,
                                ActivityTrace* capture) {
-  LogicSim sim(net);
   auto dffs = net.dffs();
+  const SimOptions opts = sim_options();
+  const bool compiled = opts.use_compiled;
+  // Sequential streams carry state frame to frame: no lane blocking.
+  const std::size_t block =
+      dffs.empty() ? normalize_block(opts.block) : 1;
 
   // Sequential nets form one continuous state trajectory — one shard.
   // Combinational frame streams are iid and shard freely; the plan depends
@@ -222,22 +330,59 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
         capture->shard_start[plan.begin(s)] = 1;
     }
   }
-  std::vector<ActivityAccum> parts(plan.shards);
-  if (plan.shards == 1) {
-    // Single shard keeps the legacy RNG stream (seeded with `seed` itself).
-    parts[0] = simulate_activity_shard(
-        net, sim, dffs, n_frames, seed, pi_one_prob,
-        capture ? capture->frames.data() : nullptr);
-  } else {
-    core::parallel_for(plan.shards, [&](std::size_t s) {
-      parts[s] = simulate_activity_shard(
-          net, sim, dffs, plan.count(s), core::shard_seed(seed, s),
-          pi_one_prob,
-          capture ? capture->frames.data() + plan.begin(s) : nullptr);
-    });
-  }
 
-  // Fixed shard-order merge of exact integer counts: bit-identical results
+  std::optional<CompiledSim> csim;
+  std::optional<LogicSim> isim;
+  if (compiled)
+    csim.emplace(net);
+  else
+    isim.emplace(net);
+
+  // Dispatch grain: at most one pool index per execution lane, each chunk
+  // walking a contiguous shard range serially with persistent scratch.
+  // Chunk boundaries depend on the thread count, but per-shard seeds and
+  // frame counts do not, and the chunk accumulators fold integer counts of
+  // consecutive shards — so the chunk-order merge below reproduces the
+  // shard-order merge exactly at any thread count.
+  const std::size_t n_chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(plan.shards, core::num_threads()));
+  std::vector<ActivityAccum> parts(n_chunks);
+  std::vector<ActivityScratch> scratch(n_chunks);
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t s_begin = c * plan.shards / n_chunks;
+    const std::size_t s_end = (c + 1) * plan.shards / n_chunks;
+    ActivityAccum& a = parts[c];
+    ActivityScratch& sc = scratch[c];
+    a.ones.assign(net.size(), 0);
+    a.toggles.assign(net.size(), 0);
+    if (compiled) {
+      // Dead slots must read 0 (LogicSim's f.assign contract); records
+      // never write them, so zeroing once per chunk suffices.
+      sc.val.assign(net.size() * block, 0);
+      sc.last.assign(net.size(), 0);
+    }
+    for (std::size_t s = s_begin; s < s_end; ++s) {
+      // A single-shard plan keeps the legacy RNG stream (`seed` itself)
+      // and runs all frames (sequential plans carry total == 0).
+      const bool solo = plan.shards == 1;
+      const std::uint64_t sseed = solo ? seed : core::shard_seed(seed, s);
+      const std::size_t shard_frames = solo ? n_frames : plan.count(s);
+      Frame* cap =
+          capture ? capture->frames.data() + plan.begin(s) : nullptr;
+      if (compiled)
+        simulate_activity_shard_compiled(net, *csim, block, shard_frames,
+                                         sseed, pi_one_prob, cap, a, sc);
+      else
+        simulate_activity_shard(net, *isim, dffs, shard_frames, sseed,
+                                pi_one_prob, cap, a, sc);
+    }
+  };
+  if (n_chunks == 1)
+    run_chunk(0);
+  else
+    core::parallel_for(n_chunks, run_chunk);
+
+  // Fixed chunk-order merge of exact integer counts: bit-identical results
   // at any thread count.
   std::vector<std::uint64_t> ones(net.size(), 0), toggles(net.size(), 0);
   std::size_t frames = 0, seams = 0;

@@ -7,8 +7,9 @@ Each bench binary run with `--json <file>` writes
 This script merges those files, computes parallel speedups for benchmarks
 registered with thread-count Args (names like "bm_foo_par/1" vs
 "bm_foo_par/4"), computes incremental-vs-full speedups for paired names
-("bm_foo_full" vs "bm_foo_inc"), and writes one top-level document so the
-perf trajectory is tracked across PRs.
+("bm_foo_full" vs "bm_foo_inc"), computes compiled-vs-interpreted engine
+speedups for paired names ("bm_foo_interp" vs "bm_foo_comp"), and writes
+one top-level document so the perf trajectory is tracked across PRs.
 
 By default an existing output file is MERGED, not overwritten: binaries
 absent from this run keep their previous entry, and each benchmark keeps a
@@ -89,6 +90,31 @@ def incremental_speedups(results):
     return out
 
 
+def compiled_speedups(results):
+    """Pair up '<stem>_interp' baselines with '<stem>_comp' variants.
+
+    Engine-paired benchmarks run the same workload through the per-gate
+    interpreter (_interp) and the compiled flat tape (_comp); the ratio is
+    the wall-clock win of the compiled simulation engine.
+    """
+    interp = {}
+    for r in results:
+        m = re.fullmatch(r"(.+)_interp", r["name"])
+        if m:
+            interp[m.group(1)] = r["wall_ms"]
+    out = []
+    for r in results:
+        m = re.fullmatch(r"(.+)_comp", r["name"])
+        if m and m.group(1) in interp and r["wall_ms"] > 0:
+            out.append(
+                {
+                    "name": m.group(1),
+                    "speedup": round(interp[m.group(1)] / r["wall_ms"], 3),
+                }
+            )
+    return out
+
+
 def load_existing(path):
     """Previous aggregate, keyed by binary name.  Missing/corrupt -> {}."""
     try:
@@ -144,6 +170,9 @@ def main(argv):
         inc = incremental_speedups(doc["results"])
         if inc:
             entry["incremental_speedups"] = inc
+        comp = compiled_speedups(doc["results"])
+        if comp:
+            entry["compiled_speedups"] = comp
         if doc.get("claims"):
             entry["claims"] = doc["claims"]
         by_binary[doc["binary"]] = entry

@@ -14,7 +14,11 @@ Band forms (experiments_expected.json, {"claims": {key: band}}):
     {"min": 0.10, "max": 0.40}      both
     {"equals": 4}                    exact (tol defaults to 0)
     {"equals": 0.5, "tol": 1e-9}    |value - 0.5| <= 1e-9
-A band may carry a "note" field (ignored here, documentation only).
+A band may carry a "note" field (ignored here, documentation only) and an
+"optional": true flag: an optional claim is still checked when measured,
+but a missing optional claim is reported as skipped instead of failing.
+(Used for host-dependent measurements, e.g. parallel speedups that only
+exist on runners with enough hardware threads.)
 
 Usage:
     python3 tools/check_experiments.py out/*.json
@@ -80,10 +84,15 @@ def main(argv):
 
     failures = []
     checked = 0
+    skipped = 0
     for key in sorted(expected):
         band = expected[key]
         if key not in claims:
-            failures.append(f"{key}: MISSING (no bench emitted it)")
+            if band.get("optional"):
+                skipped += 1
+                print(f"  {key} ... skipped (optional, not emitted)")
+            else:
+                failures.append(f"{key}: MISSING (no bench emitted it)")
             continue
         checked += 1
         err = check_band(claims[key], band)
@@ -101,9 +110,11 @@ def main(argv):
             failures.extend(f"{k}: no expected band" for k in extra)
 
     experiments = {k.split(".", 1)[0] for k in expected}
+    skipped_txt = f", {skipped} optional skipped" if skipped else ""
     print(
         f"\n{checked}/{len(expected)} bands checked across "
         f"{len(experiments)} experiments; {len(failures)} failure(s)"
+        f"{skipped_txt}"
     )
     for f_ in failures:
         print(f"  {f_}", file=sys.stderr)

@@ -132,6 +132,29 @@ class AggregateBenchTest(unittest.TestCase):
         (entry,) = out["benchmarks"]
         self.assertNotIn("incremental_speedups", entry)
 
+    def test_compiled_speedups_from_interp_comp_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_estimators", 10.0)
+        doc["results"] += [
+            {"name": "bm_zd_mult8_interp", "wall_ms": 6.0, "iterations": 5},
+            {"name": "bm_zd_mult8_comp", "wall_ms": 2.5, "iterations": 5},
+            # Unpaired names contribute nothing.
+            {"name": "bm_orphan_comp", "wall_ms": 1.0, "iterations": 5},
+        ]
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        by_name = {s["name"]: s["speedup"]
+                   for s in entry["compiled_speedups"]}
+        self.assertEqual(by_name, {"bm_zd_mult8": 2.4})
+
+    def test_compiled_speedups_absent_without_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        write_json(a, bench_doc("bench_a", 10.0))
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertNotIn("compiled_speedups", entry)
+
 
 class CheckExperimentsTest(unittest.TestCase):
     def setUp(self):
@@ -173,6 +196,15 @@ class CheckExperimentsTest(unittest.TestCase):
 
     def test_missing_claim_fails(self):
         self.assertEqual(self.run_check({}, {"E1.x": {"min": 0.9}}), 1)
+
+    def test_missing_optional_claim_skips(self):
+        self.assertEqual(
+            self.run_check({}, {"E22.p": {"min": 1.5, "optional": True}}), 0)
+
+    def test_present_optional_claim_still_checked(self):
+        band = {"E22.p": {"min": 1.5, "optional": True}}
+        self.assertEqual(self.run_check({"E22.p": 2.0}, band), 0)
+        self.assertEqual(self.run_check({"E22.p": 1.1}, band), 1)
 
     def test_extra_claim_ok_unless_strict(self):
         self.assertEqual(self.run_check({"E1.x": 1.0, "E1.y": 2.0},
