@@ -1,0 +1,130 @@
+// lpsc — command-line client for the lpsd session daemon.
+//
+//   lpsc [--socket PATH] [--deadline MS] <command> [args...]
+//
+//   ping                          liveness probe
+//   stat [session]                daemon or session statistics
+//   load <session> <file.blif>    create/replace a session from a BLIF file
+//   estimate <session>            power estimate (honors --deadline)
+//   optimize <session> [flow]     run a flow (combinational|sequential)
+//   rollback <session>            undo the last committed mutate/optimize
+//   shutdown                      stop the daemon
+//   raw '<json>'                  send one raw request frame verbatim
+//
+// Every command prints the daemon's one-line JSON response on stdout and
+// exits 0 when the response has "ok": true, 1 otherwise (3 on transport
+// errors), so it can anchor shell scripts and the CI soak job.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/json.hpp"
+#include "service/sockets.hpp"
+
+namespace {
+
+using namespace lps;
+
+int usage() {
+  std::cerr << "usage: lpsc [--socket PATH] [--deadline MS] "
+               "ping|stat|load|estimate|optimize|rollback|shutdown|raw "
+               "[args...]  (see source header)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/lpsd.sock";
+  long deadline_ms = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (a == "--deadline" && i + 1 < argc) {
+      deadline_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return usage();
+  std::string cmd = argv[i++];
+  auto arg = [&]() -> std::string {
+    return i < argc ? std::string(argv[i++]) : std::string();
+  };
+
+  service::Json req;
+  if (cmd == "ping" || cmd == "shutdown") {
+    req.set("verb", service::Json(cmd));
+  } else if (cmd == "stat") {
+    req.set("verb", service::Json("stat"));
+    std::string s = arg();
+    if (!s.empty()) req.set("session", service::Json(s));
+  } else if (cmd == "load") {
+    std::string session = arg(), file = arg();
+    if (session.empty() || file.empty()) return usage();
+    std::ifstream is(file, std::ios::binary);
+    if (!is) {
+      std::cerr << "lpsc: cannot read '" << file << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    req.set("verb", service::Json("load"));
+    req.set("session", service::Json(session));
+    req.set("blif", service::Json(ss.str()));
+  } else if (cmd == "estimate" || cmd == "rollback") {
+    std::string session = arg();
+    if (session.empty()) return usage();
+    req.set("verb", service::Json(cmd));
+    req.set("session", service::Json(session));
+  } else if (cmd == "optimize") {
+    std::string session = arg();
+    if (session.empty()) return usage();
+    req.set("verb", service::Json("optimize"));
+    req.set("session", service::Json(session));
+    std::string flow = arg();
+    if (!flow.empty()) req.set("flow", service::Json(flow));
+  } else if (cmd == "raw") {
+    std::string frame = arg();
+    if (frame.empty()) return usage();
+    service::SocketClient client;
+    diag::Status st = client.connect(socket_path);
+    if (!st.is_ok()) {
+      std::cerr << "lpsc: " << st.diagnostic().str() << "\n";
+      return 3;
+    }
+    auto resp = client.roundtrip(frame);
+    if (!resp) {
+      std::cerr << "lpsc: transport error\n";
+      return 3;
+    }
+    std::cout << *resp << "\n";
+    auto doc = service::json_parse(*resp);
+    const service::Json* ok = doc ? doc->find("ok") : nullptr;
+    return ok && ok->is_bool() && ok->as_bool() ? 0 : 1;
+  } else {
+    return usage();
+  }
+  if (deadline_ms > 0)
+    req.set("deadline_ms", service::Json(deadline_ms));
+
+  service::SocketClient client;
+  diag::Status st = client.connect(socket_path);
+  if (!st.is_ok()) {
+    std::cerr << "lpsc: " << st.diagnostic().str() << "\n";
+    return 3;
+  }
+  auto resp = client.roundtrip(req.dump());
+  if (!resp) {
+    std::cerr << "lpsc: transport error\n";
+    return 3;
+  }
+  std::cout << *resp << "\n";
+  auto doc = service::json_parse(*resp);
+  const service::Json* ok = doc ? doc->find("ok") : nullptr;
+  return ok && ok->is_bool() && ok->as_bool() ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// lpsd — the low-power session daemon.
+//
+// Hosts persistent netlist sessions behind a line-delimited JSON protocol
+// on a local AF_UNIX socket (see DESIGN.md "Service architecture" for the
+// grammar and src/service/ for the implementation).  Start it, then talk to
+// it with lpsc or any tool that can write JSON lines to a socket:
+//
+//   lpsd --socket /tmp/lpsd.sock --journal-dir /tmp/lpsd-journal &
+//   lpsc --socket /tmp/lpsd.sock ping
+//   lpsc --socket /tmp/lpsd.sock load s1 my.blif
+//   lpsc --socket /tmp/lpsd.sock raw '{"verb":"estimate","session":"s1"}'
+//
+// Options:
+//   --socket PATH        socket path (default /tmp/lpsd.sock)
+//   --journal-dir DIR    per-session crash journals; on startup every
+//                        journal in DIR is recovered into a live session
+//   --mem-cap BYTES      global analyzer-cache budget (LRU eviction; 0=off)
+//
+// The daemon exits on a "shutdown" request.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/env.hpp"
+#include "service/service.hpp"
+#include "service/sockets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lps;
+
+  service::ServiceOptions opt;
+  std::string socket_path = "/tmp/lpsd.sock";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--socket") {
+      const char* v = next();
+      if (!v) { std::cerr << "lpsd: --socket needs a path\n"; return 2; }
+      socket_path = v;
+    } else if (a == "--journal-dir") {
+      const char* v = next();
+      if (!v) { std::cerr << "lpsd: --journal-dir needs a path\n"; return 2; }
+      opt.journal_dir = v;
+    } else if (a == "--mem-cap") {
+      const char* v = next();
+      char* end = nullptr;
+      unsigned long long n = v ? std::strtoull(v, &end, 10) : 0;
+      if (!v || !end || *end) {
+        std::cerr << "lpsd: --mem-cap needs a byte count\n";
+        return 2;
+      }
+      opt.memory_cap_bytes = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "lpsd: unknown option '" << a << "'\n";
+      return 2;
+    }
+  }
+
+  service::Service svc(opt);
+  if (!opt.journal_dir.empty()) {
+    std::size_t n = svc.recover_sessions();
+    if (n) std::cerr << "lpsd: recovered " << n << " session(s)\n";
+  }
+
+  service::SocketServer server(svc, socket_path);
+  diag::Status st = server.start();
+  if (!st.is_ok()) {
+    std::cerr << "lpsd: " << st.diagnostic().str() << "\n";
+    return 1;
+  }
+  std::cerr << "lpsd: listening on " << socket_path << "\n";
+  server.serve();
+  std::cerr << "lpsd: shutdown\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace lps::core {
+
+namespace {
+
+diag::SourceLoc knob_loc(const char* name, int col) {
+  diag::SourceLoc loc;
+  loc.file = std::string("$") + name;
+  loc.line = 1;
+  loc.col = col;
+  return loc;
+}
+
+EnvParse reject(const char* name, long def, int col, std::string msg) {
+  EnvParse r;
+  r.present = true;
+  r.ok = false;
+  r.value = def;
+  r.status = diag::Status::error(std::move(msg), knob_loc(name, col));
+  return r;
+}
+
+}  // namespace
+
+EnvParse parse_env_long(const char* name, const char* text, long min_v,
+                        long max_v, long def) {
+  EnvParse r;
+  r.value = def;
+  if (text == nullptr) return r;
+  r.present = true;
+  std::string_view s(text);
+  if (s.empty())
+    return reject(name, def, 1, "empty value (expected an integer)");
+  std::size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') i = 1;
+  if (i == s.size() || s[i] < '0' || s[i] > '9')
+    return reject(name, def, static_cast<int>(i) + 1,
+                  "expected a decimal integer, got '" + std::string(s) + "'");
+  long v = 0;
+  bool overflow = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9')
+      return reject(name, def, static_cast<int>(i) + 1,
+                    std::string("trailing garbage '") + c +
+                        "' after integer in '" + std::string(s) + "'");
+    if (v > 1000000000000000L) overflow = true;  // saturate, keep scanning
+    if (!overflow) v = v * 10 + (c - '0');
+  }
+  if (s[0] == '-') v = -v;
+  if (overflow || v < min_v || v > max_v)
+    return reject(name, def, 1,
+                  "value " + std::string(s) + " out of range [" +
+                      std::to_string(min_v) + ", " + std::to_string(max_v) +
+                      "]");
+  r.value = v;
+  return r;
+}
+
+EnvParse parse_env_bool(const char* name, const char* text, bool def) {
+  EnvParse r;
+  r.value = def ? 1 : 0;
+  if (text == nullptr) return r;
+  r.present = true;
+  std::string_view s(text);
+  if (s == "0" || s == "false") {
+    r.value = 0;
+    return r;
+  }
+  if (s == "1" || s == "true") {
+    r.value = 1;
+    return r;
+  }
+  return reject(name, def ? 1 : 0, 1,
+                "expected 0, 1, false or true, got '" + std::string(s) + "'");
+}
+
+namespace {
+
+void report(const EnvParse& r) {
+  if (!r.ok)
+    std::cerr << r.status.diagnostic().str() << " (using default)\n";
+}
+
+}  // namespace
+
+long env_long_or(const char* name, long min_v, long max_v, long def) {
+  EnvParse r = parse_env_long(name, std::getenv(name), min_v, max_v, def);
+  report(r);
+  return r.value;
+}
+
+bool env_bool_or(const char* name, bool def) {
+  EnvParse r = parse_env_bool(name, std::getenv(name), def);
+  report(r);
+  return r.value != 0;
+}
+
+}  // namespace lps::core

@@ -25,6 +25,7 @@ power::AnalysisOptions estimate_options(const FlowOptions& opt) {
   ao.n_vectors = opt.sim_vectors;
   ao.seed = opt.seed;
   ao.params = opt.params;
+  ao.cancel = opt.cancel;
   return ao;
 }
 
@@ -56,7 +57,16 @@ class StageRunner {
  public:
   StageRunner(FlowResult& res, const FlowOptions& opt)
       : res_(res), opt_(opt), ao_(estimate_options(opt)) {
-    if (opt.use_incremental_power) inc_.emplace(res.circuit, ao_);
+    if (opt.use_incremental_power) {
+      try {
+        inc_.emplace(res.circuit, ao_);
+      } catch (const CancelledError&) {
+        throw;  // deadline during the baseline: abort the flow
+      } catch (const std::exception&) {
+        // Degraded but alive: stages estimate with full analyze() instead.
+        metrics::count("flow.estimate_fallback");
+      }
+    }
   }
 
   /// Report for the circuit as it stands (used for the post-strash entry).
@@ -89,6 +99,11 @@ class StageRunner {
         failure = "broke netlist invariants: " + err;
       else if (sim::functional_trace(net, 512, 17) != ref)
         failure = "changed circuit function";
+    } catch (const CancelledError&) {
+      // Deadline fired inside the transform: restore the pre-stage circuit
+      // and abort the flow — never record cancellation as a stage defect.
+      net.rollback_undo();
+      throw;
     } catch (const std::exception& e) {
       failure = e.what();
     }
@@ -105,16 +120,46 @@ class StageRunner {
       return;
     }
     // Estimate the mutated circuit: the journal's touched set (captured
-    // while the undo epoch is still open) scopes the re-simulation.
+    // while the undo epoch is still open) scopes the re-simulation.  An
+    // estimator defect degrades down the ladder — cone update, full
+    // rebaseline, drop the analyzer — without failing the stage; only a
+    // cancellation (deadline) aborts, after rolling the stage back.
     StageReport rep;
     std::size_t resim = 0, full = 0;
+    bool can_revert = false;  // does the estimator hold a revertable snapshot?
     if (inc_) {
       auto touched = net.touched_nodes();
-      rep = stage_report(stage, net, inc_->reanalyze(touched));
-      resim = inc_->last_update().resim_nodes;
-      full = inc_->last_update().live_nodes;
-    } else {
-      rep = measure(stage, net, opt_);
+      try {
+        rep = stage_report(stage, net, inc_->reanalyze(touched));
+        resim = inc_->last_update().resim_nodes;
+        full = inc_->last_update().live_nodes;
+        can_revert = true;
+      } catch (const CancelledError&) {
+        // reanalyze restored the estimator's caches before throwing; the
+        // journal restores the circuit they describe.
+        net.rollback_undo();
+        throw;
+      } catch (const std::exception&) {
+        metrics::count("flow.estimate_fallback");
+        try {
+          inc_->rebaseline();
+          rep = stage_report(stage, net, inc_->analysis());
+        } catch (const CancelledError&) {
+          net.rollback_undo();
+          throw;
+        } catch (const std::exception&) {
+          inc_.reset();  // bottom rung: full analyze per stage from here on
+          metrics::count("flow.estimate_dropped");
+        }
+      }
+    }
+    if (!inc_ && rep.stage.empty()) {
+      try {
+        rep = measure(stage, net, opt_);
+      } catch (const CancelledError&) {
+        net.rollback_undo();
+        throw;
+      }
     }
     if (rep.power_w <= p_before) {
       net.commit_undo();
@@ -122,11 +167,24 @@ class StageRunner {
     } else {
       net.rollback_undo();
       if (inc_) {
-        inc_->revert_last();
-        rep = current(stage + " (reverted)");
-      } else {
-        rep = measure(stage + " (reverted)", net, opt_);
+        try {
+          // A rebaselined estimate left no snapshot to pop; rebuild against
+          // the restored circuit instead.
+          if (can_revert)
+            inc_->revert_last();
+          else
+            inc_->rebaseline();
+        } catch (const CancelledError&) {
+          throw;  // circuit already restored; estimator caches are clean
+        } catch (const std::exception&) {
+          inc_.reset();
+          metrics::count("flow.estimate_dropped");
+        }
       }
+      if (inc_)
+        rep = current(stage + " (reverted)");
+      else
+        rep = measure(stage + " (reverted)", net, opt_);
       rep.status = "reverted";
       metrics::count("flow.stages_reverted");
     }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "netlist/netlist.hpp"
 #include "power/activity.hpp"
 #include "seq/stg.hpp"
@@ -55,6 +56,13 @@ struct FlowOptions {
   /// PassManager::Options::use_undo_log.
   bool use_incremental_power = true;
   power::PowerParams params;
+  /// Optional cooperative cancellation token (not owned; must outlive the
+  /// flow).  Threaded into every between-stage power estimate; when it
+  /// fires, the in-flight stage is rolled back (the journal restores the
+  /// pre-stage circuit, the estimator restores its caches) and the flow
+  /// aborts with core::CancelledError.  Cancellation never yields a
+  /// half-applied stage.
+  const core::CancelToken* cancel = nullptr;
 };
 
 struct FlowResult {

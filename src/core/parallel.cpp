@@ -1,9 +1,9 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
 
+#include "core/env.hpp"
 #include "core/metrics.hpp"
 
 namespace lps::core {
@@ -72,14 +72,13 @@ unsigned g_threads = 0;  // 0 = not yet initialized
 std::unique_ptr<ThreadPool> g_pool;
 
 unsigned default_threads() {
-  if (const char* s = std::getenv("LPS_THREADS")) {
-    char* end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (end != s && *end == '\0' && v >= 1 && v <= 256)
-      return static_cast<unsigned>(v);
-  }
   unsigned hc = std::thread::hardware_concurrency();
-  return hc ? hc : 1;
+  // Malformed LPS_THREADS is rejected with a positioned diagnostic on
+  // stderr and falls back to hardware concurrency (core/env.hpp) — it no
+  // longer behaves silently like an unset variable.
+  long v = env_long_or("LPS_THREADS", 1, 256,
+                       static_cast<long>(hc ? hc : 1));
+  return static_cast<unsigned>(v);
 }
 
 }  // namespace

@@ -28,14 +28,70 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace lps::core {
+
+/// Thrown by cancellation poll points when their token has fired.  The
+/// service layer maps it to a structured "deadline" error; library callers
+/// that installed no token never see it.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("operation cancelled (deadline)") {}
+};
+
+/// Cooperative cancellation token.  A long-running estimate is handed a
+/// token; the watchdog (or any other thread) calls cancel(), and the
+/// estimate observes it at its poll points — shard-chunk boundaries in the
+/// Monte Carlo drivers (sim/logicsim.cpp, sim/eventsim.cpp), frame batches
+/// inside a shard, and the incremental analyzer's cone sweep — then throws
+/// CancelledError.  Polling is one relaxed atomic load, so the check is
+/// free on the hot path; cancellation latency is bounded by the work
+/// between poll points (a shard chunk), never by the whole run.
+///
+/// Cancellation only ever aborts and discards a computation — it cannot
+/// corrupt one: every poll point sits in code whose partial results are
+/// either thrown away with the exception or restored by the caller
+/// (power/incremental.hpp restores its caches before re-throwing).
+class CancelToken {
+ public:
+  /// Request cancellation.  Safe from any thread, idempotent.
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called (or the poll budget ran out).
+  bool cancelled() const {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    auto b = budget_.load(std::memory_order_relaxed);
+    if (b >= 0 && budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      flag_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Deterministic test hook: auto-cancel after `n` further cancelled()
+  /// checks — lets tests fire a cancellation at an exact poll point
+  /// without any timing dependence.
+  void cancel_after(std::int64_t n) {
+    budget_.store(n, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<bool> flag_{false};
+  mutable std::atomic<std::int64_t> budget_{-1};  // -1 = no budget
+};
+
+/// Poll point: throws CancelledError when `t` is set and has fired.
+inline void poll_cancel(const CancelToken* t) {
+  if (t && t->cancelled()) throw CancelledError();
+}
 
 /// Fixed-size pool of worker threads with a blocking task queue.  One job
 /// (an indexed loop) runs at a time; submitters serialize.

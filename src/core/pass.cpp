@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/metrics.hpp"
+#include "core/parallel.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/path_balance.hpp"
 #include "netlist/validate.hpp"
@@ -28,8 +29,42 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
   // a successful pass's touched set scopes the re-simulation to its fanout
   // cone, and a rolled-back pass leaves the cached baseline valid as-is.
   std::optional<power::IncrementalAnalyzer> analyzer;
-  if (opt_.estimate_power && opt_.use_incremental_power)
-    analyzer.emplace(net, opt_.estimate);
+  if (opt_.estimate_power && opt_.use_incremental_power) {
+    try {
+      analyzer.emplace(net, opt_.estimate);
+    } catch (const CancelledError&) {
+      throw;  // deadline during the baseline: abort the whole pipeline
+    } catch (const std::exception&) {
+      // Degraded but alive: per-pass estimates fall back to full analyze().
+      metrics::count("pass.estimate_fallback");
+    }
+  }
+  // Estimate degradation ladder: a failed incremental re-estimate never
+  // fails the pass (the rewrite itself already committed and verified).
+  // Rung 1 is the cone update; rung 2 rebuilds the whole baseline; rung 3
+  // drops the analyzer so the per-pass estimate below becomes a full
+  // power::analyze().  Cancellation is different in kind — a deadline, not
+  // an estimator defect — and aborts the pipeline instead of degrading it;
+  // reanalyze()/rebaseline() restore the analyzer's caches before throwing,
+  // so nothing is left half-updated.
+  auto reestimate = [&](const Netlist::TouchedNodes& touched) {
+    try {
+      analyzer->reanalyze(touched);
+      return;
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const std::exception&) {
+      metrics::count("pass.estimate_fallback");
+    }
+    try {
+      analyzer->rebaseline();
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const std::exception&) {
+      analyzer.reset();
+      metrics::count("pass.estimate_dropped");
+    }
+  };
   for (const auto& p : passes_) {
     metrics::ScopedTimer timer("pass." + p->name(), /*trace=*/true);
     metrics::count("pass.runs");
@@ -89,6 +124,15 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
     } catch (const diag::DiagError& e) {
       if (!rec.ok) throw;  // rethrown by fail() in strict mode
       fail(e.diagnostic());
+    } catch (const CancelledError&) {
+      // Deadline fired inside the pass body: restore the pre-pass state and
+      // abort the pipeline — cancellation is not a pass defect and must not
+      // be swallowed as one.
+      if (use_undo)
+        net.rollback_undo();
+      else if (use_snapshot)
+        net = std::move(before);
+      throw;
     } catch (const std::exception& e) {
       fail({diag::Severity::Error,
             "pass " + p->name() + " threw: " + e.what(),
@@ -99,7 +143,7 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
         // Touched set must be read while the undo epoch is still open.
         auto touched = net.touched_nodes();
         net.commit_undo();
-        analyzer->reanalyze(touched);
+        reestimate(touched);
       } else {
         net.commit_undo();
       }
@@ -107,7 +151,7 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
       // No journal (snapshot or unguarded run): full re-baseline.
       Netlist::TouchedNodes all;
       all.all = true;
-      analyzer->reanalyze(all);
+      reestimate(all);
     }
     if (opt_.estimate_power) {
       // Rolled-back passes restored the pre-pass circuit, which the cached

@@ -386,7 +386,16 @@ namespace {
 std::string node_ref(const Netlist& n, NodeId id) {
   const Node& nd = n.node(id);
   if (!nd.name.empty()) return nd.name;
-  return "n" + std::to_string(id);
+  // Generated fallback names must not collide with an *explicit* name of a
+  // different node, or the emitted file redefines that signal and fails to
+  // re-parse (write -> parse -> write round trips hit this whenever a parse
+  // assigned "n<k>" names and a later edit renumbered the nodes).
+  std::string ref = "n" + std::to_string(id);
+  while (true) {
+    auto other = n.find(ref);
+    if (!other || *other == id) return ref;
+    ref += "_";
+  }
 }
 
 }  // namespace

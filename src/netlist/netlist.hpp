@@ -296,6 +296,16 @@ class Netlist {
 /// commutative inputs) and folding constants.  Returns the hashed copy.
 Netlist strash(const Netlist& n);
 
+/// 64-bit structural fingerprint of the live network.  Nodes are assigned
+/// canonical ids by topological position, so the digest is invariant under
+/// tombstones, node renumbering (compact()) and names — but sensitive to
+/// everything simulation and power care about: gate types, fanin wiring,
+/// register init values and enables, sizes, delays, and the PI/PO lists in
+/// order.  Two netlists with equal hashes are structurally identical up to
+/// a ~2^-64 collision.  The service layer keys sessions and verifies
+/// crash-recovery journal replay with it.
+std::uint64_t structural_hash(const Netlist& n);
+
 /// Human-readable dump for debugging.
 std::ostream& operator<<(std::ostream& os, const Netlist& n);
 

@@ -75,11 +75,12 @@ Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
   Analysis a;
   if (opt.mode == ActivityMode::ZeroDelay) {
     auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
-                                    opt.seed, opt.pi_one_prob);
+                                    opt.seed, opt.pi_one_prob, nullptr,
+                                    opt.cancel);
     return detail::assemble_zero_delay(net, st, opt);
   }
   auto ts = sim::measure_timed_activity(net, opt.n_vectors, opt.seed,
-                                        opt.pi_one_prob);
+                                        opt.pi_one_prob, opt.cancel);
   a.vectors_used = ts.vectors;
   a.toggles_per_cycle.assign(net.size(), 0.0);
   std::vector<double> functional(net.size(), 0.0);
@@ -100,7 +101,8 @@ Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
   // duty is then 1.0 regardless of the signal probabilities.
   if (has_enabled_dff(net)) {
     auto st = sim::measure_activity(net, zero_delay_frames(opt.n_vectors),
-                                    opt.seed, opt.pi_one_prob);
+                                    opt.seed, opt.pi_one_prob, nullptr,
+                                    opt.cancel);
     a.clock_power_w =
         clock_power(net, enable_duties(net, st.signal_prob), opt.params);
   } else {

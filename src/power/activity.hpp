@@ -26,6 +26,13 @@ struct AnalysisOptions {
   std::uint64_t seed = 0xC0FFEE;
   std::vector<double> pi_one_prob;  // empty = 0.5 everywhere
   PowerParams params;
+  /// Optional cooperative cancellation token (not owned; must outlive the
+  /// call).  Threaded into the Monte Carlo drivers, which poll it at shard
+  /// and frame-batch boundaries; a fired token aborts the analysis with
+  /// core::CancelledError and discards all partial counts.  The token does
+  /// not participate in the result — two analyses with the same options and
+  /// different tokens (that never fire) are bit-identical.
+  const core::CancelToken* cancel = nullptr;
 };
 
 struct Analysis {

@@ -4,9 +4,33 @@
 #include <stdexcept>
 #include <utility>
 
+#include <atomic>
+
 #include "core/metrics.hpp"
 
 namespace lps::power {
+
+namespace detail {
+
+namespace {
+std::atomic<int> g_forced_tape_failures{0};
+
+bool consume_forced_tape_failure() {
+  int cur = g_forced_tape_failures.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (g_forced_tape_failures.compare_exchange_weak(
+            cur, cur - 1, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+void force_tape_failures(int n) {
+  g_forced_tape_failures.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 IncrementalAnalyzer::IncrementalAnalyzer(const Netlist& net,
                                          AnalysisOptions opt)
@@ -16,12 +40,24 @@ IncrementalAnalyzer::IncrementalAnalyzer(const Netlist& net,
 
 void IncrementalAnalyzer::run_full() {
   if (opt_.mode == ActivityMode::ZeroDelay) {
-    // Same frames/seed/arithmetic as analyze()'s ZeroDelay branch, plus the
-    // raw trace capture the cone updates replay against.
-    auto st = sim::measure_activity(*net_, zero_delay_frames(opt_.n_vectors),
-                                    opt_.seed, opt_.pi_one_prob, &trace_);
-    analysis_ = detail::assemble_zero_delay(*net_, st, opt_);
-    have_trace_ = true;
+    try {
+      // Same frames/seed/arithmetic as analyze()'s ZeroDelay branch, plus
+      // the raw trace capture the cone updates replay against.
+      auto st = sim::measure_activity(*net_, zero_delay_frames(opt_.n_vectors),
+                                      opt_.seed, opt_.pi_one_prob, &trace_,
+                                      opt_.cancel);
+      analysis_ = detail::assemble_zero_delay(*net_, st, opt_);
+      have_trace_ = true;
+    } catch (...) {
+      // A cancelled or failed baseline leaves no usable cache: the capture
+      // buffer was partially overwritten, so forget it wholesale rather
+      // than risk splicing against garbage.  Callers in reanalyze() restore
+      // their own snapshot on top of this.
+      trace_ = {};
+      have_trace_ = false;
+      csim_.reset();
+      throw;
+    }
     // Fresh compact tape for the cone updates (patched per mutation from
     // here on).
     if (sim::sim_options().use_compiled) {
@@ -65,7 +101,18 @@ const Analysis& IncrementalAnalyzer::reanalyze(
     s.trace = std::move(trace_);
     s.have_trace = have_trace_;
     s.analysis = std::move(analysis_);
-    run_full();
+    try {
+      run_full();
+    } catch (...) {
+      // Restore the pre-call cache (run_full already cleared its partial
+      // state): once the caller rolls back its netlist mutation the
+      // analyzer is bit-for-bit consistent again.  The compiled tape was
+      // dropped; it is recompiled lazily.
+      trace_ = std::move(s.trace);
+      have_trace_ = s.have_trace;
+      analysis_ = std::move(s.analysis);
+      throw;
+    }
     snap_ = std::move(s);
     last_.full_rebaseline = true;
     last_.resim_nodes = last_.live_nodes;
@@ -90,17 +137,32 @@ const Analysis& IncrementalAnalyzer::reanalyze(
   // Engine selection.  The compiled tape persists across updates and is
   // patched from the same touched-node report (O(edit)); the interpreted
   // engine re-walks the topo order per call (O(netlist)).  Both produce
-  // bit-identical cone words, so the splice below is engine-agnostic.
-  const bool use_compiled = sim::sim_options().use_compiled;
+  // bit-identical cone words, so the splice below is engine-agnostic —
+  // which is also why a tape failure can degrade to the interpreter
+  // mid-call without changing the result: the tape is dropped (recompiled
+  // lazily next update), the failure is counted, and the update proceeds.
+  bool compiled_path = sim::sim_options().use_compiled;
   std::optional<sim::LogicSim> isim;
   sim::ConeSchedule sched;
-  if (use_compiled) {
-    if (csim_)
-      csim_->update(touched);
-    else
-      csim_.emplace(net);
-    sched = csim_->cone_schedule(mask);
-  } else {
+  if (compiled_path) {
+    try {
+      if (detail::consume_forced_tape_failure())
+        throw std::runtime_error("injected compiled-tape failure (chaos)");
+      if (csim_)
+        csim_->update(touched);
+      else
+        csim_.emplace(net);
+      sched = csim_->cone_schedule(mask);
+    } catch (const std::exception&) {
+      // The tape may be partially patched and can no longer be trusted to
+      // mirror the netlist; discard it and fall back to the interpreter.
+      csim_.reset();
+      compiled_path = false;
+      last_.tape_fallback = true;
+      core::metrics::count("power.inc.tape_fallback");
+    }
+  }
+  if (!compiled_path) {
     csim_.reset();
     isim.emplace(net);
     sched = isim->cone_schedule(mask);
@@ -147,41 +209,54 @@ const Analysis& IncrementalAnalyzer::reanalyze(
 
   // Frame-by-frame in-place sweep.  frames[fr-1] is already updated when
   // frame fr is processed, so register stepping and toggle counting read
-  // the new value stream exactly as a full re-simulation would.
-  for (std::size_t fr = 0; fr < n_frames; ++fr) {
-    sim::Frame& f = trace_.frames[fr];
-    const sim::Frame* prev =
-        trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
-    for (NodeId d : sched.dffs) {
-      const Node& nd = net.node(d);
-      if (!prev) {
-        f[d] = nd.init_value ? ~0ULL : 0ULL;
-      } else {
-        std::uint64_t next = (*prev)[nd.fanins[0]];
-        if (nd.fanins.size() == 2) {
-          std::uint64_t en = (*prev)[nd.fanins[1]];
-          next = (en & next) | (~en & (*prev)[d]);  // hold on EN = 0
+  // the new value stream exactly as a full re-simulation would.  The sweep
+  // polls the cancellation token per frame; on any throw the snapshot just
+  // built is played back immediately, so partially rewritten columns never
+  // escape — the exception-safety contract in the header.
+  try {
+    for (std::size_t fr = 0; fr < n_frames; ++fr) {
+      core::poll_cancel(opt_.cancel);
+      sim::Frame& f = trace_.frames[fr];
+      const sim::Frame* prev =
+          trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
+      for (NodeId d : sched.dffs) {
+        const Node& nd = net.node(d);
+        if (!prev) {
+          f[d] = nd.init_value ? ~0ULL : 0ULL;
+        } else {
+          std::uint64_t next = (*prev)[nd.fanins[0]];
+          if (nd.fanins.size() == 2) {
+            std::uint64_t en = (*prev)[nd.fanins[1]];
+            next = (en & next) | (~en & (*prev)[d]);  // hold on EN = 0
+          }
+          f[d] = next;
         }
-        f[d] = next;
       }
+      if (compiled_path)
+        csim_->exec_gates(f.data(), 1, sched.gates);
+      else
+        isim->eval_cone_into(f, sched);
+      auto count = [&](NodeId id) {
+        trace_.ones[id] += std::popcount(f[id]);
+        if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
+      };
+      for (NodeId id : sched.dffs) count(id);
+      for (NodeId id : sched.gates) count(id);
     }
-    if (use_compiled)
-      csim_->exec_gates(f.data(), 1, sched.gates);
-    else
-      isim->eval_cone_into(f, sched);
-    auto count = [&](NodeId id) {
-      trace_.ones[id] += std::popcount(f[id]);
-      if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
-    };
-    for (NodeId id : sched.dffs) count(id);
-    for (NodeId id : sched.gates) count(id);
-  }
 
-  // Splice: derive the report from the updated integer counters through
-  // the exact arithmetic analyze() uses.
-  auto st = sim::stats_from_counts(trace_.ones, trace_.toggles,
-                                   trace_.patterns, trace_.seam_patterns);
-  analysis_ = detail::assemble_zero_delay(net, st, opt_);
+    // Splice: derive the report from the updated integer counters through
+    // the exact arithmetic analyze() uses.
+    auto st = sim::stats_from_counts(trace_.ones, trace_.toggles,
+                                     trace_.patterns, trace_.seam_patterns);
+    analysis_ = detail::assemble_zero_delay(net, st, opt_);
+  } catch (...) {
+    // The patched tape reflects the mutated netlist, which the caller is
+    // about to roll back — a revert_to() replay would re-read the still-
+    // mutated nodes, so drop the tape instead (recompiled lazily).
+    csim_.reset();
+    restore_cone(s);
+    throw;
+  }
   snap_ = std::move(s);
 
   last_.resim_nodes = sched.resim_nodes();
@@ -213,6 +288,10 @@ void IncrementalAnalyzer::revert_last() {
   // old frame words and counters.  The compiled tape re-emits the patch
   // roots' records from the restored netlist (O(edit)).
   if (csim_) csim_->revert_to(s.old_size, s.patched);
+  restore_cone(s);
+}
+
+void IncrementalAnalyzer::restore_cone(Snapshot& s) {
   trace_.ones.resize(s.old_size);
   trace_.toggles.resize(s.old_size);
   for (auto& f : trace_.frames) f.resize(s.old_size);

@@ -44,11 +44,21 @@
 
 namespace lps::power {
 
+namespace detail {
+/// Chaos hook (tests and the service soak harness): force the next `n`
+/// compiled-tape patch attempts inside IncrementalAnalyzer::reanalyze() to
+/// throw, exercising the tape→interpreter degradation path
+/// (`power.inc.tape_fallback`) without needing a genuinely corrupt tape.
+/// Thread-safe; 0 disables.
+void force_tape_failures(int n);
+}  // namespace detail
+
 class IncrementalAnalyzer {
  public:
   /// What the most recent reanalyze() actually did.
   struct UpdateStats {
     bool full_rebaseline = false;  // fell back to a fresh full analysis
+    bool tape_fallback = false;    // compiled tape failed; interpreter used
     std::size_t resim_nodes = 0;   // nodes re-evaluated (cone, or all live)
     std::size_t live_nodes = 0;    // what a full re-analysis evaluates
   };
@@ -64,6 +74,12 @@ class IncrementalAnalyzer {
   const AnalysisOptions& options() const { return opt_; }
   const UpdateStats& last_update() const { return last_; }
 
+  /// Rebind the cancellation token polled by subsequent operations.  The
+  /// analyzer usually outlives any single request, so a per-request token
+  /// must be bound for the duration of the operation it guards and unbound
+  /// (nullptr) before it goes out of scope — never left to dangle.
+  void set_cancel(const core::CancelToken* c) { opt_.cancel = c; }
+
   /// Drop all cached state and re-run the full baseline analysis.  Also
   /// forgets any pending revert_last() snapshot.
   void rebaseline();
@@ -73,6 +89,19 @@ class IncrementalAnalyzer {
   /// committed or rolled back (the journal is the source of the set), and
   /// the netlist must currently be in the mutated state.  Returns the
   /// updated analysis().
+  ///
+  /// Exception safety (strong): if the update throws — a fired
+  /// AnalysisOptions::cancel token, or an engine failure — the analyzer has
+  /// already restored its caches (trace, counters, compiled tape) to the
+  /// pre-call state before the exception escapes.  The caller then only has
+  /// to roll back its own netlist mutation to be fully consistent again; it
+  /// must NOT call revert_last() for the failed update (there is nothing to
+  /// revert — the pending snapshot still belongs to the previous successful
+  /// one).  A compiled-tape patch failure alone is not an error: the tape
+  /// is dropped, the update transparently degrades to the interpreted
+  /// engine (recorded as `power.inc.tape_fallback` and
+  /// UpdateStats::tape_fallback), and a fresh tape is compiled on the next
+  /// opportunity.
   const Analysis& reanalyze(const Netlist::TouchedNodes& touched);
 
   /// Restore the cache and analysis to their state before the most recent
@@ -100,6 +129,9 @@ class IncrementalAnalyzer {
   };
 
   void run_full();  // (re)build trace_ + analysis_ from scratch
+  // Restore trace/counter/analysis state from a cone snapshot (the shared
+  // tail of revert_last() and the in-flight exception restore).
+  void restore_cone(Snapshot& s);
 
   const Netlist* net_;
   AnalysisOptions opt_;

@@ -1,0 +1,389 @@
+#include "service/json.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lps::service {
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) return;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  // The grammar has no NaN/Infinity; emit null rather than an unparsable
+  // token if a computation ever produces one.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Integers (the common protocol case) print exactly; everything else gets
+  // round-trippable shortest-ish form.
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::abs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: dump_number(num_, out); break;
+    case Kind::String: dump_string(str_, out); break;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        dump_string(obj_[i].first, out);
+        out += ':';
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  diag::Status err = diag::Status::ok();
+
+  bool fail(std::size_t at, std::string msg) {
+    if (err.is_ok()) {
+      diag::SourceLoc loc;
+      loc.file = "<frame>";
+      loc.line = 1;
+      loc.col = static_cast<int>(at) + 1;
+      err = diag::Status::error(std::move(msg), loc);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s.compare(pos, lit.size(), lit) != 0)
+      return fail(pos, "invalid token");
+    pos += lit.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp <= 0x7F) {
+      out += static_cast<char>(cp);
+    } else if (cp <= 0x7FF) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp <= 0xFFFF) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& v) {
+    if (pos + 4 > s.size()) return fail(pos, "truncated \\u escape");
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = s[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return fail(pos + static_cast<std::size_t>(i),
+                    "bad hex digit in \\u escape");
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    // Called with s[pos] == '"'.
+    ++pos;
+    out.clear();
+    while (true) {
+      if (pos >= s.size()) return fail(pos, "unterminated string");
+      unsigned char c = static_cast<unsigned char>(s[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= s.size()) return fail(pos, "unterminated escape");
+        char e = s[pos];
+        ++pos;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t u;
+            if (!hex4(u)) return false;
+            if (u >= 0xD800 && u <= 0xDBFF && pos + 1 < s.size() &&
+                s[pos] == '\\' && s[pos + 1] == 'u') {
+              std::size_t save = pos;
+              pos += 2;
+              std::uint32_t lo;
+              if (!hex4(lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                u = 0x10000 + ((u - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                pos = save;     // not a low surrogate; leave it for later
+                u = 0xFFFD;     // lone high surrogate -> replacement char
+              }
+            } else if (u >= 0xD800 && u <= 0xDFFF) {
+              u = 0xFFFD;  // lone surrogate
+            }
+            append_utf8(out, u);
+            break;
+          }
+          default:
+            return fail(pos - 1, "bad escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return fail(pos, "raw control character in string");
+      out += static_cast<char>(c);
+      ++pos;
+    }
+  }
+
+  bool parse_number(double& out) {
+    std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    if (pos >= s.size() || s[pos] < '0' || s[pos] > '9')
+      return fail(pos, "bad number");
+    if (s[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    }
+    if (pos < s.size() && s[pos] == '.') {
+      ++pos;
+      if (pos >= s.size() || s[pos] < '0' || s[pos] > '9')
+        return fail(pos, "bad number: digits required after '.'");
+      while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      if (pos >= s.size() || s[pos] < '0' || s[pos] > '9')
+        return fail(pos, "bad number: digits required in exponent");
+      while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    }
+    // The token is a clean [0-9.eE+-]+ slice; strtod cannot scan past it.
+    std::string tok(s.substr(start, pos - start));
+    out = std::strtod(tok.c_str(), nullptr);
+    if (!std::isfinite(out)) return fail(start, "number out of range");
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kJsonMaxDepth) return fail(pos, "nesting too deep");
+    skip_ws();
+    if (pos >= s.size()) return fail(pos, "unexpected end of frame");
+    char c = s[pos];
+    switch (c) {
+      case 'n':
+        if (!literal("null")) return false;
+        out = Json();
+        return true;
+      case 't':
+        if (!literal("true")) return false;
+        out = Json(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Json(false);
+        return true;
+      case '"': {
+        std::string str;
+        if (!parse_string(str)) return false;
+        out = Json(std::move(str));
+        return true;
+      }
+      case '[': {
+        ++pos;
+        JsonArray arr;
+        skip_ws();
+        if (pos < s.size() && s[pos] == ']') {
+          ++pos;
+          out = Json(std::move(arr));
+          return true;
+        }
+        while (true) {
+          Json v;
+          if (!parse_value(v, depth + 1)) return false;
+          arr.push_back(std::move(v));
+          skip_ws();
+          if (pos >= s.size()) return fail(pos, "unterminated array");
+          if (s[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (s[pos] == ']') {
+            ++pos;
+            out = Json(std::move(arr));
+            return true;
+          }
+          return fail(pos, "expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++pos;
+        JsonObject obj;
+        skip_ws();
+        if (pos < s.size() && s[pos] == '}') {
+          ++pos;
+          out = Json(std::move(obj));
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (pos >= s.size() || s[pos] != '"')
+            return fail(pos, "expected string key in object");
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos >= s.size() || s[pos] != ':')
+            return fail(pos, "expected ':' after object key");
+          ++pos;
+          Json v;
+          if (!parse_value(v, depth + 1)) return false;
+          obj.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (pos >= s.size()) return fail(pos, "unterminated object");
+          if (s[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (s[pos] == '}') {
+            ++pos;
+            out = Json(std::move(obj));
+            return true;
+          }
+          return fail(pos, "expected ',' or '}' in object");
+        }
+      }
+      default: {
+        double num;
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          if (!parse_number(num)) return false;
+          out = Json(num);
+          return true;
+        }
+        return fail(pos, "unexpected character");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> json_parse(std::string_view text, diag::Status* err) {
+  Parser p;
+  p.s = text;
+  Json out;
+  if (!p.parse_value(out, 0)) {
+    if (err) *err = p.err;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    p.fail(p.pos, "trailing garbage after JSON document");
+    if (err) *err = p.err;
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace lps::service

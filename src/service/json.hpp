@@ -1,0 +1,112 @@
+// json.hpp — minimal, crash-proof JSON for the service protocol.
+//
+// The lpsd protocol (protocol.hpp) is line-delimited JSON over a local
+// socket, and the daemon's first robustness obligation is that NO byte
+// sequence a client sends can crash it or leave it in an undefined state:
+// every frame either parses into a Json value or is rejected with a
+// positioned diagnostic.  This parser is written for that contract rather
+// than for speed or spec arcana:
+//
+//   * recursive descent with a hard nesting-depth cap (kMaxDepth) — deeply
+//     nested "[[[[..." frames hit a structured error, not a stack overflow;
+//   * all errors are reported as diag::Status with the 1-based byte column
+//     of the offending character (the frame is one line, so line is 1);
+//   * numbers are IEEE doubles (protocol integers fit well inside 2^53);
+//     NaN/Infinity spellings are rejected as the grammar requires;
+//   * \uXXXX escapes decode to UTF-8, pairing surrogates; lone surrogates
+//     become U+FFFD instead of an error — a logging daemon must not choke
+//     on a client's broken unicode;
+//   * object member order is preserved (vector of pairs, not a map): a
+//     serialized response replays byte-identically, which the journal
+//     replay tests rely on.
+//
+// No external dependency: the container images this builds on carry no
+// JSON library, and the repo's policy is to vendor nothing.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/diag.hpp"
+
+namespace lps::service {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double n) : kind_(Kind::Number), num_(n) {}
+  Json(int n) : kind_(Kind::Number), num_(n) {}
+  Json(long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(long long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  // Spelled as the raw unsigned types (not std::uint64_t/std::size_t) so
+  // the set covers every width without typedef collisions across ABIs.
+  Json(unsigned n) : kind_(Kind::Number), num_(n) {}
+  Json(unsigned long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(unsigned long long n)
+      : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Json(JsonArray a) : kind_(Kind::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : kind_(Kind::Object), obj_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool(bool def = false) const { return is_bool() ? bool_ : def; }
+  double as_number(double def = 0.0) const { return is_number() ? num_ : def; }
+  const std::string& as_string() const { return str_; }  // empty if not string
+  const JsonArray& as_array() const { return arr_; }     // empty if not array
+  const JsonObject& as_object() const { return obj_; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object — callers branch on presence instead of catching.
+  const Json* find(std::string_view key) const;
+
+  /// Append/overwrite an object member (makes this an object if Null).
+  void set(std::string key, Json value);
+
+  /// Serialize to a single line (no newline appended, no pretty-printing;
+  /// strings escaped so the result never itself contains '\n').
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Hard recursion cap for json_parse (arrays/objects nested deeper fail
+/// with a positioned diagnostic).
+inline constexpr int kJsonMaxDepth = 64;
+
+/// Parse one JSON document.  Trailing garbage after the document is an
+/// error (a frame is exactly one value).  On failure returns nullopt and,
+/// when `err` is non-null, stores a diagnostic whose column is the 1-based
+/// byte offset of the offending character.  Never throws, never crashes on
+/// any input.
+std::optional<Json> json_parse(std::string_view text,
+                               diag::Status* err = nullptr);
+
+}  // namespace lps::service

@@ -1,0 +1,177 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace lps::service {
+
+std::string_view to_string(Verb v) {
+  switch (v) {
+    case Verb::Load: return "load";
+    case Verb::Mutate: return "mutate";
+    case Verb::Estimate: return "estimate";
+    case Verb::Optimize: return "optimize";
+    case Verb::Rollback: return "rollback";
+    case Verb::Stat: return "stat";
+    case Verb::Ping: return "ping";
+    case Verb::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::BadFrame: return "bad_frame";
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::UnknownVerb: return "unknown_verb";
+    case ErrorCode::BadSession: return "bad_session";
+    case ErrorCode::NoSession: return "no_session";
+    case ErrorCode::SessionPoisoned: return "session_poisoned";
+    case ErrorCode::ParseError: return "parse_error";
+    case ErrorCode::MutateError: return "mutate_error";
+    case ErrorCode::Deadline: return "deadline";
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::NothingToDo: return "nothing_to_do";
+  }
+  return "?";
+}
+
+bool valid_session_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  if (name == "." || name == "..") return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string make_error(const Json& id, ErrorCode code,
+                       std::string_view message) {
+  Json resp;
+  resp.set("ok", Json(false));
+  if (!id.is_null()) resp.set("id", id);
+  Json err;
+  err.set("code", Json(std::string(to_string(code))));
+  err.set("message", Json(std::string(message)));
+  resp.set("error", std::move(err));
+  return resp.dump();
+}
+
+std::string make_ok(const Json& id, JsonObject payload) {
+  Json resp;
+  resp.set("ok", Json(true));
+  if (!id.is_null()) resp.set("id", id);
+  for (auto& [k, v] : payload) resp.set(std::move(k), std::move(v));
+  return resp.dump();
+}
+
+namespace {
+
+std::optional<Verb> verb_from(std::string_view s) {
+  if (s == "load") return Verb::Load;
+  if (s == "mutate") return Verb::Mutate;
+  if (s == "estimate") return Verb::Estimate;
+  if (s == "optimize") return Verb::Optimize;
+  if (s == "rollback") return Verb::Rollback;
+  if (s == "stat") return Verb::Stat;
+  if (s == "ping") return Verb::Ping;
+  if (s == "shutdown") return Verb::Shutdown;
+  return std::nullopt;
+}
+
+bool needs_session(Verb v) {
+  switch (v) {
+    case Verb::Load:
+    case Verb::Mutate:
+    case Verb::Estimate:
+    case Verb::Optimize:
+    case Verb::Rollback:
+      return true;
+    case Verb::Stat:
+    case Verb::Ping:
+    case Verb::Shutdown:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view frame) {
+  ParsedRequest out;
+  if (frame.size() > kMaxFrameBytes) {
+    out.error_response =
+        make_error(Json(), ErrorCode::BadFrame, "frame exceeds size limit");
+    return out;
+  }
+  diag::Status err = diag::Status::ok();
+  auto doc = json_parse(frame, &err);
+  if (!doc) {
+    out.error_response = make_error(
+        Json(), ErrorCode::BadFrame,
+        err.is_ok() ? std::string("unparsable frame") : err.diagnostic().str());
+    return out;
+  }
+  // The id is echoed even on schema errors so a pipelining client can match
+  // the failure to its request — but only once we know the frame parsed.
+  Json id;
+  if (const Json* j = doc->find("id")) id = *j;
+  if (!doc->is_object()) {
+    out.error_response =
+        make_error(id, ErrorCode::BadFrame, "frame is not a JSON object");
+    return out;
+  }
+  const Json* v = doc->find("verb");
+  if (!v || !v->is_string()) {
+    out.error_response =
+        make_error(id, ErrorCode::BadRequest, "missing string field 'verb'");
+    return out;
+  }
+  auto verb = verb_from(v->as_string());
+  if (!verb) {
+    out.error_response = make_error(id, ErrorCode::UnknownVerb,
+                                    "unknown verb '" + v->as_string() + "'");
+    return out;
+  }
+  Request req;
+  req.verb = *verb;
+  req.id = id;
+  if (const Json* s = doc->find("session")) {
+    if (!s->is_string()) {
+      out.error_response =
+          make_error(id, ErrorCode::BadRequest, "'session' must be a string");
+      return out;
+    }
+    if (!valid_session_name(s->as_string())) {
+      out.error_response = make_error(
+          id, ErrorCode::BadSession,
+          "illegal session name (want [A-Za-z0-9_.-]{1,64}): '" +
+              s->as_string() + "'");
+      return out;
+    }
+    req.session = s->as_string();
+  }
+  if (needs_session(*verb) && req.session.empty()) {
+    out.error_response =
+        make_error(id, ErrorCode::BadRequest,
+                   std::string("verb '") + std::string(to_string(*verb)) +
+                       "' requires a 'session'");
+    return out;
+  }
+  if (const Json* d = doc->find("deadline_ms")) {
+    double n = d->is_number() ? d->as_number(-1) : -1;
+    if (!(n >= 0) || n > 1e9 || std::floor(n) != n) {
+      out.error_response = make_error(
+          id, ErrorCode::BadRequest,
+          "'deadline_ms' must be an integer in [0, 1e9] milliseconds");
+      return out;
+    }
+    req.deadline_ms = static_cast<std::uint64_t>(n);
+  }
+  req.params = std::move(*doc);
+  out.request = std::move(req);
+  return out;
+}
+
+}  // namespace lps::service

@@ -1,0 +1,101 @@
+// protocol.hpp — the lpsd wire protocol: framing, requests, responses.
+//
+// One request = one line of JSON terminated by '\n'; one response = one
+// line of JSON.  A connection is a sequence of such exchanges.  The grammar
+// (also documented in DESIGN.md "Service architecture"):
+//
+//   request  := { "verb": <verb>, "id"?: value, "session"?: name, ... }
+//   verb     := "load" | "mutate" | "estimate" | "optimize" | "rollback"
+//             | "stat" | "ping" | "shutdown"
+//   name     := string matching [A-Za-z0-9_.-]{1,64}
+//   response := { "ok": true, "id": <echo>, ...verb payload... }
+//             | { "ok": false, "id": <echo>,
+//                 "error": { "code": string, "message": string } }
+//
+// Error codes are a closed set (ErrorCode below) so clients can branch on
+// them; "message" is human-oriented and carries the positioned diagnostic
+// when one exists.  Every malformed frame — unparsable JSON, wrong types,
+// unknown verbs, oversized frames — gets a structured error response; the
+// daemon never answers a frame with silence or a closed connection, and
+// never crashes on one (the protocol fuzz tests pin this).
+//
+// The session-name restriction is a security boundary: names become
+// journal file names (session.hpp), so path separators and dot-dot are
+// rejected at parse time, not sanitized later.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/json.hpp"
+
+namespace lps::service {
+
+/// Upper bound on one request frame, including the newline.  Covers a
+/// multi-megabyte BLIF in a "load" with headroom; anything larger is
+/// answered with a frame_too_large error and the connection is resynced at
+/// the next newline.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+enum class Verb : std::uint8_t {
+  Load,      // create/replace a session from BLIF text
+  Mutate,    // apply an edit script under the undo journal
+  Estimate,  // power analysis (read-only; concurrent per session)
+  Optimize,  // run an optimization flow, keep the result
+  Rollback,  // undo the most recent committed mutate/optimize
+  Stat,      // session or daemon statistics
+  Ping,      // liveness probe
+  Shutdown,  // stop the daemon (lpsd only; in-process hosts ignore it)
+};
+
+std::string_view to_string(Verb v);
+
+/// Closed error-code set.  Stringified verbatim into the "code" field.
+enum class ErrorCode : std::uint8_t {
+  BadFrame,       // not a JSON object / unparsable / oversized
+  BadRequest,     // schema violation: missing or ill-typed fields
+  UnknownVerb,    //
+  BadSession,     // illegal session name
+  NoSession,      // verb needs a session that doesn't exist
+  SessionPoisoned,// session wedged by an earlier internal failure
+  ParseError,     // BLIF text in "load" failed to parse
+  MutateError,    // edit script rejected (netlist rolled back)
+  Deadline,       // request exceeded deadline_ms and was cancelled
+  Internal,       // unexpected exception (session poisoned, daemon alive)
+  NothingToDo,    // rollback with an empty journal
+};
+
+std::string_view to_string(ErrorCode c);
+
+/// A validated request envelope.  Verb-specific params stay as Json; the
+/// handlers pull what they need with typed helpers.
+struct Request {
+  Verb verb = Verb::Ping;
+  std::string session;        // empty when the verb doesn't need one
+  Json id;                    // echoed verbatim in the response (may be null)
+  Json params;                // the whole request object
+  /// Per-request deadline in milliseconds (0 = none).  Estimates and
+  /// optimizes poll a cancellation token armed with this.
+  std::uint64_t deadline_ms = 0;
+};
+
+/// True iff `name` is a legal session key: [A-Za-z0-9_.-]{1,64} and not
+/// "." or ".." (names become journal file names).
+bool valid_session_name(std::string_view name);
+
+/// Parse and validate one request frame (without trailing newline).
+/// Returns a Request, or an error response line ready to send.
+struct ParsedRequest {
+  std::optional<Request> request;  // engaged on success
+  std::string error_response;      // non-empty on failure
+};
+ParsedRequest parse_request(std::string_view frame);
+
+/// Response builders.  Both echo `id` (omitted when null).
+std::string make_error(const Json& id, ErrorCode code, std::string_view message);
+std::string make_ok(const Json& id, JsonObject payload);
+
+}  // namespace lps::service

@@ -1,0 +1,260 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace lps::service {
+
+namespace metrics = lps::core::metrics;
+namespace fs = std::filesystem;
+
+Service::Service(ServiceOptions opt)
+    : opt_(std::move(opt)), dog_(opt_.watchdog_period) {
+  if (!opt_.journal_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt_.journal_dir, ec);  // best effort
+  }
+}
+
+std::shared_ptr<Session> Service::find_session(const std::string& name) {
+  std::lock_guard lk(registry_mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Session> Service::get_or_create(const std::string& name) {
+  std::lock_guard lk(registry_mu_);
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) return it->second;
+  std::string journal;
+  if (!opt_.journal_dir.empty())
+    journal = opt_.journal_dir + "/" + name + ".journal";
+  auto s = std::make_shared<Session>(name, std::move(journal));
+  sessions_.emplace(name, s);
+  return s;
+}
+
+void Service::enforce_memory_cap(const Session* keep) {
+  if (opt_.memory_cap_bytes == 0) return;
+  // Snapshot under the registry lock, evict outside it (eviction takes each
+  // session's exclusive lock; holding the registry lock across that would
+  // serialize the whole daemon behind one slow session).
+  std::vector<std::shared_ptr<Session>> snap;
+  {
+    std::lock_guard lk(registry_mu_);
+    snap.reserve(sessions_.size());
+    for (auto& [_, s] : sessions_) snap.push_back(s);
+  }
+  auto total = [&] {
+    std::size_t t = 0;
+    for (auto& s : snap) t += s->cache_bytes();
+    return t;
+  };
+  if (total() <= opt_.memory_cap_bytes) return;
+  std::sort(snap.begin(), snap.end(), [](const auto& a, const auto& b) {
+    return a->last_used() < b->last_used();
+  });
+  for (auto& s : snap) {
+    if (total() <= opt_.memory_cap_bytes) break;
+    if (s.get() == keep || s->cache_bytes() == 0) continue;
+    std::unique_lock lk(s->mutex());
+    s->evict_caches();
+  }
+}
+
+std::string Service::dispatch(const std::string& frame) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  ParsedRequest parsed = parse_request(frame);
+  if (!parsed.request) return parsed.error_response;
+  Request& req = *parsed.request;
+
+  core::CancelToken cancel;
+  DeadlineGuard guard(dog_, cancel, req.deadline_ms);
+  try {
+    return handle(req, req.deadline_ms ? &cancel : nullptr);
+  } catch (const core::CancelledError&) {
+    return make_error(req.id, ErrorCode::Deadline,
+                      "deadline of " + std::to_string(req.deadline_ms) +
+                          " ms exceeded");
+  } catch (const std::exception& e) {
+    // handle() poisons the session before rethrowing; this is the backstop
+    // that keeps the promise "every frame gets a structured answer".
+    metrics::count("service.internal_errors");
+    return make_error(req.id, ErrorCode::Internal, e.what());
+  } catch (...) {
+    metrics::count("service.internal_errors");
+    return make_error(req.id, ErrorCode::Internal, "unknown exception");
+  }
+}
+
+std::string Service::handle(const Request& req,
+                            const core::CancelToken* cancel) {
+  switch (req.verb) {
+    case Verb::Ping: {
+      JsonObject o;
+      o.emplace_back("pong", Json(true));
+      return make_ok(req.id, std::move(o));
+    }
+    case Verb::Shutdown: {
+      shutdown_.store(true, std::memory_order_relaxed);
+      JsonObject o;
+      o.emplace_back("stopping", Json(true));
+      return make_ok(req.id, std::move(o));
+    }
+    case Verb::Stat: {
+      if (req.session.empty()) return make_ok(req.id, stat());
+      auto s = find_session(req.session);
+      if (!s)
+        return make_error(req.id, ErrorCode::NoSession,
+                          "no session '" + req.session + "'");
+      std::shared_lock lk(s->mutex());
+      return make_ok(req.id, s->stat());
+    }
+    default:
+      break;
+  }
+
+  // Session verbs.  Load creates; the rest require an existing session.
+  std::shared_ptr<Session> s = req.verb == Verb::Load
+                                   ? get_or_create(req.session)
+                                   : find_session(req.session);
+  if (!s)
+    return make_error(req.id, ErrorCode::NoSession,
+                      "no session '" + req.session + "' (load one first)");
+  s->touch(tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (s->poisoned() && req.verb != Verb::Load)
+    return make_error(req.id, ErrorCode::SessionPoisoned,
+                      "session '" + req.session +
+                          "' is poisoned; issue a fresh 'load'");
+
+  OpResult r;
+  if (req.verb == Verb::Estimate) {
+    std::shared_lock lk(s->mutex());
+    if (!s->loaded())
+      return make_error(req.id, ErrorCode::NoSession,
+                        "session '" + req.session + "' has no netlist");
+    // Estimates are read-only: CancelledError propagates to dispatch()'s
+    // Deadline handler, other exceptions to the Internal backstop — neither
+    // leaves shared state to poison.
+    r = s->estimate(req.params, cancel);
+  } else {
+    std::unique_lock lk(s->mutex());
+    try {
+      switch (req.verb) {
+        case Verb::Load: {
+          const Json* b = req.params.find("blif");
+          if (!b || !b->is_string())
+            return make_error(req.id, ErrorCode::BadRequest,
+                              "'load' needs a string field 'blif'");
+          std::size_t vectors = 0;
+          std::uint64_t seed = 0xC0FFEE;
+          bool analyzer = true;
+          if (const Json* v = req.params.find("vectors")) {
+            double d = v->is_number() ? v->as_number(0) : 0;
+            if (!(d >= 64) || d > 1e7 || d != static_cast<std::uint64_t>(d))
+              return make_error(req.id, ErrorCode::BadRequest,
+                                "'vectors' must be an integer in [64, 1e7]");
+            vectors = static_cast<std::size_t>(d);
+          }
+          if (const Json* sd = req.params.find("seed")) {
+            double d = sd->is_number() ? sd->as_number(-1) : -1;
+            if (!(d >= 0) || d != static_cast<std::uint64_t>(d))
+              return make_error(req.id, ErrorCode::BadRequest,
+                                "'seed' must be a non-negative integer");
+            seed = static_cast<std::uint64_t>(d);
+          }
+          if (const Json* a = req.params.find("analyzer"))
+            analyzer = a->is_bool() ? a->as_bool() : true;
+          r = s->load(b->as_string(), vectors, seed, analyzer, cancel);
+          break;
+        }
+        case Verb::Mutate: {
+          const Json* ops = req.params.find("ops");
+          if (!ops)
+            return make_error(req.id, ErrorCode::BadRequest,
+                              "'mutate' needs an 'ops' array");
+          r = s->mutate(*ops, cancel);
+          break;
+        }
+        case Verb::Optimize:
+          r = s->optimize(req.params, cancel);
+          break;
+        case Verb::Rollback:
+          r = s->rollback(cancel);
+          break;
+        default:
+          return make_error(req.id, ErrorCode::Internal, "unhandled verb");
+      }
+    } catch (const core::CancelledError&) {
+      throw;  // deadline, not a defect — session ops already rolled back
+    } catch (const std::exception& e) {
+      s->poison(e.what());
+      throw;
+    } catch (...) {
+      s->poison("unknown exception");
+      throw;
+    }
+  }
+
+  if (!r.status.is_ok())
+    return make_error(req.id, r.code, r.status.diagnostic().str());
+  enforce_memory_cap(s.get());
+  return make_ok(req.id, std::move(r.payload));
+}
+
+std::size_t Service::recover_sessions() {
+  if (opt_.journal_dir.empty()) return 0;
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opt_.journal_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path p = entry.path();
+    if (p.extension() != ".journal") continue;
+    std::string name = p.stem().string();
+    if (!valid_session_name(name)) continue;
+    auto s = get_or_create(name);
+    std::unique_lock lk(s->mutex());
+    OpResult r;
+    try {
+      r = s->recover(nullptr);
+    } catch (...) {
+      r = OpResult::error(ErrorCode::Internal, "recovery threw");
+    }
+    if (r.status.is_ok()) {
+      ++n;
+    } else {
+      metrics::count("service.journal_unrecoverable");
+      std::lock_guard rlk(registry_mu_);
+      sessions_.erase(name);
+    }
+  }
+  return n;
+}
+
+JsonObject Service::stat() {
+  std::vector<std::shared_ptr<Session>> snap;
+  {
+    std::lock_guard lk(registry_mu_);
+    for (auto& [_, s] : sessions_) snap.push_back(s);
+  }
+  std::size_t cache = 0, poisoned = 0;
+  for (auto& s : snap) {
+    cache += s->cache_bytes();
+    if (s->poisoned()) ++poisoned;
+  }
+  JsonObject o;
+  o.emplace_back("sessions", Json(snap.size()));
+  o.emplace_back("poisoned_sessions", Json(poisoned));
+  o.emplace_back("cache_bytes", Json(cache));
+  o.emplace_back("memory_cap_bytes", Json(opt_.memory_cap_bytes));
+  o.emplace_back("requests_served",
+                 Json(served_.load(std::memory_order_relaxed)));
+  o.emplace_back("deadlines_fired", Json(dog_.fired()));
+  o.emplace_back("watchdog_armed", Json(dog_.armed()));
+  return o;
+}
+
+}  // namespace lps::service

@@ -1,0 +1,97 @@
+// service.hpp — the lpsd request dispatcher: sessions, deadlines, budgets.
+//
+// Service is the transport-independent daemon core: it owns the session
+// registry, the deadline watchdog and the global cache-memory budget, and
+// turns one request line into one response line (`dispatch`).  The socket
+// layer (sockets.hpp) and the in-process tests/bench drive the same entry
+// point, so every robustness property is testable without a socket.
+//
+// Concurrency model
+//   dispatch() is safe to call from any number of threads (one per
+//   connection in lpsd).  The registry is guarded by a mutex held only for
+//   lookup/insert; per-session work runs under the session's own
+//   shared_mutex — estimates shared, everything else exclusive — so slow
+//   requests on one session never block another session, and concurrent
+//   read-only estimates on the same session proceed in parallel.
+//
+// Resource budget
+//   Each session's analyzer caches are metered (Session::cache_bytes); when
+//   the sum exceeds `memory_cap_bytes`, the least-recently-used sessions'
+//   caches are evicted until back under the cap.  Eviction degrades, never
+//   breaks: the session keeps its netlist and journal, estimates fall back
+//   to full analyses (counted in stat/E23), and the next exclusive op
+//   rebuilds the baseline.
+//
+// Isolation
+//   An unexpected exception inside a session op poisons that session only:
+//   the request gets a structured `internal` error, later requests get
+//   `session_poisoned` until a fresh `load`, and the daemon keeps serving
+//   every other session.  CancelledError is not poisoning — it is the
+//   deadline mechanism working as designed.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/session.hpp"
+#include "service/watchdog.hpp"
+
+namespace lps::service {
+
+struct ServiceOptions {
+  /// Directory for session journal files ("<dir>/<session>.journal").
+  /// Empty disables journaling (pure in-memory sessions).
+  std::string journal_dir;
+  /// Global cap on summed analyzer-cache bytes across sessions; 0 = no cap.
+  std::size_t memory_cap_bytes = 0;
+  /// Watchdog scan period (deadline staleness bound).
+  std::chrono::milliseconds watchdog_period{5};
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opt = {});
+
+  /// Handle one request frame (one line, without the trailing newline) and
+  /// return the response line (without newline).  Never throws; every
+  /// outcome — including internal failures — is a structured JSON response.
+  std::string dispatch(const std::string& frame);
+
+  /// True once a shutdown request was accepted (the socket loop exits).
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  /// Recover every *.journal file in journal_dir into a live session.
+  /// Returns the number of sessions recovered; unrecoverable journals are
+  /// skipped (counted in service.journal_unrecoverable).
+  std::size_t recover_sessions();
+
+  /// Daemon-wide statistics (the session-less "stat" verb).
+  JsonObject stat();
+
+  Watchdog& watchdog() { return dog_; }
+
+ private:
+  std::shared_ptr<Session> find_session(const std::string& name);
+  std::shared_ptr<Session> get_or_create(const std::string& name);
+  /// Evict LRU session caches until the summed cache bytes fit the cap.
+  /// Never evicts `keep` (the session servicing the current request).
+  void enforce_memory_cap(const Session* keep);
+
+  std::string handle(const Request& req, const core::CancelToken* cancel);
+
+  ServiceOptions opt_;
+  Watchdog dog_;
+  std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> tick_{0};   // LRU clock
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lps::service

@@ -1,0 +1,213 @@
+// session.hpp — one persistent netlist session inside the lpsd daemon.
+//
+// A session is the daemon-side unit of state and of isolation: a named
+// netlist, its (optional) incremental power analyzer, and an append-only
+// on-disk journal that makes the session recoverable across a daemon crash.
+// The service layer (service.hpp) owns the concurrency policy; a Session
+// exposes the per-verb operations plus the shared_mutex they must be called
+// under:
+//
+//   shared (read) lock   estimate() — many concurrently per session
+//   exclusive lock       load / mutate / optimize / rollback / recovery /
+//                        cache eviction
+//
+// The analyzer is only created, advanced or dropped inside exclusive
+// contexts, so a shared-locked estimate either reads the finished cached
+// analysis or runs a pure power::analyze over the (immutable while shared-
+// locked) netlist — there is no state it could race on.
+//
+// Durability model (crash recovery)
+//   The journal file holds one JSON line per *committed* state transition:
+//     {"type":"base","blif":...,"hash":...}          (load)
+//     {"type":"mutate","ops":[...],"hash":...}       (committed mutate)
+//     {"type":"optimize","flow":...,"hash":...}      (kept optimize)
+//   A record is appended only after the in-memory commit succeeded, and
+//   each carries the structural_hash of the post-state.  Recovery replays
+//   the file from the base; a torn final line (daemon killed mid-append) or
+//   a hash mismatch truncates the journal there — so a kill at ANY point
+//   leaves the recovered session equal to the last fully committed state:
+//   a mid-mutate kill recovers to "fully rolled back", a post-append kill
+//   to "fully applied", and nothing in between exists on disk.
+//   Optimize records are only journaled when the flow ran to completion
+//   without a cancellation, keeping replay deterministic.
+//
+// Failure model
+//   Expected failures (bad BLIF, rejected edit scripts, deadline
+//   cancellations) roll the netlist and analyzer back and report
+//   diag::Status errors.  An *unexpected* exception inside an exclusive
+//   operation marks the session poisoned: every later request gets a
+//   session_poisoned error until a fresh load replaces it, and no other
+//   session (nor the daemon) is affected.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "netlist/netlist.hpp"
+#include "power/incremental.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+
+namespace lps::service {
+
+/// Outcome of a session operation: a Status plus the error code the
+/// protocol layer should put on the wire when it failed.
+struct OpResult {
+  diag::Status status = diag::Status::ok();
+  ErrorCode code = ErrorCode::Internal;  // meaningful when !status.is_ok()
+  JsonObject payload;                    // verb response fields on success
+
+  static OpResult ok(JsonObject payload = {}) {
+    OpResult r;
+    r.payload = std::move(payload);
+    return r;
+  }
+  static OpResult error(ErrorCode code, std::string msg,
+                        diag::SourceLoc loc = {}) {
+    OpResult r;
+    r.status = diag::Status::error(std::move(msg), std::move(loc));
+    r.code = code;
+    return r;
+  }
+};
+
+class Session {
+ public:
+  /// `journal_path` empty = journaling disabled (in-memory session).
+  Session(std::string name, std::string journal_path);
+
+  const std::string& name() const { return name_; }
+  std::shared_mutex& mutex() { return mu_; }
+
+  // ---- operations (locking discipline in the header comment) --------------
+
+  /// Exclusive.  Replace the session state from BLIF text; truncates and
+  /// rewrites the journal base record.  `vectors`/`seed` fix the session's
+  /// analyzer options.  `build_analyzer` false skips the baseline analysis
+  /// (it is then built on the first mutate).
+  OpResult load(const std::string& blif_text, std::size_t vectors,
+                std::uint64_t seed, bool build_analyzer,
+                const core::CancelToken* cancel);
+
+  /// Exclusive.  Apply an edit script under the undo journal; commit and
+  /// append to the journal only if every op applied and the invariants
+  /// hold, else roll back (netlist and analyzer) and report.
+  OpResult mutate(const Json& ops, const core::CancelToken* cancel);
+
+  /// Shared.  Power estimate; serves the cached analysis when the request
+  /// matches the session analyzer options, else runs a fresh full analysis
+  /// (recorded in the degradation counters).
+  OpResult estimate(const Json& params, const core::CancelToken* cancel);
+
+  /// Exclusive.  Run an optimization flow ("combinational"/"sequential") on
+  /// a working copy; on uncancelled completion adopt the result and journal
+  /// it.
+  OpResult optimize(const Json& params, const core::CancelToken* cancel);
+
+  /// Exclusive.  Revert the most recent committed mutate/optimize by
+  /// replaying the journal prefix; verifies the replayed structural hash.
+  OpResult rollback(const core::CancelToken* cancel);
+
+  /// Shared.  Session statistics (never fails).
+  JsonObject stat() const;
+
+  // ---- recovery / resource management (service layer) ---------------------
+
+  /// Exclusive.  Rebuild state from the journal file.  Torn or
+  /// hash-mismatching tails are truncated (and the file rewritten); returns
+  /// an error only when no valid base record exists.
+  OpResult recover(const core::CancelToken* cancel);
+
+  /// Exclusive.  Drop the analyzer caches (LRU eviction under the global
+  /// memory cap).  The netlist and journal stay; estimates degrade to full
+  /// analyze() until the next exclusive op rebuilds the baseline.
+  void evict_caches();
+
+  /// Approximate bytes held by the analyzer caches (trace + tape).
+  std::size_t cache_bytes() const {
+    return cache_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// LRU bookkeeping (service layer sets/reads; monotonically increasing).
+  void touch(std::uint64_t tick) {
+    last_used_.store(tick, std::memory_order_relaxed);
+  }
+  std::uint64_t last_used() const {
+    return last_used_.load(std::memory_order_relaxed);
+  }
+
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+  /// Mark the session wedged (unexpected exception escaped an exclusive
+  /// op).  Requests answer session_poisoned from here on; load() clears it.
+  void poison(const std::string& why);
+
+  std::uint64_t hash() const { return hash_; }
+  bool loaded() const { return loaded_; }
+
+  /// Committed journal records beyond the base (test/stat hook).
+  std::size_t journal_records() const { return records_.size(); }
+
+ private:
+  struct AnalyzerConfig {
+    std::size_t vectors = 2048;
+    std::uint64_t seed = 0xC0FFEE;
+  };
+
+  // Apply one journal record ("mutate"/"optimize") to net; returns error
+  // text or empty.  Shared by mutate/optimize (first application) and
+  // recover/rollback (replay) so both paths are the same code.
+  std::string apply_ops(Netlist& net, const Json& ops,
+                        std::vector<NodeId>* created);
+  std::string apply_record(Netlist& net, const Json& record,
+                           const core::CancelToken* cancel);
+
+  // Rebuild net from base_blif_ + records_[0..n_records); verifies each
+  // record's hash.  Returns error text or empty.
+  std::string replay(Netlist& net, std::size_t n_records,
+                     const core::CancelToken* cancel);
+
+  // Analyzer lifecycle (exclusive contexts only).
+  void rebuild_analyzer(const core::CancelToken* cancel);  // may leave null
+  void update_cache_bytes();
+
+  // Journal I/O.
+  bool journal_rewrite();          // base + records_ -> file (atomic-ish)
+  bool journal_append(const Json& record);
+
+  std::string name_;
+  std::string journal_path_;  // empty = no journaling
+  mutable std::shared_mutex mu_;
+
+  bool loaded_ = false;
+  Netlist net_;
+  std::uint64_t hash_ = 0;
+  AnalyzerConfig cfg_;
+  std::optional<power::IncrementalAnalyzer> analyzer_;
+
+  std::string base_blif_;
+  std::vector<Json> records_;  // committed mutate/optimize records
+
+  std::atomic<std::size_t> cache_bytes_{0};
+  std::atomic<std::uint64_t> last_used_{0};
+  std::atomic<bool> poisoned_{false};
+  std::string poison_reason_;
+
+  // Degradation counters (stat()/E23): estimates served from cache, full
+  // runs, and full runs forced by an eviction.
+  std::atomic<std::uint64_t> est_cached_{0};
+  std::atomic<std::uint64_t> est_full_{0};
+  std::atomic<std::uint64_t> est_degraded_{0};
+  bool evicted_ = false;  // analyzer dropped by eviction (exclusive ctx)
+};
+
+/// Format a structural hash the way the protocol does ("0x%016x").
+std::string format_hash(std::uint64_t h);
+
+}  // namespace lps::service

@@ -1,0 +1,198 @@
+#include "service/sockets.hpp"
+
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/metrics.hpp"
+#include "service/protocol.hpp"
+
+namespace lps::service {
+
+namespace metrics = lps::core::metrics;
+
+namespace {
+
+// write() the whole buffer, suppressing SIGPIPE (a vanished client must
+// never signal the daemon).  False on any error.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, std::string line) {
+  line.push_back('\n');
+  return send_all(fd, line.data(), line.size());
+}
+
+}  // namespace
+
+// ---- server ----------------------------------------------------------------
+
+SocketServer::SocketServer(Service& svc, std::string path)
+    : svc_(svc), path_(std::move(path)) {}
+
+SocketServer::~SocketServer() {
+  stop();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+diag::Status SocketServer::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path))
+    return diag::Status::error("socket path too long: '" + path_ + "'");
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return diag::Status::error(std::string("socket(): ") +
+                               std::strerror(errno));
+  ::unlink(path_.c_str());  // stale socket from a crashed daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    return diag::Status::error("bind('" + path_ + "'): " +
+                               std::strerror(errno));
+  if (::listen(listen_fd_, 64) < 0)
+    return diag::Status::error(std::string("listen(): ") +
+                               std::strerror(errno));
+  return diag::Status::ok();
+}
+
+void SocketServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !svc_.shutdown_requested()) {
+    // Poll accept with a timeout so a shutdown request on an existing
+    // connection is noticed without needing a final wake-up connection.
+    timeval tv{0, 200 * 1000};
+    fd_set fds;
+    FD_ZERO(&fds);
+    FD_SET(listen_fd_, &fds);
+    int r = ::select(listen_fd_ + 1, &fds, nullptr, nullptr, &tv);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      metrics::count("service.accept_errors");
+      continue;
+    }
+    if (r == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      metrics::count("service.accept_errors");
+      continue;
+    }
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketServer::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void SocketServer::serve_connection(int fd) {
+  metrics::count("service.connections");
+  std::string buf;
+  char chunk[65536];
+  for (;;) {
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string frame = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+      if (frame.empty()) continue;
+      if (!send_line(fd, svc_.dispatch(frame))) {
+        ::close(fd);
+        return;  // client gone mid-response; nothing left to answer
+      }
+      if (svc_.shutdown_requested()) {
+        ::close(fd);
+        return;
+      }
+    }
+    if (buf.size() > kMaxFrameBytes) {
+      // Framing is lost (no newline within the limit) — answer once and
+      // drop the connection; the daemon itself is unaffected.
+      send_line(fd, make_error(Json(), ErrorCode::BadFrame,
+                               "frame exceeds size limit without newline"));
+      ::close(fd);
+      return;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {  // EOF or error: connection done, daemon unaffected
+      ::close(fd);
+      return;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// ---- client ----------------------------------------------------------------
+
+SocketClient::~SocketClient() { close(); }
+
+void SocketClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+diag::Status SocketClient::connect(const std::string& path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    return diag::Status::error("socket path too long: '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    return diag::Status::error(std::string("socket(): ") +
+                               std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    diag::Status st = diag::Status::error("connect('" + path + "'): " +
+                                          std::strerror(errno));
+    close();
+    return st;
+  }
+  return diag::Status::ok();
+}
+
+bool SocketClient::send_raw(const std::string& bytes) {
+  return fd_ >= 0 && send_all(fd_, bytes.data(), bytes.size());
+}
+
+std::optional<std::string> SocketClient::read_line() {
+  if (fd_ < 0) return std::nullopt;
+  char chunk[65536];
+  for (;;) {
+    std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (buf_.size() > kMaxFrameBytes) return std::nullopt;
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> SocketClient::roundtrip(const std::string& frame) {
+  if (!send_raw(frame + "\n")) return std::nullopt;
+  return read_line();
+}
+
+}  // namespace lps::service

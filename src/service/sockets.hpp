@@ -1,0 +1,92 @@
+// sockets.hpp — AF_UNIX transport for the lpsd protocol.
+//
+// Thin, deliberately boring layer: everything interesting (validation,
+// deadlines, isolation) lives in Service, which this file only feeds lines
+// to.  The server accepts connections on a filesystem socket and runs one
+// thread per connection reading newline-delimited frames; a client helper
+// wraps connect/send/receive for lpsc and the tests.
+//
+// Robustness at this layer:
+//   * a frame that grows past kMaxFrameBytes without a newline is answered
+//     with a structured bad_frame error and the connection is dropped (the
+//     byte stream has no resync point once framing is lost);
+//   * client disconnects (EOF, EPIPE, ECONNRESET) terminate that
+//     connection's thread only — SIGPIPE is suppressed per-write with
+//     MSG_NOSIGNAL, so a vanished client can never kill the daemon;
+//   * accept() errors are counted and retried, not fatal.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/diag.hpp"
+#include "service/service.hpp"
+
+namespace lps::service {
+
+/// Serve `svc` on an AF_UNIX socket at `path` until a shutdown request (or
+/// stop()).  The socket file is unlinked first (stale socket from a crashed
+/// daemon) and on clean exit.
+class SocketServer {
+ public:
+  SocketServer(Service& svc, std::string path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen.  Error status on failure (path too long for sockaddr_un,
+  /// bind/listen errno).
+  diag::Status start();
+
+  /// Accept-and-serve until shutdown.  Blocks; run from main() (lpsd) or a
+  /// thread (tests).
+  void serve();
+
+  /// Ask serve() to return (also triggered by the protocol's "shutdown").
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void serve_connection(int fd);
+
+  Service& svc_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Blocking client connection for lpsc and the socket tests.
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  diag::Status connect(const std::string& path);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request line and read one response line.  nullopt on a
+  /// transport error (daemon gone, oversized response).
+  std::optional<std::string> roundtrip(const std::string& frame);
+
+  /// Send raw bytes without framing discipline (fuzz/chaos tests).
+  bool send_raw(const std::string& bytes);
+  /// Read one newline-terminated line (without the newline).
+  std::optional<std::string> read_line();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last newline
+};
+
+}  // namespace lps::service

@@ -1,0 +1,62 @@
+#include "service/watchdog.hpp"
+
+#include <algorithm>
+
+namespace lps::service {
+
+Watchdog::Watchdog(std::chrono::milliseconds scan_period)
+    : period_(scan_period), thread_([this] { scan_loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::arm(core::CancelToken* token,
+                            Clock::time_point deadline) {
+  std::lock_guard lk(mu_);
+  std::uint64_t id = next_id_++;
+  entries_.push_back({id, token, deadline});
+  cv_.notify_all();  // a nearer deadline may shorten the current sleep
+  return id;
+}
+
+void Watchdog::disarm(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::size_t Watchdog::armed() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t Watchdog::fired() const {
+  std::lock_guard lk(mu_);
+  return fired_;
+}
+
+void Watchdog::scan_loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    auto now = Clock::now();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->deadline <= now) {
+        it->token->cancel();
+        ++fired_;
+        it = entries_.erase(it);  // fired tokens need no further watching
+      } else {
+        ++it;
+      }
+    }
+    cv_.wait_for(lk, period_, [&] { return stop_; });
+  }
+}
+
+}  // namespace lps::service

@@ -1,0 +1,103 @@
+// watchdog.hpp — deadline enforcement for in-flight requests.
+//
+// A request that carries deadline_ms registers its cancellation token here
+// before starting the (potentially long) estimate or optimize, and
+// unregisters on completion (RAII — DeadlineGuard).  One background thread
+// scans the registry and fires cancel() on every token whose deadline has
+// passed; the computation observes it at its next poll point (a shard-chunk
+// boundary, a frame batch, or the incremental analyzer's cone sweep — see
+// core/parallel.hpp) and unwinds with core::CancelledError, which the
+// service maps to a structured "deadline" error response.
+//
+// Cancellation latency is therefore bounded by the scan period plus the
+// work between two poll points — a shard chunk, never the whole request —
+// and an overrunning estimate can never wedge the daemon: the watchdog
+// needs no cooperation beyond the polls, and firing a token is always safe
+// (poll points restore or discard partial state before unwinding).
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace lps::service {
+
+class Watchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `scan_period` bounds how stale a deadline can get before the token
+  /// fires; a few milliseconds costs nothing (the thread sleeps between
+  /// scans).
+  explicit Watchdog(
+      std::chrono::milliseconds scan_period = std::chrono::milliseconds(5));
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Arm `token` to be cancelled once `deadline` passes.  The token must
+  /// outlive the registration (DeadlineGuard ties the two lifetimes).
+  /// Returns a registration id for disarm().
+  std::uint64_t arm(core::CancelToken* token, Clock::time_point deadline);
+
+  /// Remove a registration.  Safe to call after the token already fired —
+  /// the request still completed (with a deadline error), it just no longer
+  /// needs watching.
+  void disarm(std::uint64_t id);
+
+  /// Registrations currently armed (test/stat hook).
+  std::size_t armed() const;
+
+  /// Deadlines fired since construction (stat hook).
+  std::uint64_t fired() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    core::CancelToken* token;
+    Clock::time_point deadline;
+  };
+
+  void scan_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stop_ = false;
+  std::chrono::milliseconds period_;
+  std::thread thread_;
+};
+
+/// RAII deadline registration: arms on construction (when deadline_ms > 0),
+/// disarms on destruction.  A zero deadline arms nothing, so call sites can
+/// pass the request's deadline_ms through unconditionally.
+class DeadlineGuard {
+ public:
+  DeadlineGuard(Watchdog& dog, core::CancelToken& token,
+                std::uint64_t deadline_ms)
+      : dog_(&dog), armed_(deadline_ms > 0) {
+    if (armed_)
+      id_ = dog.arm(&token, Watchdog::Clock::now() +
+                                std::chrono::milliseconds(deadline_ms));
+  }
+  ~DeadlineGuard() {
+    if (armed_) dog_->disarm(id_);
+  }
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+ private:
+  Watchdog* dog_;
+  bool armed_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace lps::service

@@ -1,10 +1,10 @@
 #include "sim/compiled.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
+#include "core/env.hpp"
 #include "core/metrics.hpp"
 
 namespace lps::sim {
@@ -20,14 +20,13 @@ std::size_t normalize_block(std::size_t b) {
 SimOptions& sim_options() {
   static SimOptions opt = [] {
     SimOptions o;
-    if (const char* s = std::getenv("LPS_SIM_COMPILED"))
-      o.use_compiled = !(s[0] == '0' && s[1] == '\0');
-    if (const char* s = std::getenv("LPS_SIM_BLOCK")) {
-      char* end = nullptr;
-      long v = std::strtol(s, &end, 10);
-      if (end != s && *end == '\0' && v >= 1 && v <= 16)
-        o.block = normalize_block(static_cast<std::size_t>(v));
-    }
+    // Malformed values are rejected with positioned diagnostics on stderr
+    // and fall back to the defaults (core/env.hpp) — "LPS_SIM_COMPILED=off"
+    // or "LPS_SIM_BLOCK=banana" no longer silently pass as defaults without
+    // telling the operator their knob did nothing.
+    o.use_compiled = core::env_bool_or("LPS_SIM_COMPILED", o.use_compiled);
+    o.block = normalize_block(static_cast<std::size_t>(core::env_long_or(
+        "LPS_SIM_BLOCK", 1, 16, static_cast<long>(o.block))));
     return o;
   }();
   return opt;

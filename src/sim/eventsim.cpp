@@ -181,11 +181,17 @@ void EventSim::apply(std::span<const bool> pi_values) {
 
 namespace {
 
+// Vectors between cancellation polls inside one shard: bounds cancellation
+// latency for single-shard (sequential) streams without measurable cost.
+constexpr std::size_t kCancelBatchVectors = 32;
+
 void simulate_timed_shard(EventSim& sim, std::size_t n_pi,
                           std::size_t n_vectors, std::uint64_t seed,
-                          std::span<const double> pi_one_prob, bool* buf) {
+                          std::span<const double> pi_one_prob, bool* buf,
+                          const core::CancelToken* cancel) {
   std::mt19937_64 rng(seed);
   for (std::size_t k = 0; k < n_vectors; ++k) {
+    if (k % kCancelBatchVectors == 0) core::poll_cancel(cancel);
     for (std::size_t i = 0; i < n_pi; ++i) {
       buf[i] = (rng() & 0xFFFF) < static_cast<std::uint64_t>(
                                       (pi_one_prob.empty() ? 0.5
@@ -200,7 +206,8 @@ void simulate_timed_shard(EventSim& sim, std::size_t n_pi,
 
 TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
                                   std::uint64_t seed,
-                                  std::span<const double> pi_one_prob) {
+                                  std::span<const double> pi_one_prob,
+                                  const core::CancelToken* cancel) {
   // Sequential nets carry register state vector-to-vector: one serial shard
   // with the legacy stream.  Combinational nets shard; each shard starts
   // from the reset (all-zero) settled state, so the decomposition — a
@@ -219,7 +226,8 @@ TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
   if (plan.shards == 1) {
     EventSim sim(net);
     std::unique_ptr<bool[]> buf(new bool[std::max<std::size_t>(1, n_pi)]);
-    simulate_timed_shard(sim, n_pi, n_vectors, seed, pi_one_prob, buf.get());
+    simulate_timed_shard(sim, n_pi, n_vectors, seed, pi_one_prob, buf.get(),
+                         cancel);
     st = sim.stats();
   } else {
     const std::size_t n_chunks = std::max<std::size_t>(
@@ -234,9 +242,10 @@ TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
       acc.total_toggles.assign(net.size(), 0.0);
       acc.functional_toggles.assign(net.size(), 0.0);
       for (std::size_t s = s_begin; s < s_end; ++s) {
+        core::poll_cancel(cancel);
         simulate_timed_shard(sim, n_pi, plan.count(s),
                              core::shard_seed(seed, s), pi_one_prob,
-                             buf.get());
+                             buf.get(), cancel);
         acc.merge(sim.stats());
         sim.reset();
       }

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lps::sim {
@@ -98,9 +99,12 @@ class EventSim {
 /// shard simulates from the reset state under its own seeded stream);
 /// sequential nets carry register state and run as one serial shard with the
 /// legacy RNG stream.  Deterministic in (n_vectors, seed) at any thread
-/// count.
+/// count.  A non-null `cancel` token is polled at shard boundaries and every
+/// vector batch within a shard; when it fires the run throws
+/// core::CancelledError and all partial counts are discarded.
 TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
                                   std::uint64_t seed,
-                                  std::span<const double> pi_one_prob = {});
+                                  std::span<const double> pi_one_prob = {},
+                                  const core::CancelToken* cancel = nullptr);
 
 }  // namespace lps::sim

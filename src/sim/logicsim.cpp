@@ -161,12 +161,17 @@ struct ActivityScratch {
   std::vector<std::uint64_t> last;  // previous frame's word per node
 };
 
+// Frames between cancellation polls inside one shard: bounds cancellation
+// latency for single-shard (sequential) streams without measurable cost.
+constexpr std::size_t kCancelBatchFrames = 32;
+
 void simulate_activity_shard(const Netlist& net, const LogicSim& sim,
                              std::span<const NodeId> dffs,
                              std::size_t n_frames, std::uint64_t seed,
                              std::span<const double> pi_one_prob,
                              Frame* capture_frames, ActivityAccum& a,
-                             ActivityScratch& sc) {
+                             ActivityScratch& sc,
+                             const core::CancelToken* cancel) {
   const auto& pis = net.inputs();
   a.frames += n_frames;
   a.seams += n_frames > 1 ? n_frames - 1 : 0;
@@ -180,6 +185,7 @@ void simulate_activity_shard(const Netlist& net, const LogicSim& sim,
   Frame& f = sc.f;
   Frame& prev = sc.prev;
   for (std::size_t fr = 0; fr < n_frames; ++fr) {
+    if (fr % kCancelBatchFrames == 0) core::poll_cancel(cancel);
     for (std::size_t i = 0; i < pis.size(); ++i) {
       double p = pi_one_prob.empty() ? 0.5 : pi_one_prob[i];
       sc.pi_words[i] = (p == 0.5) ? rng() : biased_word(rng, p);
@@ -211,7 +217,8 @@ void simulate_activity_shard_compiled(const Netlist& net,
                                       std::size_t n_frames, std::uint64_t seed,
                                       std::span<const double> pi_one_prob,
                                       Frame* capture_frames, ActivityAccum& a,
-                                      ActivityScratch& sc) {
+                                      ActivityScratch& sc,
+                                      const core::CancelToken* cancel) {
   const auto& pis = net.inputs();
   const auto& live = cs.live();
   const auto& dffs = cs.dffs();
@@ -229,6 +236,7 @@ void simulate_activity_shard_compiled(const Netlist& net,
   if (dffs.empty()) {
     const std::size_t B = block;
     for (std::size_t f0 = 0; f0 < n_frames; f0 += B) {
+      if ((f0 / B) % kCancelBatchFrames == 0) core::poll_cancel(cancel);
       // Tail blocks evaluate all B lanes but only the first `b` are drawn,
       // counted and captured; stale trailing lanes are inert.
       const std::size_t b = std::min(B, n_frames - f0);
@@ -259,6 +267,7 @@ void simulate_activity_shard_compiled(const Netlist& net,
     for (std::size_t i = 0; i < dffs.size(); ++i)
       sc.state[i] = net.node(dffs[i]).init_value ? ~0ULL : 0ULL;
     for (std::size_t fr = 0; fr < n_frames; ++fr) {
+      if (fr % kCancelBatchFrames == 0) core::poll_cancel(cancel);
       for (std::size_t i = 0; i < pis.size(); ++i) val[pis[i]] = pi_word(i);
       for (std::size_t i = 0; i < dffs.size(); ++i)
         val[dffs[i]] = sc.state[i];
@@ -308,7 +317,8 @@ ActivityStats stats_from_counts(std::span<const std::uint64_t> ones,
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
                                std::span<const double> pi_one_prob,
-                               ActivityTrace* capture) {
+                               ActivityTrace* capture,
+                               const core::CancelToken* cancel) {
   auto dffs = net.dffs();
   const SimOptions opts = sim_options();
   const bool compiled = opts.use_compiled;
@@ -362,6 +372,7 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
       sc.last.assign(net.size(), 0);
     }
     for (std::size_t s = s_begin; s < s_end; ++s) {
+      core::poll_cancel(cancel);
       // A single-shard plan keeps the legacy RNG stream (`seed` itself)
       // and runs all frames (sequential plans carry total == 0).
       const bool solo = plan.shards == 1;
@@ -371,10 +382,11 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
           capture ? capture->frames.data() + plan.begin(s) : nullptr;
       if (compiled)
         simulate_activity_shard_compiled(net, *csim, block, shard_frames,
-                                         sseed, pi_one_prob, cap, a, sc);
+                                         sseed, pi_one_prob, cap, a, sc,
+                                         cancel);
       else
         simulate_activity_shard(net, *isim, dffs, shard_frames, sseed,
-                                pi_one_prob, cap, a, sc);
+                                pi_one_prob, cap, a, sc, cancel);
     }
   };
   if (n_chunks == 1)

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lps::sim {
@@ -128,11 +129,15 @@ ActivityStats stats_from_counts(std::span<const std::uint64_t> ones,
 /// (n_frames, seed) and independent of the thread count.  When `capture` is
 /// non-null the full per-frame value matrix and exact counters are recorded
 /// into it (one extra frame copy per simulated frame; the statistics are
-/// unchanged).
+/// unchanged).  A non-null `cancel` token is polled at shard boundaries and
+/// every frame batch within a shard; when it fires the run throws
+/// core::CancelledError and all partial counts are discarded — cancellation
+/// never yields a truncated (and therefore wrong) statistic.
 ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
                                std::uint64_t seed,
                                std::span<const double> pi_one_prob = {},
-                               ActivityTrace* capture = nullptr);
+                               ActivityTrace* capture = nullptr,
+                               const core::CancelToken* cancel = nullptr);
 
 /// Random-vector combinational equivalence check: simulates both networks on
 /// the same input stream (inputs matched by position) and compares outputs
