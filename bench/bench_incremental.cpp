@@ -292,6 +292,63 @@ BENCHMARK(bm_reestimate_mult8_comp);
 BENCHMARK(bm_reestimate_dag_interp);
 BENCHMARK(bm_reestimate_dag_comp);
 
+// Width-paired incremental updates: <base>_wide_scalar / <base>_wide_<isa>
+// feed the SIMD speedup column in aggregate_bench.py.  The blocked cone
+// driver gathers boundary words, replays the cone under the selected
+// kernels and scatters the gate columns back; the lane width must change
+// only the wall clock.  Unsupported widths are skipped with an error so
+// the JSON omits them.
+template <typename Make>
+void bm_inc_width(benchmark::State& state, Make make, sim::SimdWidth w) {
+  if (sim::resolve_simd(w) != w) {
+    state.SkipWithError("lane width unsupported on this host");
+    return;
+  }
+  sim::SimOptions o = sim::sim_options();
+  o.use_compiled = true;
+  o.width = w;
+  sim::ScopedSimOptions scope(o);
+  Netlist net = make();
+  auto ao = zd_options();
+  power::IncrementalAnalyzer inc(net, ao);
+  auto touched = mutate_po_driver(net);
+  for (auto _ : state) {
+    const auto& a = inc.reanalyze(touched);
+    benchmark::DoNotOptimize(a.report.breakdown.switching_w);
+  }
+}
+
+void bm_reestimate_mult8_wide_scalar(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::array_multiplier(8); },
+               sim::SimdWidth::Scalar);
+}
+void bm_reestimate_mult8_wide_avx2(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::array_multiplier(8); },
+               sim::SimdWidth::Avx2);
+}
+void bm_reestimate_mult8_wide_avx512(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::array_multiplier(8); },
+               sim::SimdWidth::Avx512);
+}
+void bm_reestimate_dag_wide_scalar(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::random_dag(16, 400, 11); },
+               sim::SimdWidth::Scalar);
+}
+void bm_reestimate_dag_wide_avx2(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::random_dag(16, 400, 11); },
+               sim::SimdWidth::Avx2);
+}
+void bm_reestimate_dag_wide_avx512(benchmark::State& s) {
+  bm_inc_width(s, [] { return bench::random_dag(16, 400, 11); },
+               sim::SimdWidth::Avx512);
+}
+BENCHMARK(bm_reestimate_mult8_wide_scalar);
+BENCHMARK(bm_reestimate_mult8_wide_avx2);
+BENCHMARK(bm_reestimate_mult8_wide_avx512);
+BENCHMARK(bm_reestimate_dag_wide_scalar);
+BENCHMARK(bm_reestimate_dag_wide_avx2);
+BENCHMARK(bm_reestimate_dag_wide_avx512);
+
 }  // namespace
 
 LPS_BENCH_MAIN(report)

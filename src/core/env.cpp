@@ -80,6 +80,29 @@ EnvParse parse_env_bool(const char* name, const char* text, bool def) {
                 "expected 0, 1, false or true, got '" + std::string(s) + "'");
 }
 
+EnvParse parse_env_choice(const char* name, const char* text,
+                          const char* const* choices, std::size_t n_choices,
+                          std::size_t def_index) {
+  EnvParse r;
+  r.value = static_cast<long>(def_index);
+  if (text == nullptr) return r;
+  r.present = true;
+  std::string_view s(text);
+  for (std::size_t i = 0; i < n_choices; ++i) {
+    if (s == choices[i]) {
+      r.value = static_cast<long>(i);
+      return r;
+    }
+  }
+  std::string expected;
+  for (std::size_t i = 0; i < n_choices; ++i) {
+    if (i != 0) expected += i + 1 == n_choices ? " or " : ", ";
+    expected += choices[i];
+  }
+  return reject(name, static_cast<long>(def_index), 1,
+                "expected " + expected + ", got '" + std::string(s) + "'");
+}
+
 namespace {
 
 void report(const EnvParse& r) {
@@ -99,6 +122,14 @@ bool env_bool_or(const char* name, bool def) {
   EnvParse r = parse_env_bool(name, std::getenv(name), def);
   report(r);
   return r.value != 0;
+}
+
+std::size_t env_choice_or(const char* name, const char* const* choices,
+                          std::size_t n_choices, std::size_t def_index) {
+  EnvParse r = parse_env_choice(name, std::getenv(name), choices, n_choices,
+                                def_index);
+  report(r);
+  return static_cast<std::size_t>(r.value);
 }
 
 }  // namespace lps::core

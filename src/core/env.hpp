@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -46,11 +47,22 @@ EnvParse parse_env_long(const char* name, const char* text, long min_v,
 /// and falls back to `def`.
 EnvParse parse_env_bool(const char* name, const char* text, bool def);
 
+/// Parse an enumerated-choice knob (e.g. LPS_SIM_WIDTH=scalar|avx2|avx512|
+/// auto): `text` must exactly match one of the `n_choices` strings in
+/// `choices` (no whitespace, no case folding), and the parsed value is the
+/// matching index.  Anything else is rejected with a positioned diagnostic
+/// listing the accepted spellings and falls back to `def_index`.
+EnvParse parse_env_choice(const char* name, const char* text,
+                          const char* const* choices, std::size_t n_choices,
+                          std::size_t def_index);
+
 /// getenv + parse + report: reads the variable, and when the value is
 /// malformed prints the diagnostic to stderr (exactly once per call) before
 /// returning the default.  The sampling sites use these; tests exercise the
 /// pure parse functions above.
 long env_long_or(const char* name, long min_v, long max_v, long def);
 bool env_bool_or(const char* name, bool def);
+std::size_t env_choice_or(const char* name, const char* const* choices,
+                          std::size_t n_choices, std::size_t def_index);
 
 }  // namespace lps::core

@@ -6,13 +6,41 @@
 #include "core/env.hpp"
 #include "core/metrics.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace lps::core {
 
-ThreadPool::ThreadPool(unsigned workers) {
+namespace {
+
+// Pin the calling thread to one CPU, round-robin over the visible set.
+// Best-effort: a failed affinity call (restricted cpuset, exotic kernel) is
+// ignored — pinning is a locality hint, never a correctness requirement.
+void pin_self(unsigned slot) {
+#if defined(__linux__)
+  unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(slot % ncpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)slot;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers, bool pin) : pinned_(pin) {
   metrics::count("parallel.pools_built");
   workers_.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) {
-    workers_.emplace_back([this] {
+    workers_.emplace_back([this, t, pin] {
+      // Worker t takes CPU slot t + 1; the submitting thread (which also
+      // executes chunks) implicitly owns slot 0.
+      if (pin) pin_self(t + 1);
       std::unique_lock lk(mu_);
       for (;;) {
         cv_.wait(lk, [&] { return stop_ || (job_ && job_->next < job_->n); });
@@ -69,6 +97,8 @@ namespace {
 
 std::mutex g_config_mu;
 unsigned g_threads = 0;  // 0 = not yet initialized
+int g_pin = -1;          // -1 = not yet sampled from LPS_SIM_PIN
+int g_numa = -1;         // -1 = not yet sampled from LPS_SIM_NUMA
 std::unique_ptr<ThreadPool> g_pool;
 
 unsigned default_threads() {
@@ -95,8 +125,35 @@ void set_num_threads(unsigned n) {
   g_pool.reset();  // rebuilt lazily at the new size
 }
 
+bool pin_threads() {
+  std::lock_guard lk(g_config_mu);
+  if (g_pin < 0) g_pin = env_bool_or("LPS_SIM_PIN", false) ? 1 : 0;
+  return g_pin != 0;
+}
+
+void set_pin_threads(bool pin) {
+  std::lock_guard lk(g_config_mu);
+  int v = pin ? 1 : 0;
+  if (g_pin == v) return;
+  g_pin = v;
+  g_pool.reset();  // rebuilt lazily with the new affinity policy
+}
+
+bool numa_first_touch() {
+  std::lock_guard lk(g_config_mu);
+  if (g_numa < 0) g_numa = env_bool_or("LPS_SIM_NUMA", true) ? 1 : 0;
+  return g_numa != 0;
+}
+
+void set_numa_first_touch(bool on) {
+  std::lock_guard lk(g_config_mu);
+  g_numa = on ? 1 : 0;  // policy is read per-run by the drivers; no pool churn
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   unsigned threads = num_threads();
+  // Sampled before g_config_mu is taken below — pin_threads() locks it too.
+  bool pin = pin_threads();
   metrics::count("parallel.jobs");
   metrics::count("parallel.indices", static_cast<double>(n));
   if (threads <= 1 || n <= 1) {
@@ -106,11 +163,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   ThreadPool* pool;
   {
     std::lock_guard lk(g_config_mu);
-    if (!g_pool || g_pool->lanes() != g_threads)
-      g_pool = std::make_unique<ThreadPool>(g_threads - 1);
+    if (!g_pool || g_pool->lanes() != g_threads || g_pool->pinned() != pin)
+      g_pool = std::make_unique<ThreadPool>(g_threads - 1, pin);
     pool = g_pool.get();
   }
   pool->for_each_index(n, fn);
+}
+
+std::size_t plan_chunks(std::size_t shards) {
+  unsigned t = num_threads();
+  std::size_t lanes = t <= 1 ? 1 : static_cast<std::size_t>(t) * 2;
+  return std::max<std::size_t>(1, std::min(shards, lanes));
 }
 
 ShardPlan plan_shards(std::size_t total, std::size_t min_per_shard,

@@ -98,8 +98,13 @@ inline void poll_cancel(const CancelToken* t) {
 class ThreadPool {
  public:
   /// `workers` background threads (0 is legal: every job then runs entirely
-  /// on the submitting thread).
-  explicit ThreadPool(unsigned workers);
+  /// on the submitting thread).  With `pin` set, worker t is pinned to CPU
+  /// t % hardware_concurrency (Linux only; elsewhere `pin` is accepted and
+  /// ignored) — see pin_threads() for why this is opt-in.
+  explicit ThreadPool(unsigned workers, bool pin = false);
+
+  /// Whether this pool's workers were pinned at construction.
+  bool pinned() const { return pinned_; }
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -132,6 +137,7 @@ class ThreadPool {
   std::mutex submit_mu_;             // serializes for_each_index callers
   Job* job_ = nullptr;
   bool stop_ = false;
+  bool pinned_ = false;
   std::vector<std::thread> workers_;
 };
 
@@ -163,6 +169,45 @@ class ScopedThreads {
 /// Run fn(i) for i in [0, n) on the shared pool (caller participates).
 /// With 1 configured thread or n <= 1 this is a plain serial loop.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Whether pool workers are pinned to cores (LPS_SIM_PIN, default off:
+/// pinning helps dedicated estimation servers — stable L1/L2 residency for
+/// each shard chunk's scratch, no migration between tape replays — but
+/// hurts oversubscribed hosts where the scheduler needs to move work).
+/// Same first-call caching and set-override contract as num_threads();
+/// flipping it rebuilds the shared pool lazily.  Placement never changes
+/// results — the determinism contract is seed/shard-plan based.
+bool pin_threads();
+void set_pin_threads(bool pin);
+
+/// First-touch placement policy for shard-chunk scratch (LPS_SIM_NUMA,
+/// default on): with it on, the Monte Carlo drivers allocate and first
+/// write each chunk's scratch *inside the chunk task*, so the pages land
+/// on the executing worker's NUMA node; off pre-faults the scratch on the
+/// submitting thread (single-node placement — the A/B baseline).  Purely a
+/// placement policy: counters and frames are bit-identical either way.
+bool numa_first_touch();
+void set_numa_first_touch(bool on);
+
+/// RAII pin/first-touch override for benchmarks and tests.
+class ScopedPinning {
+ public:
+  ScopedPinning(bool pin, bool numa)
+      : prev_pin_(pin_threads()), prev_numa_(numa_first_touch()) {
+    set_pin_threads(pin);
+    set_numa_first_touch(numa);
+  }
+  ~ScopedPinning() {
+    set_pin_threads(prev_pin_);
+    set_numa_first_touch(prev_numa_);
+  }
+  ScopedPinning(const ScopedPinning&) = delete;
+  ScopedPinning& operator=(const ScopedPinning&) = delete;
+
+ private:
+  bool prev_pin_;
+  bool prev_numa_;
+};
 
 /// Finalizing 64-bit mixer (splitmix64).
 constexpr std::uint64_t mix64(std::uint64_t x) {
@@ -196,5 +241,15 @@ struct ShardPlan {
 /// shards (so tiny workloads stay serial and keep their legacy RNG stream).
 ShardPlan plan_shards(std::size_t total, std::size_t min_per_shard,
                       std::size_t max_shards = 64);
+
+/// Pool-dispatch grain for `shards` independent shards: how many chunk
+/// tasks the Monte Carlo drivers submit.  Two chunks per execution lane
+/// (capped by the shard count) so a lane that finishes early steals a
+/// second chunk instead of idling — with one-chunk-per-lane the whole run
+/// waits on the slowest lane, which is what flattened the 8/16-thread
+/// scaling curve.  Chunk boundaries never affect results: per-shard seeds
+/// and counts come from the plan alone, and chunk accumulators merge in
+/// chunk order == shard order.
+std::size_t plan_chunks(std::size_t shards);
 
 }  // namespace lps::core

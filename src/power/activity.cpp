@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/simd.hpp"
+
 namespace lps::power {
 
 namespace {
@@ -66,6 +68,10 @@ Analysis assemble_zero_delay(const Netlist& net, const sim::ActivityStats& st,
       clock_power(net, enable_duties(net, st.signal_prob), opt.params);
   a.report.breakdown.switching_w += a.clock_power_w;
   a.vectors_used = st.patterns;
+  // Stamped here — the one assembly point both analyze() and the
+  // incremental analyzer share — so full and incremental results report
+  // the same engine string.
+  a.engine = sim::engine_desc();
   return a;
 }
 
@@ -81,6 +87,7 @@ Analysis analyze(const Netlist& net, const AnalysisOptions& opt) {
   }
   auto ts = sim::measure_timed_activity(net, opt.n_vectors, opt.seed,
                                         opt.pi_one_prob, opt.cancel);
+  a.engine = "eventsim";
   a.vectors_used = ts.vectors;
   a.toggles_per_cycle.assign(net.size(), 0.0);
   std::vector<double> functional(net.size(), 0.0);
@@ -127,6 +134,7 @@ Analysis analyze_sequence(const Netlist& net,
   }
   const auto& ts = es.stats();
   Analysis a;
+  a.engine = "eventsim";
   a.vectors_used = ts.vectors;
   double nv = static_cast<double>(std::max<std::size_t>(1, ts.vectors));
   a.toggles_per_cycle.assign(net.size(), 0.0);

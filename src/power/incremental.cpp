@@ -1,11 +1,12 @@
 #include "power/incremental.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <utility>
 
-#include <atomic>
-
+#include "core/aligned.hpp"
 #include "core/metrics.hpp"
 
 namespace lps::power {
@@ -207,41 +208,92 @@ const Analysis& IncrementalAnalyzer::reanalyze(
   for (NodeId id : sched.gates) snapshot_column(id);
   for (NodeId id : sched.dffs) snapshot_column(id);
 
-  // Frame-by-frame in-place sweep.  frames[fr-1] is already updated when
-  // frame fr is processed, so register stepping and toggle counting read
-  // the new value stream exactly as a full re-simulation would.  The sweep
-  // polls the cancellation token per frame; on any throw the snapshot just
-  // built is played back immediately, so partially rewritten columns never
-  // escape — the exception-safety contract in the header.
+  // In-place sweep.  frames[fr-1] is already updated when frame fr is
+  // processed, so register stepping and toggle counting read the new value
+  // stream exactly as a full re-simulation would.  The sweep polls the
+  // cancellation token per frame (per block on the blocked path); on any
+  // throw the snapshot just built is played back immediately, so partially
+  // rewritten columns never escape — the exception-safety contract in the
+  // header.
+  //
+  // Register-free cones on the compiled tape take a blocked drive: B
+  // frames' worth of cone-boundary words are gathered node-major into an
+  // aligned value block, one exec_gates replay evaluates all B lanes with
+  // the SIMD kernels, and the gate columns are scattered back.  Each lane
+  // is an independent frame of a combinational cone, so lane j's words
+  // equal the frame-by-frame path's words exactly; the counting pass below
+  // then reads identical frames either way.
+  const std::size_t block_frames =
+      (compiled_path && sched.dffs.empty() && n_frames > 1)
+          ? sim::normalize_block(sim::sim_options().block)
+          : 1;
   try {
-    for (std::size_t fr = 0; fr < n_frames; ++fr) {
-      core::poll_cancel(opt_.cancel);
-      sim::Frame& f = trace_.frames[fr];
-      const sim::Frame* prev =
-          trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
-      for (NodeId d : sched.dffs) {
-        const Node& nd = net.node(d);
-        if (!prev) {
-          f[d] = nd.init_value ? ~0ULL : 0ULL;
-        } else {
-          std::uint64_t next = (*prev)[nd.fanins[0]];
-          if (nd.fanins.size() == 2) {
-            std::uint64_t en = (*prev)[nd.fanins[1]];
-            next = (en & next) | (~en & (*prev)[d]);  // hold on EN = 0
-          }
-          f[d] = next;
+    if (block_frames > 1) {
+      const std::size_t B = block_frames;
+      // Slots a replay touches: the cone gates and every boundary fanin.
+      std::vector<NodeId> slots(sched.gates.begin(), sched.gates.end());
+      for (NodeId g : sched.gates)
+        for (NodeId f : net.node(g).fanins) slots.push_back(f);
+      std::sort(slots.begin(), slots.end());
+      slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+      core::AlignedWords val(net.size() * B, 0);
+      std::uint64_t* v = val.data();
+      for (std::size_t f0 = 0; f0 < n_frames; f0 += B) {
+        core::poll_cancel(opt_.cancel);
+        // Tail blocks evaluate all B lanes but only the first `b` carry
+        // real frames; stale trailing lanes are inert (never scattered).
+        const std::size_t b = std::min(B, n_frames - f0);
+        for (NodeId s : slots) {
+          std::uint64_t* w = v + static_cast<std::size_t>(s) * B;
+          for (std::size_t j = 0; j < b; ++j) w[j] = trace_.frames[f0 + j][s];
+        }
+        csim_->exec_gates(v, B, sched.gates);
+        for (NodeId g : sched.gates) {
+          const std::uint64_t* w = v + static_cast<std::size_t>(g) * B;
+          for (std::size_t j = 0; j < b; ++j) trace_.frames[f0 + j][g] = w[j];
         }
       }
-      if (compiled_path)
-        csim_->exec_gates(f.data(), 1, sched.gates);
-      else
-        isim->eval_cone_into(f, sched);
-      auto count = [&](NodeId id) {
-        trace_.ones[id] += std::popcount(f[id]);
-        if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
-      };
-      for (NodeId id : sched.dffs) count(id);
-      for (NodeId id : sched.gates) count(id);
+      // Counting pass over the now-updated frames — same arithmetic, same
+      // order as the frame-by-frame path (no registers in this cone).
+      for (std::size_t fr = 0; fr < n_frames; ++fr) {
+        const sim::Frame& f = trace_.frames[fr];
+        const sim::Frame* prev =
+            trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
+        for (NodeId id : sched.gates) {
+          trace_.ones[id] += std::popcount(f[id]);
+          if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
+        }
+      }
+    } else {
+      for (std::size_t fr = 0; fr < n_frames; ++fr) {
+        core::poll_cancel(opt_.cancel);
+        sim::Frame& f = trace_.frames[fr];
+        const sim::Frame* prev =
+            trace_.shard_start[fr] ? nullptr : &trace_.frames[fr - 1];
+        for (NodeId d : sched.dffs) {
+          const Node& nd = net.node(d);
+          if (!prev) {
+            f[d] = nd.init_value ? ~0ULL : 0ULL;
+          } else {
+            std::uint64_t next = (*prev)[nd.fanins[0]];
+            if (nd.fanins.size() == 2) {
+              std::uint64_t en = (*prev)[nd.fanins[1]];
+              next = (en & next) | (~en & (*prev)[d]);  // hold on EN = 0
+            }
+            f[d] = next;
+          }
+        }
+        if (compiled_path)
+          csim_->exec_gates(f.data(), 1, sched.gates);
+        else
+          isim->eval_cone_into(f, sched);
+        auto count = [&](NodeId id) {
+          trace_.ones[id] += std::popcount(f[id]);
+          if (prev) trace_.toggles[id] += std::popcount(f[id] ^ (*prev)[id]);
+        };
+        for (NodeId id : sched.dffs) count(id);
+        for (NodeId id : sched.gates) count(id);
+      }
     }
 
     // Splice: derive the report from the updated integer counters through

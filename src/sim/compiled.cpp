@@ -6,6 +6,8 @@
 
 #include "core/env.hpp"
 #include "core/metrics.hpp"
+#include "sim/kernels.hpp"
+#include "sim/kernels_impl.hpp"
 
 namespace lps::sim {
 
@@ -27,179 +29,88 @@ SimOptions& sim_options() {
     o.use_compiled = core::env_bool_or("LPS_SIM_COMPILED", o.use_compiled);
     o.block = normalize_block(static_cast<std::size_t>(core::env_long_or(
         "LPS_SIM_BLOCK", 1, 16, static_cast<long>(o.block))));
+    // Choice indices line up with the SimdWidth enumerators; a request the
+    // hardware or binary can't honor degrades at dispatch (resolve_simd),
+    // not here — the operator's intent is preserved for diagnostics.
+    static const char* const kWidths[] = {"scalar", "avx2", "avx512", "auto"};
+    o.width = static_cast<SimdWidth>(core::env_choice_or(
+        "LPS_SIM_WIDTH", kWidths, 4, static_cast<std::size_t>(o.width)));
     return o;
   }();
   return opt;
 }
 
+using Op = kern::Op;  // record opcodes live with the kernels now
+
 namespace {
 
-// Tape opcodes: specialized forms for the dominant small gates, n-ary
-// folds for everything wider.  Record layout (std::uint32_t words):
-//   [op | n_fanins << 8] [output node] [fanin node]*n_fanins
-enum class Op : std::uint8_t {
-  Const0,
-  Const1,
-  Buf,
-  Not,
-  And2,
-  Or2,
-  Nand2,
-  Nor2,
-  Xor2,
-  Xnor2,
-  Mux,
-  AndN,
-  OrN,
-  NandN,
-  NorN,
-  XorN,
-  XnorN,
-};
-
-// Execute one record over a block of B words per node and return the
-// pointer past the record.  Each opcode is the same bitwise expression
-// eval_gate (netlist.cpp) computes, with n-ary operands folded in fanin
-// order — this is what makes tape frames bit-identical to LogicSim's.
-template <unsigned B>
-inline const std::uint32_t* exec_record(const std::uint32_t* p,
-                                        std::uint64_t* val) {
-  const std::uint32_t h = *p++;
-  const std::uint32_t n = h >> 8;
-  // The network is acyclic, so a record's output slot never aliases any of
-  // its operand slots; restrict lets the per-lane loops autovectorize.
-  std::uint64_t* __restrict out = val + static_cast<std::size_t>(*p++) * B;
-  auto in = [&](std::uint32_t i) {
-    return static_cast<const std::uint64_t*>(val +
-                                             static_cast<std::size_t>(p[i]) *
-                                                 B);
-  };
-  switch (static_cast<Op>(h & 0xFFu)) {
-    case Op::Const0:
-      for (unsigned j = 0; j < B; ++j) out[j] = 0;
-      break;
-    case Op::Const1:
-      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
-      break;
-    case Op::Buf: {
-      const std::uint64_t* a = in(0);
-      for (unsigned j = 0; j < B; ++j) out[j] = a[j];
-      break;
-    }
-    case Op::Not: {
-      const std::uint64_t* a = in(0);
-      for (unsigned j = 0; j < B; ++j) out[j] = ~a[j];
-      break;
-    }
-    case Op::And2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = a[j] & b[j];
-      break;
-    }
-    case Op::Or2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = a[j] | b[j];
-      break;
-    }
-    case Op::Nand2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] & b[j]);
-      break;
-    }
-    case Op::Nor2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] | b[j]);
-      break;
-    }
-    case Op::Xor2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = a[j] ^ b[j];
-      break;
-    }
-    case Op::Xnor2: {
-      const std::uint64_t *a = in(0), *b = in(1);
-      for (unsigned j = 0; j < B; ++j) out[j] = ~(a[j] ^ b[j]);
-      break;
-    }
-    case Op::Mux: {
-      // fanins: s, a, b -> s ? b : a  (eval_gate's (~s & a) | (s & b))
-      const std::uint64_t *s = in(0), *a = in(1), *b = in(2);
-      for (unsigned j = 0; j < B; ++j)
-        out[j] = (~s[j] & a[j]) | (s[j] & b[j]);
-      break;
-    }
-    case Op::AndN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] &= a[j];
-      }
-      break;
-    }
-    case Op::OrN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] |= a[j];
-      }
-      break;
-    }
-    case Op::NandN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = ~0ULL;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] &= a[j];
-      }
-      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
-      break;
-    }
-    case Op::NorN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] |= a[j];
-      }
-      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
-      break;
-    }
-    case Op::XorN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] ^= a[j];
-      }
-      break;
-    }
-    case Op::XnorN: {
-      for (unsigned j = 0; j < B; ++j) out[j] = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t* a = in(i);
-        for (unsigned j = 0; j < B; ++j) out[j] ^= a[j];
-      }
-      for (unsigned j = 0; j < B; ++j) out[j] = ~out[j];
-      break;
-    }
+// Route one tape replay to the kernel build resolve_simd() picked.  The
+// AVX entry points are only reachable when their width was detected, so no
+// illegal instruction can execute (see kernels.hpp).
+void run_linear(SimdWidth w, const std::uint32_t* p, const std::uint32_t* end,
+                std::uint64_t* val, std::size_t block) {
+  switch (w) {
+#if defined(LPS_HAVE_AVX512_KERNELS)
+    case SimdWidth::Avx512:
+      kern::exec_linear_avx512(p, end, val, block);
+      return;
+#endif
+#if defined(LPS_HAVE_AVX2_KERNELS)
+    case SimdWidth::Avx2:
+      kern::exec_linear_avx2(p, end, val, block);
+      return;
+#endif
+    default:
+      kern::exec_linear_scalar(p, end, val, block);
+      return;
   }
-  return p + n;
 }
 
-template <unsigned B>
-void exec_linear(const std::uint32_t* p, const std::uint32_t* end,
-                 std::uint64_t* val) {
-  while (p != end) p = exec_record<B>(p, val);
-}
-
-template <unsigned B>
-void exec_list(const std::uint32_t* tape, const std::uint32_t* offset,
-               std::span<const lps::NodeId> gates, std::uint32_t no_record,
-               std::uint64_t* val) {
-  for (NodeId id : gates) {
-    std::uint32_t off = offset[id];
-    if (off != no_record) exec_record<B>(tape + off, val);
+void run_list(SimdWidth w, const std::uint32_t* tape,
+              const std::uint32_t* offset, std::span<const NodeId> gates,
+              std::uint64_t* val, std::size_t block) {
+  switch (w) {
+#if defined(LPS_HAVE_AVX512_KERNELS)
+    case SimdWidth::Avx512:
+      kern::exec_list_avx512(tape, offset, gates, val, block);
+      return;
+#endif
+#if defined(LPS_HAVE_AVX2_KERNELS)
+    case SimdWidth::Avx2:
+      kern::exec_list_avx2(tape, offset, gates, val, block);
+      return;
+#endif
+    default:
+      kern::exec_list_scalar(tape, offset, gates, val, block);
+      return;
   }
 }
 
 }  // namespace
+
+void count_columns(const std::uint64_t* val, std::span<const NodeId> nodes,
+                   std::size_t block, std::size_t b, bool first,
+                   std::uint64_t* ones, std::uint64_t* toggles,
+                   std::uint64_t* last) {
+  switch (resolve_simd(sim_options().width)) {
+#if defined(LPS_HAVE_AVX512_KERNELS)
+    case SimdWidth::Avx512:
+      kern::count_columns_avx512(val, nodes, block, b, first, ones, toggles,
+                                 last);
+      return;
+#endif
+#if defined(LPS_HAVE_AVX2_KERNELS)
+    case SimdWidth::Avx2:
+      kern::count_columns_avx2(val, nodes, block, b, first, ones, toggles,
+                               last);
+      return;
+#endif
+    default:
+      kern::count_columns_scalar(val, nodes, block, b, first, ones, toggles,
+                                 last);
+      return;
+  }
+}
 
 CompiledSim::CompiledSim(const Netlist& net) : net_(&net) { rebuild(); }
 
@@ -296,33 +207,18 @@ void CompiledSim::exec_all(std::uint64_t* val, std::size_t block) const {
   if (!compact_)
     throw std::logic_error(
         "CompiledSim::exec_all: tape is patched; use exec_gates");
-  const std::uint32_t* p = tape_.data();
-  const std::uint32_t* end = p + tape_.size();
-  switch (block) {
-    case 1: exec_linear<1>(p, end, val); break;
-    case 2: exec_linear<2>(p, end, val); break;
-    case 4: exec_linear<4>(p, end, val); break;
-    case 8: exec_linear<8>(p, end, val); break;
-    case 16: exec_linear<16>(p, end, val); break;
-    default:
-      throw std::invalid_argument("CompiledSim::exec_all: unsupported block");
-  }
+  if (block != normalize_block(block))
+    throw std::invalid_argument("CompiledSim::exec_all: unsupported block");
+  run_linear(resolve_simd(sim_options().width), tape_.data(),
+             tape_.data() + tape_.size(), val, block);
 }
 
 void CompiledSim::exec_gates(std::uint64_t* val, std::size_t block,
                              std::span<const NodeId> gates) const {
-  const std::uint32_t* tape = tape_.data();
-  const std::uint32_t* offs = offset_.data();
-  switch (block) {
-    case 1: exec_list<1>(tape, offs, gates, kNoRecord, val); break;
-    case 2: exec_list<2>(tape, offs, gates, kNoRecord, val); break;
-    case 4: exec_list<4>(tape, offs, gates, kNoRecord, val); break;
-    case 8: exec_list<8>(tape, offs, gates, kNoRecord, val); break;
-    case 16: exec_list<16>(tape, offs, gates, kNoRecord, val); break;
-    default:
-      throw std::invalid_argument(
-          "CompiledSim::exec_gates: unsupported block");
-  }
+  if (block != normalize_block(block))
+    throw std::invalid_argument("CompiledSim::exec_gates: unsupported block");
+  run_list(resolve_simd(sim_options().width), tape_.data(), offset_.data(),
+           gates, val, block);
 }
 
 ConeSchedule CompiledSim::cone_schedule(const std::vector<bool>& mask) const {

@@ -39,18 +39,21 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/logicsim.hpp"
+#include "sim/simd.hpp"
 
 namespace lps::sim {
 
 /// Process-wide simulation engine knobs, sampled once from the environment
 /// (LPS_SIM_COMPILED=0 disables the tape, LPS_SIM_BLOCK=1|2|4|8|16 sets the
-/// frame-blocking factor) on the first sim_options() call — the same
-/// caching contract as LPS_THREADS (core/parallel.hpp).  Tests and benches
-/// override via ScopedSimOptions; both engines produce bit-identical
-/// results, so the flag trades only speed.
+/// frame-blocking factor, LPS_SIM_WIDTH=scalar|avx2|avx512|auto picks the
+/// kernel lane width) on the first sim_options() call — the same caching
+/// contract as LPS_THREADS (core/parallel.hpp).  Tests and benches override
+/// via ScopedSimOptions; every engine/width/block choice produces
+/// bit-identical results, so the knobs trade only speed.
 struct SimOptions {
   bool use_compiled = true;  // route Monte Carlo drivers through CompiledSim
   std::size_t block = 16;    // 64-bit words evaluated per tape step (1..16)
+  SimdWidth width = SimdWidth::Auto;  // kernel lane width (see sim/simd.hpp)
 };
 
 /// The mutable global options record (not thread-safe to flip while a
@@ -59,6 +62,21 @@ SimOptions& sim_options();
 
 /// Largest supported blocking factor <= `b` (supported: 1, 2, 4, 8, 16).
 std::size_t normalize_block(std::size_t b);
+
+/// Activity-counter accumulation over an evaluated value block, routed to
+/// the same ISA kernel build resolve_simd() picks for the tape replay: for
+/// each listed node add the set-bit and toggle popcounts of its first `b`
+/// lanes into ones[]/toggles[] and leave the closing lane word in last[]
+/// (the cross-block seam carry).  `first` marks the first block of a
+/// stream: the lane-0 toggle is then counted against itself (zero), i.e.
+/// no toggle lands in frame 0.  Counter sums are exact integer adds, so
+/// every kernel build produces identical counts — the dispatch trades only
+/// speed (the wide builds use the POPCNT instruction, the scalar fallback
+/// stays baseline-portable).
+void count_columns(const std::uint64_t* val, std::span<const NodeId> nodes,
+                   std::size_t block, std::size_t b, bool first,
+                   std::uint64_t* ones, std::uint64_t* toggles,
+                   std::uint64_t* last);
 
 /// RAII override of sim_options() for tests and differential benches.
 class ScopedSimOptions {

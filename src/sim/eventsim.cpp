@@ -230,8 +230,10 @@ TimedStats measure_timed_activity(const Netlist& net, std::size_t n_vectors,
                          cancel);
     st = sim.stats();
   } else {
-    const std::size_t n_chunks = std::max<std::size_t>(
-        1, std::min<std::size_t>(plan.shards, core::num_threads()));
+    // Two chunks per lane (core::plan_chunks) so early-finishing lanes
+    // steal work; the EventSim instance and its wheel are constructed
+    // inside the chunk, so their pages first-touch on the owning worker.
+    const std::size_t n_chunks = core::plan_chunks(plan.shards);
     std::vector<TimedStats> parts(n_chunks);
     core::parallel_for(n_chunks, [&](std::size_t c) {
       const std::size_t s_begin = c * plan.shards / n_chunks;

@@ -1,0 +1,63 @@
+// kernels.hpp — exported entry points of the ISA-specific kernel builds.
+//
+// Each translation unit (kernels_scalar.cpp, kernels_avx2.cpp,
+// kernels_avx512.cpp) instantiates the templated kernels from
+// kernels_impl.hpp with its own word-vector traits and exports exactly
+// three functions: a linear tape replay, an offset-table gate-list replay,
+// and the activity-counter accumulation over an evaluated value block.
+// CompiledSim (sim/compiled.cpp) picks an entry point per call from
+// resolve_simd() — these functions themselves do no CPU probing, so they
+// must only be invoked when the matching ISA was detected (the AVX
+// variants execute wide instructions unconditionally).
+//
+// Block handling: every entry accepts any supported block factor
+// {1,2,4,8,16}.  Blocks narrower than the build's vector width run through
+// the narrowest traits that fit, *compiled inside the same TU* (an AVX2
+// TU's scalar instantiation may use VEX encodings — fine, the TU is only
+// entered when AVX2 is available).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "netlist/netlist.hpp"
+
+namespace lps::sim::kern {
+
+void exec_linear_scalar(const std::uint32_t* p, const std::uint32_t* end,
+                        std::uint64_t* val, std::size_t block);
+void exec_list_scalar(const std::uint32_t* tape, const std::uint32_t* offset,
+                      std::span<const NodeId> gates, std::uint64_t* val,
+                      std::size_t block);
+void count_columns_scalar(const std::uint64_t* val,
+                          std::span<const NodeId> nodes, std::size_t block,
+                          std::size_t b, bool first, std::uint64_t* ones,
+                          std::uint64_t* toggles, std::uint64_t* last);
+
+#if defined(LPS_HAVE_AVX2_KERNELS)
+void exec_linear_avx2(const std::uint32_t* p, const std::uint32_t* end,
+                      std::uint64_t* val, std::size_t block);
+void exec_list_avx2(const std::uint32_t* tape, const std::uint32_t* offset,
+                    std::span<const NodeId> gates, std::uint64_t* val,
+                    std::size_t block);
+void count_columns_avx2(const std::uint64_t* val,
+                        std::span<const NodeId> nodes, std::size_t block,
+                        std::size_t b, bool first, std::uint64_t* ones,
+                        std::uint64_t* toggles, std::uint64_t* last);
+#endif
+
+#if defined(LPS_HAVE_AVX512_KERNELS)
+void exec_linear_avx512(const std::uint32_t* p, const std::uint32_t* end,
+                        std::uint64_t* val, std::size_t block);
+void exec_list_avx512(const std::uint32_t* tape, const std::uint32_t* offset,
+                      std::span<const NodeId> gates, std::uint64_t* val,
+                      std::size_t block);
+void count_columns_avx512(const std::uint64_t* val,
+                          std::span<const NodeId> nodes, std::size_t block,
+                          std::size_t b, bool first, std::uint64_t* ones,
+                          std::uint64_t* toggles, std::uint64_t* last);
+#endif
+
+}  // namespace lps::sim::kern

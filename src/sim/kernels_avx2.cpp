@@ -1,0 +1,82 @@
+// kernels_avx2.cpp — 256-bit kernel build.  This TU (alone) is compiled
+// with -mavx2, so EVERY function here may contain AVX2 instructions —
+// including the block 1/2 fallback instantiations, which use ScalarOps
+// logic but this TU's codegen.  Callers must therefore only enter through
+// these exports when resolve_simd() reported Avx2 or wider.
+
+#include "sim/kernels.hpp"
+
+#if defined(LPS_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <stdexcept>
+
+#include "sim/kernels_impl.hpp"
+
+namespace lps::sim::kern {
+
+namespace {
+
+/// 256-bit word-vector traits: 4 uint64 words per op.  Bitwise ops are
+/// exact per lane, so results match ScalarOps bit for bit.
+struct Avx2Ops {
+  using V = __m256i;
+  static constexpr unsigned kWords = 4;
+  static V load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V zero() { return _mm256_setzero_si256(); }
+  static V ones() { return _mm256_set1_epi64x(-1); }
+  static V band(V a, V b) { return _mm256_and_si256(a, b); }
+  static V bor(V a, V b) { return _mm256_or_si256(a, b); }
+  static V bxor(V a, V b) { return _mm256_xor_si256(a, b); }
+  static V bnot(V a) { return _mm256_xor_si256(a, ones()); }
+  static V bandnot(V a, V b) { return _mm256_andnot_si256(a, b); }  // ~a & b
+};
+
+}  // namespace
+
+void exec_linear_avx2(const std::uint32_t* p, const std::uint32_t* end,
+                      std::uint64_t* val, std::size_t block) {
+  switch (block) {
+    case 1: exec_linear_v<ScalarOps, 1>(p, end, val); break;
+    case 2: exec_linear_v<ScalarOps, 2>(p, end, val); break;
+    case 4: exec_linear_v<Avx2Ops, 4>(p, end, val); break;
+    case 8: exec_linear_v<Avx2Ops, 8>(p, end, val); break;
+    case 16: exec_linear_v<Avx2Ops, 16>(p, end, val); break;
+    default:
+      throw std::invalid_argument("exec_linear_avx2: unsupported block");
+  }
+}
+
+void exec_list_avx2(const std::uint32_t* tape, const std::uint32_t* offset,
+                    std::span<const NodeId> gates, std::uint64_t* val,
+                    std::size_t block) {
+  switch (block) {
+    case 1: exec_list_v<ScalarOps, 1>(tape, offset, gates, val); break;
+    case 2: exec_list_v<ScalarOps, 2>(tape, offset, gates, val); break;
+    case 4: exec_list_v<Avx2Ops, 4>(tape, offset, gates, val); break;
+    case 8: exec_list_v<Avx2Ops, 8>(tape, offset, gates, val); break;
+    case 16: exec_list_v<Avx2Ops, 16>(tape, offset, gates, val); break;
+    default:
+      throw std::invalid_argument("exec_list_avx2: unsupported block");
+  }
+}
+
+// This TU is built with -mpopcnt (every AVX-capable CPU has POPCNT), so
+// std::popcount in the counting loop is the hardware instruction; the
+// scalar TU keeps the baseline-portable software fold.
+void count_columns_avx2(const std::uint64_t* val,
+                        std::span<const NodeId> nodes, std::size_t block,
+                        std::size_t b, bool first, std::uint64_t* ones,
+                        std::uint64_t* toggles, std::uint64_t* last) {
+  count_columns_impl(val, nodes, block, b, first, ones, toggles, last);
+}
+
+}  // namespace lps::sim::kern
+
+#endif  // LPS_HAVE_AVX2_KERNELS

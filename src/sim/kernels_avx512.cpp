@@ -1,0 +1,102 @@
+// kernels_avx512.cpp — 512-bit kernel build.  This TU (alone) is compiled
+// with -mavx512f/bw/dq/vl, so every function here may contain AVX-512
+// instructions.  Block 4 uses 256-bit ops (AVX-512 implies AVX2) and
+// blocks 1/2 use scalar logic — all with this TU's codegen, so callers
+// must only enter when resolve_simd() reported Avx512.
+
+#include "sim/kernels.hpp"
+
+#if defined(LPS_HAVE_AVX512_KERNELS)
+
+#include <immintrin.h>
+
+#include <stdexcept>
+
+#include "sim/kernels_impl.hpp"
+
+namespace lps::sim::kern {
+
+namespace {
+
+/// 256-bit traits for the half-width (block 4) path of this build.
+struct Avx2Ops {
+  using V = __m256i;
+  static constexpr unsigned kWords = 4;
+  static V load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V zero() { return _mm256_setzero_si256(); }
+  static V ones() { return _mm256_set1_epi64x(-1); }
+  static V band(V a, V b) { return _mm256_and_si256(a, b); }
+  static V bor(V a, V b) { return _mm256_or_si256(a, b); }
+  static V bxor(V a, V b) { return _mm256_xor_si256(a, b); }
+  static V bnot(V a) { return _mm256_xor_si256(a, ones()); }
+  static V bandnot(V a, V b) { return _mm256_andnot_si256(a, b); }  // ~a & b
+};
+
+/// 512-bit word-vector traits: 8 uint64 words per op — a full 16-word
+/// frame block is two vector ops per operand.  Bitwise ops are exact per
+/// lane, so results match ScalarOps bit for bit.
+struct Avx512Ops {
+  using V = __m512i;
+  static constexpr unsigned kWords = 8;
+  static V load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::uint64_t* p, V v) { _mm512_storeu_si512(p, v); }
+  static V zero() { return _mm512_setzero_si512(); }
+  static V ones() { return _mm512_set1_epi64(-1); }
+  static V band(V a, V b) { return _mm512_and_si512(a, b); }
+  static V bor(V a, V b) { return _mm512_or_si512(a, b); }
+  static V bxor(V a, V b) { return _mm512_xor_si512(a, b); }
+  static V bnot(V a) { return _mm512_xor_si512(a, ones()); }
+  // ~a & b.  Spelled xor+and rather than _mm512_andnot_si512: that
+  // intrinsic's _mm512_undefined_epi32 seed trips GCC's maybe-uninitialized
+  // warning, and the compiler fuses this form into vpandn anyway.
+  static V bandnot(V a, V b) {
+    return _mm512_and_si512(_mm512_xor_si512(a, ones()), b);
+  }
+};
+
+}  // namespace
+
+void exec_linear_avx512(const std::uint32_t* p, const std::uint32_t* end,
+                        std::uint64_t* val, std::size_t block) {
+  switch (block) {
+    case 1: exec_linear_v<ScalarOps, 1>(p, end, val); break;
+    case 2: exec_linear_v<ScalarOps, 2>(p, end, val); break;
+    case 4: exec_linear_v<Avx2Ops, 4>(p, end, val); break;
+    case 8: exec_linear_v<Avx512Ops, 8>(p, end, val); break;
+    case 16: exec_linear_v<Avx512Ops, 16>(p, end, val); break;
+    default:
+      throw std::invalid_argument("exec_linear_avx512: unsupported block");
+  }
+}
+
+void exec_list_avx512(const std::uint32_t* tape, const std::uint32_t* offset,
+                      std::span<const NodeId> gates, std::uint64_t* val,
+                      std::size_t block) {
+  switch (block) {
+    case 1: exec_list_v<ScalarOps, 1>(tape, offset, gates, val); break;
+    case 2: exec_list_v<ScalarOps, 2>(tape, offset, gates, val); break;
+    case 4: exec_list_v<Avx2Ops, 4>(tape, offset, gates, val); break;
+    case 8: exec_list_v<Avx512Ops, 8>(tape, offset, gates, val); break;
+    case 16: exec_list_v<Avx512Ops, 16>(tape, offset, gates, val); break;
+    default:
+      throw std::invalid_argument("exec_list_avx512: unsupported block");
+  }
+}
+
+// Built with -mpopcnt (every AVX-512 CPU has POPCNT): the counting loop's
+// std::popcount is the hardware instruction here.
+void count_columns_avx512(const std::uint64_t* val,
+                          std::span<const NodeId> nodes, std::size_t block,
+                          std::size_t b, bool first, std::uint64_t* ones,
+                          std::uint64_t* toggles, std::uint64_t* last) {
+  count_columns_impl(val, nodes, block, b, first, ones, toggles, last);
+}
+
+}  // namespace lps::sim::kern
+
+#endif  // LPS_HAVE_AVX512_KERNELS

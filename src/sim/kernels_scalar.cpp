@@ -1,0 +1,47 @@
+// kernels_scalar.cpp — portable kernel build.  Compiled with the project's
+// baseline flags only (no -m options), so this TU is safe on any x86-64 or
+// non-x86 host; it is the fallback resolve_simd() always has available.
+
+#include "sim/kernels.hpp"
+
+#include <stdexcept>
+
+#include "sim/kernels_impl.hpp"
+
+namespace lps::sim::kern {
+
+void exec_linear_scalar(const std::uint32_t* p, const std::uint32_t* end,
+                        std::uint64_t* val, std::size_t block) {
+  switch (block) {
+    case 1: exec_linear_v<ScalarOps, 1>(p, end, val); break;
+    case 2: exec_linear_v<ScalarOps, 2>(p, end, val); break;
+    case 4: exec_linear_v<ScalarOps, 4>(p, end, val); break;
+    case 8: exec_linear_v<ScalarOps, 8>(p, end, val); break;
+    case 16: exec_linear_v<ScalarOps, 16>(p, end, val); break;
+    default:
+      throw std::invalid_argument("exec_linear_scalar: unsupported block");
+  }
+}
+
+void exec_list_scalar(const std::uint32_t* tape, const std::uint32_t* offset,
+                      std::span<const NodeId> gates, std::uint64_t* val,
+                      std::size_t block) {
+  switch (block) {
+    case 1: exec_list_v<ScalarOps, 1>(tape, offset, gates, val); break;
+    case 2: exec_list_v<ScalarOps, 2>(tape, offset, gates, val); break;
+    case 4: exec_list_v<ScalarOps, 4>(tape, offset, gates, val); break;
+    case 8: exec_list_v<ScalarOps, 8>(tape, offset, gates, val); break;
+    case 16: exec_list_v<ScalarOps, 16>(tape, offset, gates, val); break;
+    default:
+      throw std::invalid_argument("exec_list_scalar: unsupported block");
+  }
+}
+
+void count_columns_scalar(const std::uint64_t* val,
+                          std::span<const NodeId> nodes, std::size_t block,
+                          std::size_t b, bool first, std::uint64_t* ones,
+                          std::uint64_t* toggles, std::uint64_t* last) {
+  count_columns_impl(val, nodes, block, b, first, ones, toggles, last);
+}
+
+}  // namespace lps::sim::kern

@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/aligned.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "sim/compiled.hpp"
@@ -150,15 +151,17 @@ struct alignas(64) ActivityAccum {
 };
 
 // Scratch buffers reused across every shard of one chunk (one allocation
-// per worker per run instead of per shard).
+// per worker per run instead of per shard).  The compiled value block is
+// cache-line aligned (core/aligned.hpp) so the SIMD kernels' vector
+// accesses of any node block never straddle a line.
 struct ActivityScratch {
   // interpreted engine
   Frame f, prev;
   std::vector<std::uint64_t> pi_words;
   std::vector<std::uint64_t> state;
   // compiled engine
-  std::vector<std::uint64_t> val;   // node-major value block, n * B words
-  std::vector<std::uint64_t> last;  // previous frame's word per node
+  core::AlignedWords val;   // node-major value block, n * B words
+  core::AlignedWords last;  // previous frame's word per node
 };
 
 // Frames between cancellation polls inside one shard: bounds cancellation
@@ -244,15 +247,11 @@ void simulate_activity_shard_compiled(const Netlist& net,
         for (std::size_t i = 0; i < pis.size(); ++i)
           val[static_cast<std::size_t>(pis[i]) * B + j] = pi_word(i);
       cs.exec_all(val, B);
-      for (NodeId id : live) {
-        const std::uint64_t* w = val + static_cast<std::size_t>(id) * B;
-        for (std::size_t j = 0; j < b; ++j) {
-          a.ones[id] += std::popcount(w[j]);
-          if (f0 + j > 0)
-            a.toggles[id] += std::popcount(w[j] ^ (j ? w[j - 1] : last[id]));
-        }
-        last[id] = w[b - 1];
-      }
+      // Counting dominates the compiled path (the replay itself amortizes
+      // to near-memory speed), so it goes through the dispatched per-ISA
+      // kernel: identical integer counts, hardware POPCNT where available.
+      count_columns(val, live, B, b, f0 == 0, a.ones.data(), a.toggles.data(),
+                    last);
       if (capture_frames)
         for (std::size_t j = 0; j < b; ++j) {
           Frame& fr = capture_frames[f0 + j];
@@ -272,11 +271,8 @@ void simulate_activity_shard_compiled(const Netlist& net,
       for (std::size_t i = 0; i < dffs.size(); ++i)
         val[dffs[i]] = sc.state[i];
       cs.exec_all(val, 1);
-      for (NodeId id : live) {
-        a.ones[id] += std::popcount(val[id]);
-        if (fr > 0) a.toggles[id] += std::popcount(val[id] ^ last[id]);
-        last[id] = val[id];
-      }
+      count_columns(val, live, 1, 1, fr == 0, a.ones.data(), a.toggles.data(),
+                    last);
       if (capture_frames) {
         Frame& cf = capture_frames[fr];
         cf.assign(net.size(), 0);
@@ -348,19 +344,21 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
   else
     isim.emplace(net);
 
-  // Dispatch grain: at most one pool index per execution lane, each chunk
-  // walking a contiguous shard range serially with persistent scratch.
-  // Chunk boundaries depend on the thread count, but per-shard seeds and
-  // frame counts do not, and the chunk accumulators fold integer counts of
-  // consecutive shards — so the chunk-order merge below reproduces the
-  // shard-order merge exactly at any thread count.
-  const std::size_t n_chunks = std::max<std::size_t>(
-      1, std::min<std::size_t>(plan.shards, core::num_threads()));
+  // Dispatch grain: up to two pool indices per execution lane
+  // (core::plan_chunks — oversubscription evens out lane load imbalance),
+  // each chunk walking a contiguous shard range serially with persistent
+  // scratch.  Chunk boundaries depend on the thread count, but per-shard
+  // seeds and frame counts do not, and the chunk accumulators fold integer
+  // counts of consecutive shards — so the chunk-order merge below
+  // reproduces the shard-order merge exactly at any thread count.
+  const std::size_t n_chunks = core::plan_chunks(plan.shards);
   std::vector<ActivityAccum> parts(n_chunks);
   std::vector<ActivityScratch> scratch(n_chunks);
-  auto run_chunk = [&](std::size_t c) {
-    const std::size_t s_begin = c * plan.shards / n_chunks;
-    const std::size_t s_end = (c + 1) * plan.shards / n_chunks;
+  // First-touch NUMA placement: each chunk's accumulators and value block
+  // are written first by whichever worker runs the chunk, so their pages
+  // land on that worker's node.  The LPS_SIM_NUMA=0 baseline faults
+  // everything on the submitting thread instead (single-node placement).
+  auto init_chunk = [&](std::size_t c) {
     ActivityAccum& a = parts[c];
     ActivityScratch& sc = scratch[c];
     a.ones.assign(net.size(), 0);
@@ -371,6 +369,16 @@ ActivityStats measure_activity(const Netlist& net, std::size_t n_frames,
       sc.val.assign(net.size() * block, 0);
       sc.last.assign(net.size(), 0);
     }
+  };
+  const bool first_touch = core::numa_first_touch();
+  if (!first_touch)
+    for (std::size_t c = 0; c < n_chunks; ++c) init_chunk(c);
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t s_begin = c * plan.shards / n_chunks;
+    const std::size_t s_end = (c + 1) * plan.shards / n_chunks;
+    ActivityAccum& a = parts[c];
+    ActivityScratch& sc = scratch[c];
+    if (first_touch) init_chunk(c);
     for (std::size_t s = s_begin; s < s_end; ++s) {
       core::poll_cancel(cancel);
       // A single-shard plan keeps the legacy RNG stream (`seed` itself)

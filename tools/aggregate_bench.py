@@ -115,6 +115,34 @@ def compiled_speedups(results):
     return out
 
 
+def simd_speedups(results):
+    """Pair '<stem>_wide_scalar' baselines with '<stem>_wide_<isa>' variants.
+
+    Width-paired benchmarks run the same compiled-tape workload with the
+    kernel lane width forced to scalar and to each wide ISA; the ratio is
+    the wall-clock win of the SIMD kernels alone.  A width the host cannot
+    run is skipped by the bench (SkipWithError) and absent from the JSON,
+    so pairs simply don't form on narrow machines.
+    """
+    scalar = {}
+    for r in results:
+        m = re.fullmatch(r"(.+)_wide_scalar", r["name"])
+        if m:
+            scalar[m.group(1)] = r["wall_ms"]
+    out = []
+    for r in results:
+        m = re.fullmatch(r"(.+)_wide_(avx2|avx512)", r["name"])
+        if m and m.group(1) in scalar and r["wall_ms"] > 0:
+            out.append(
+                {
+                    "name": m.group(1),
+                    "isa": m.group(2),
+                    "speedup": round(scalar[m.group(1)] / r["wall_ms"], 3),
+                }
+            )
+    return out
+
+
 def load_existing(path):
     """Previous aggregate, keyed by binary name.  Missing/corrupt -> {}."""
     try:
@@ -173,6 +201,9 @@ def main(argv):
         comp = compiled_speedups(doc["results"])
         if comp:
             entry["compiled_speedups"] = comp
+        simd = simd_speedups(doc["results"])
+        if simd:
+            entry["simd_speedups"] = simd
         if doc.get("claims"):
             entry["claims"] = doc["claims"]
         by_binary[doc["binary"]] = entry

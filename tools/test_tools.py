@@ -155,6 +155,39 @@ class AggregateBenchTest(unittest.TestCase):
         (entry,) = out["benchmarks"]
         self.assertNotIn("compiled_speedups", entry)
 
+    def test_simd_speedups_from_wide_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_estimators", 10.0)
+        doc["results"] += [
+            {"name": "bm_zd_mult8_wide_scalar", "wall_ms": 8.0,
+             "iterations": 5},
+            {"name": "bm_zd_mult8_wide_avx2", "wall_ms": 4.0,
+             "iterations": 5},
+            {"name": "bm_zd_mult8_wide_avx512", "wall_ms": 2.0,
+             "iterations": 5},
+            # A host without the wide build emits no _wide_avx* entry;
+            # an unpaired wide entry contributes nothing either.
+            {"name": "bm_orphan_wide_avx512", "wall_ms": 1.0,
+             "iterations": 5},
+        ]
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        by_isa = {(s["name"], s["isa"]): s["speedup"]
+                  for s in entry["simd_speedups"]}
+        self.assertEqual(by_isa, {("bm_zd_mult8", "avx2"): 2.0,
+                                  ("bm_zd_mult8", "avx512"): 4.0})
+
+    def test_simd_speedups_absent_without_pairs(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_a", 10.0)
+        doc["results"].append(
+            {"name": "bm_solo_wide_scalar", "wall_ms": 3.0, "iterations": 5})
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertNotIn("simd_speedups", entry)
+
 
 class CheckExperimentsTest(unittest.TestCase):
     def setUp(self):
