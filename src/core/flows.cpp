@@ -8,6 +8,7 @@
 #include "core/pass.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/resynth.hpp"
+#include "logicopt/rewrite/engine.hpp"
 #include "logicopt/path_balance.hpp"
 #include "power/incremental.hpp"
 #include "seq/clock_gating.hpp"
@@ -90,11 +91,29 @@ class StageRunner {
     Netlist& net = res_.circuit;
     metrics::ScopedTimer timer("flow." + stage, /*trace=*/true);
     sim::SimTrace ref = sim::functional_trace(net, 512, 17);
+    std::size_t rb_before = net.undo_rollbacks();
     net.begin_undo();
+    // The stage epoch's depth.  A transform may open nested epochs of its
+    // own (the datapath engine journals each candidate); one that dies with
+    // an inner epoch still open must be unwound down TO this depth — a
+    // single rollback_undo() would pop only the innermost candidate epoch
+    // and leave the stage half-applied (and the journal stack corrupted for
+    // every later stage).
+    const std::size_t base_depth = net.undo_depth();
+    auto unwind_stage = [&net, base_depth] {
+      while (net.undo_depth() >= base_depth) net.rollback_undo();
+    };
     double p_before = res_.stages.back().power_w;
     std::string failure;
     try {
       transform(net);
+      // A transform that *returns* with inner epochs open is also a defect,
+      // but a benign one: absorb them into the stage epoch (the function
+      // check below still guards the result) and record the smell.
+      while (net.undo_depth() > base_depth) {
+        metrics::count("flow.stray_epochs");
+        net.commit_undo();
+      }
       if (auto err = net.check(); !err.empty())
         failure = "broke netlist invariants: " + err;
       else if (sim::functional_trace(net, 512, 17) != ref)
@@ -102,7 +121,7 @@ class StageRunner {
     } catch (const CancelledError&) {
       // Deadline fired inside the transform: restore the pre-stage circuit
       // and abort the flow — never record cancellation as a stage defect.
-      net.rollback_undo();
+      unwind_stage();
       throw;
     } catch (const std::exception& e) {
       failure = e.what();
@@ -110,11 +129,12 @@ class StageRunner {
     if (!failure.empty()) {
       // The estimator cache was never advanced, so after rollback it still
       // matches the restored circuit — the failed-stage report reads it.
-      net.rollback_undo();
+      unwind_stage();
       StageReport rep = inc_ ? current(stage + " (failed)")
                              : measure(stage + " (failed)", net, opt_);
       rep.status = "failed";
       rep.note = failure;
+      rep.rollbacks = net.undo_rollbacks() - rb_before;
       metrics::count("flow.stages_failed");
       res_.stages.push_back(std::move(rep));
       return;
@@ -190,6 +210,7 @@ class StageRunner {
     }
     rep.resim_nodes = resim;  // the estimate's cost, kept or reverted
     rep.full_nodes = full;
+    rep.rollbacks = net.undo_rollbacks() - rb_before;
     res_.stages.push_back(std::move(rep));
   }
 
@@ -209,6 +230,16 @@ void run_logic_stages(StageRunner& runner, const FlowOptions& opt) {
     runner.attempt("resynth", [&](Netlist& net) {
       auto st = sim::measure_activity(net, 64, opt.seed);
       logicopt::resynthesize_windows(net, st.transition_prob);
+    });
+  }
+  if (opt.run_datapath) {
+    runner.attempt("datapath", [&](Netlist& net) {
+      logicopt::rewrite::RewriteOptions ro;
+      ro.seed = opt.seed;
+      // Match the flow's own estimator stimulus so that (in ZeroDelay mode)
+      // a rewrite the engine keeps is a win under the stage keep-check too.
+      ro.sim_vectors = opt.sim_vectors;
+      logicopt::rewrite::rewrite_datapath(net, ro);
     });
   }
   if (opt.run_balance) {

@@ -2,7 +2,8 @@
 //
 // The survey's thesis is that savings compose across abstraction levels.
 // These flows chain the library's passes the way a 1995 CAD system would:
-//   combinational: strash -> don't-care opt -> path balancing -> sizing,
+//   combinational: strash -> don't-care opt -> resynthesis -> datapath
+//   rewriting -> path balancing -> sizing,
 //   sequential (FSM): low-power encoding -> synthesis -> self-loop clock
 //   gating, with Eqn. (1) power measured between every stage.
 
@@ -35,12 +36,23 @@ struct StageReport {
   /// both 0 when the stage failed before estimation or on the legacy path.
   std::size_t resim_nodes = 0;
   std::size_t full_nodes = 0;
+  /// Journal epochs actually rewound while this stage ran, measured from
+  /// Netlist::undo_rollbacks() — not inferred from the status.  Includes
+  /// rollbacks a transform performs internally (e.g. the datapath engine
+  /// backing out losing candidates), plus the stage-epoch rollback itself
+  /// for reverted/failed stages.  Summed over a flow this equals the
+  /// journal's own counter, which is what the accounting tests audit.
+  std::size_t rollbacks = 0;
 };
 
 struct FlowOptions {
   std::size_t sim_vectors = 2048;
   std::uint64_t seed = 5;
   bool run_dontcare = true;
+  /// Power-driven datapath rewriting (logicopt/rewrite/): exact structural
+  /// rules scored one candidate at a time through a private cone-scoped
+  /// power oracle.  Runs after resynthesis, before balancing.
+  bool run_datapath = true;
   bool run_balance = true;
   bool run_sizing = true;
   /// Activity source for the between-stage estimates.  Timed (default)
@@ -94,7 +106,8 @@ FlowResult optimize_combinational(const Netlist& input,
                                   const FlowOptions& opt = {});
 
 /// Sequential low-power flow: the combinational stage ladder (strash ->
-/// don't-care -> resynthesis -> balancing -> sizing) run on a netlist with
+/// don't-care -> resynthesis -> datapath -> balancing -> sizing) run on a
+/// netlist with
 /// registers, plus a final hold-on-self-loop gating stage
 /// (seq::gate_fsm_self_loops).  Register-crossing transforms make this the
 /// flow that exercises Dff-crossing incremental re-estimation.

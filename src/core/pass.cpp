@@ -75,18 +75,26 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
     // Functional reference for the undo-log path: a trace digest of the
     // pre-pass circuit replaces keeping the circuit itself alive.
     sim::SimTrace ref;
+    std::size_t base_depth = 0;
     if (use_undo) {
       if (opt_.verify)
         ref = sim::functional_trace(net, opt_.verify_vectors, opt_.verify_seed);
       net.begin_undo();
+      base_depth = net.undo_depth();
     }
 
     // A failing pass may leave the netlist half-rewritten or structurally
-    // corrupt; every failure path restores the pre-pass state before
-    // recording (or rethrowing) the diagnostic.
+    // corrupt — possibly with nested undo epochs of its own still open
+    // (e.g. a candidate loop that died mid-probe).  Every failure path
+    // unwinds the journal down to and including the pass epoch; a single
+    // rollback_undo() would pop only the innermost epoch and restore a
+    // half-applied pass.
+    auto unwind_pass = [&net, base_depth] {
+      while (net.undo_depth() >= base_depth) net.rollback_undo();
+    };
     auto fail = [&](diag::Diagnostic d) {
       if (use_undo)
-        net.rollback_undo();
+        unwind_pass();
       else if (use_snapshot)
         net = std::move(before);
       rec.ok = false;
@@ -97,6 +105,13 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
 
     try {
       rec.summary = p->run(net);
+      // A pass that returns with inner epochs open is a (benign) defect:
+      // absorb them into the pass epoch so verification and commit see one
+      // coherent journal level.
+      while (use_undo && net.undo_depth() > base_depth) {
+        metrics::count("pass.stray_epochs");
+        net.commit_undo();
+      }
       if (opt_.check_invariants) {
         diag::DiagEngine eng(4);
         if (validate(net, eng) > 0) {
@@ -129,7 +144,7 @@ std::vector<PassRecord> PassManager::run(Netlist& net) const {
       // abort the pipeline — cancellation is not a pass defect and must not
       // be swallowed as one.
       if (use_undo)
-        net.rollback_undo();
+        unwind_pass();
       else if (use_snapshot)
         net = std::move(before);
       throw;
@@ -192,6 +207,21 @@ std::unique_ptr<Pass> make_dontcare_pass() {
            std::to_string(res.merges) + ", gates " +
            std::to_string(res.gates_before) + " -> " +
            std::to_string(res.gates_after);
+  });
+}
+
+std::unique_ptr<Pass> make_datapath_rewrite_pass(
+    logicopt::rewrite::RewriteOptions opt) {
+  return std::make_unique<FnPass>("datapath-rewrite", [opt](Netlist& net) {
+    auto res = logicopt::rewrite::rewrite_datapath(net, opt);
+    return "kept " + std::to_string(res.kept) + "/" +
+           std::to_string(res.candidates_scored) + " scored (" +
+           std::to_string(res.candidates_seen) + " matched), power " +
+           std::to_string(res.power_before_w) + " -> " +
+           std::to_string(res.power_after_w) + " W, gates " +
+           std::to_string(res.gates_before) + " -> " +
+           std::to_string(res.gates_after) +
+           (res.capped ? ", queue CAPPED" : "");
   });
 }
 

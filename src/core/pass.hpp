@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/diag.hpp"
+#include "logicopt/rewrite/engine.hpp"
 #include "netlist/netlist.hpp"
 #include "power/activity.hpp"
 
@@ -120,5 +121,10 @@ std::unique_ptr<Pass> make_strash_pass();
 std::unique_ptr<Pass> make_sweep_pass();
 std::unique_ptr<Pass> make_dontcare_pass();
 std::unique_ptr<Pass> make_balance_pass(int buffer_budget = -1);  // -1 = full
+/// Power-driven datapath rewriting (logicopt/rewrite/engine.hpp).  The
+/// engine journals each candidate in a nested undo epoch, which composes
+/// with the manager's own pass epoch.
+std::unique_ptr<Pass> make_datapath_rewrite_pass(
+    logicopt::rewrite::RewriteOptions opt = {});
 
 }  // namespace lps::core

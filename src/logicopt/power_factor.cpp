@@ -1,5 +1,7 @@
 #include "logicopt/power_factor.hpp"
 
+#include "power/activity.hpp"
+
 namespace lps::logicopt {
 
 namespace {
@@ -52,7 +54,8 @@ Netlist expr_to_netlist(const sop::Expr& e, unsigned num_vars,
 }
 
 FactoringComparison compare_factorings(const sop::Sop& f,
-                                       const std::vector<double>& one_prob) {
+                                       const std::vector<double>& one_prob,
+                                       bool rescore) {
   FactoringComparison r;
   r.flat = sop_to_netlist(f, "flat");
   auto lit_expr = sop::factor(f);
@@ -65,6 +68,22 @@ FactoringComparison compare_factorings(const sop::Sop& f,
   r.lits_flat = f.num_literals();
   r.lits_literal = lit_expr.num_literals();
   r.lits_power = pow_expr.num_literals();
+  if (rescore) {
+    // Score the *built* structures: the factoring weights only describe the
+    // cover's inputs, so two factorings with equal weighted literals can
+    // still switch very differently once their internal nodes exist.
+    power::AnalysisOptions ao;
+    ao.mode = power::ActivityMode::ZeroDelay;
+    ao.n_vectors = 4096;
+    ao.pi_one_prob = one_prob;
+    r.power_flat_w = power::analyze(r.flat, ao).report.breakdown.total_w();
+    r.power_literal_w =
+        power::analyze(r.literal_form, ao).report.breakdown.total_w();
+    r.power_power_w =
+        power::analyze(r.power_form, ao).report.breakdown.total_w();
+    r.measured_winner =
+        r.power_power_w <= r.power_literal_w ? "power" : "literal";
+  }
   return r;
 }
 

@@ -29,11 +29,26 @@ struct FactoringComparison {
   unsigned lits_flat = 0;
   unsigned lits_literal = 0;
   unsigned lits_power = 0;
+  /// Measured ZeroDelay switching power of each built form under the given
+  /// input probabilities (rescore=true only).  The heuristic weights above
+  /// describe the *inputs* of the pre-factoring cover; internal nodes a
+  /// factoring creates carry activities the weights never saw — the same
+  /// stale-cost-oracle family as resynth's bug — so the decision of record
+  /// is made on these measured numbers, not the weighted literal counts.
+  double power_flat_w = 0.0;
+  double power_literal_w = 0.0;
+  double power_power_w = 0.0;
+  /// Which built form measured cheapest: "literal" or "power" ("" when
+  /// rescore=false).  May disagree with the weighted-literal ranking.
+  std::string measured_winner;
 };
 
 /// Run both factorings of `f` given per-input one-probabilities (weights are
-/// the input toggle rates 2p(1-p)).
+/// the input toggle rates 2p(1-p)).  With `rescore` (default) each built
+/// form is additionally measured with the ZeroDelay simulator under
+/// `one_prob`-biased stimulus, and `measured_winner` records the verdict.
 FactoringComparison compare_factorings(const sop::Sop& f,
-                                       const std::vector<double>& one_prob);
+                                       const std::vector<double>& one_prob,
+                                       bool rescore = true);
 
 }  // namespace lps::logicopt

@@ -1,9 +1,12 @@
 #include "logicopt/resynth.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "bdd/bdd_netlist.hpp"
+#include "core/metrics.hpp"
+#include "power/incremental.hpp"
 #include "sop/factoring.hpp"
 #include "sop/minimize.hpp"
 
@@ -13,10 +16,12 @@ namespace {
 
 // Two-level fanin window around `n`: interior = {n} ∪ gate fanins that are
 // themselves logic gates; boundary = everything feeding the interior from
-// outside.  Returns false if the boundary exceeds the budget.
+// outside.  Returns false if the boundary exceeds the budget even after
+// retrying with the one-level window; `capped` is set in that case so the
+// caller can surface the truncation (it is a tuning signal, not a defect).
 bool build_window(const Netlist& net, NodeId n, int max_inputs,
                   std::vector<NodeId>& interior,
-                  std::vector<NodeId>& boundary) {
+                  std::vector<NodeId>& boundary, bool* capped = nullptr) {
   interior.clear();
   boundary.clear();
   std::set<NodeId> in_set{n};
@@ -35,7 +40,10 @@ bool build_window(const Netlist& net, NodeId n, int max_inputs,
     in_set = {n};
     bset.clear();
     for (NodeId f : net.node(n).fanins) bset.insert(f);
-    if (static_cast<int>(bset.size()) > max_inputs) return false;
+    if (static_cast<int>(bset.size()) > max_inputs) {
+      if (capped) *capped = true;
+      return false;
+    }
   }
   interior.assign(in_set.begin(), in_set.end());
   boundary.assign(bset.begin(), bset.end());
@@ -87,8 +95,50 @@ ResynthResult resynthesize_windows(Netlist& net,
                                    const ResynthOptions& opt) {
   ResynthResult res;
   res.gates_before = net.num_gates();
-  auto tog = [&](NodeId id) {
-    return id < toggles.size() ? toggles[id] : 0.0;
+
+  // The cost oracle.  With rescore_activities the pass owns a cone-scoped
+  // incremental analyzer and refreshes it after every kept rewrite, so each
+  // window is weighted by the switching of the circuit as it *currently*
+  // stands.  The caller's activity vector remains the fallback (and the
+  // legacy behavior when re-scoring is off): it describes the pre-pass
+  // circuit only, and scores nodes created by earlier kept rewrites as
+  // toggle-free — the stale-cost-oracle bug this option fixes.
+  std::optional<power::IncrementalAnalyzer> inc;
+  if (opt.power_aware && opt.rescore_activities) {
+    try {
+      power::AnalysisOptions ao;
+      ao.mode = power::ActivityMode::ZeroDelay;
+      ao.n_vectors = opt.rescore_vectors;
+      ao.seed = opt.rescore_seed;
+      inc.emplace(net, ao);
+    } catch (const std::exception&) {
+      core::metrics::count("logicopt.resynth.rescore_dropped");
+    }
+  }
+  auto tog = [&](NodeId id) -> double {
+    const std::vector<double>& t =
+        inc ? inc->analysis().toggles_per_cycle : toggles;
+    return id < t.size() ? t[id] : 0.0;
+  };
+
+  // Cap reporting shared by every exit path (satellite of the silent-cap
+  // fix: truncation always leaves a result field, a metric and a note).
+  auto finalize = [&res, &opt](std::size_t gates_after) -> ResynthResult& {
+    if (res.rewrites_capped)
+      core::metrics::count("logicopt.resynth.rewrites_capped");
+    res.gates_after = gates_after;
+    if (res.windows_capped > 0 || res.rewrites_capped) {
+      res.note = "resynth caps hit:";
+      if (res.windows_capped > 0)
+        res.note += " " + std::to_string(res.windows_capped) +
+                    " window(s) over max_window_inputs=" +
+                    std::to_string(opt.max_window_inputs);
+      if (res.rewrites_capped)
+        res.note += std::string(res.windows_capped > 0 ? ";" : "") +
+                    " max_rewrites=" + std::to_string(opt.max_rewrites) +
+                    " budget exhausted";
+    }
+    return res;
   };
 
   // Rewrites create nodes the current BDDs don't cover, so run rounds to a
@@ -102,8 +152,7 @@ ResynthResult resynthesize_windows(Netlist& net,
   try {
     bdds = bdd::build_bdds(net, opt.bdd_limit);
   } catch (const bdd::NodeLimitExceeded&) {
-    res.gates_after = net.num_gates();
-    return res;  // circuit too wide for exact local DCs
+    return finalize(net.num_gates());  // circuit too wide for exact local DCs
   }
   auto& m = bdds.mgr;
 
@@ -117,11 +166,22 @@ ResynthResult resynthesize_windows(Netlist& net,
   }
 
   for (NodeId n : candidates) {
-    if (res.nodes_rewritten >= opt.max_rewrites) break;
+    if (res.nodes_rewritten >= opt.max_rewrites) {
+      // Budget exhausted with windows still unexamined — never silent.
+      res.rewrites_capped = true;
+      break;
+    }
     if (net.is_dead(n)) continue;  // consumed by an earlier rewrite
     std::vector<NodeId> interior, boundary;
-    if (!build_window(net, n, opt.max_window_inputs, interior, boundary))
+    bool win_capped = false;
+    if (!build_window(net, n, opt.max_window_inputs, interior, boundary,
+                      &win_capped)) {
+      if (win_capped) {
+        ++res.windows_capped;
+        core::metrics::count("logicopt.resynth.capped");
+      }
       continue;
+    }
     // Rewrites may have created nodes without BDDs; skip such windows.
     bool have_bdds = true;
     for (NodeId b : boundary)
@@ -183,18 +243,39 @@ ResynthResult resynthesize_windows(Netlist& net,
     // literals cost an inverter each, so count them).
     if (expr_cost(expr) >= window_lits) continue;
 
+    // Journal the mutation when re-scoring: the touched set scopes the
+    // activity refresh to the rewrite's fanout cone (nests correctly
+    // inside a flow stage's epoch).
+    if (inc) net.begin_undo();
     NodeId rebuilt = sop::build_expr(net, expr, boundary);
-    if (rebuilt == n) continue;
+    if (rebuilt == n) {
+      if (inc) net.rollback_undo();  // discard any half-built helpers
+      continue;
+    }
     // build_expr may return a boundary node itself (constant/wire case);
     // otherwise it is freshly constructed logic.
     net.substitute(n, rebuilt);
     net.sweep();
+    if (inc) {
+      auto touched = net.touched_nodes();
+      try {
+        inc->reanalyze(touched);
+        ++res.rescored;
+      } catch (const std::exception&) {
+        // Estimator defect: the rewrite itself is already legal and kept;
+        // later windows fall back to the (stale) caller-supplied vector.
+        inc.reset();
+        core::metrics::count("logicopt.resynth.rescore_dropped");
+      }
+      net.commit_undo();
+    }
     ++res.nodes_rewritten;
     round_changed = true;
   }
   }  // rounds
-  res.gates_after = net.num_gates();
-  return res;
+  if (res.nodes_rewritten >= opt.max_rewrites && round_changed)
+    res.rewrites_capped = true;
+  return finalize(net.num_gates());
 }
 
 }  // namespace lps::logicopt

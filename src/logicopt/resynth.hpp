@@ -32,6 +32,18 @@ struct ResynthOptions {
   int max_rewrites = 200;
   bool power_aware = true;  // weigh literals by boundary-signal activity
   std::size_t bdd_limit = 1u << 22;
+  /// Re-score activities through a cone-scoped incremental re-estimate
+  /// (power/incremental.hpp) after every kept rewrite, so later windows are
+  /// costed against the *current* circuit's switching instead of the
+  /// activity vector captured before the pass started (the stale-cost-
+  /// oracle bug: a kept rewrite both shifts activity downstream and creates
+  /// nodes the stale vector scores as toggle-free).  power_aware only.
+  bool rescore_activities = true;
+  /// Stimulus for the internal re-scoring analyzer (ZeroDelay).  The
+  /// defaults reproduce the flow's measure_activity(net, 64, seed) frames:
+  /// 4096 vectors = 64 words of 64 patterns.
+  std::size_t rescore_vectors = 4096;
+  std::uint64_t rescore_seed = 5;
 };
 
 struct ResynthResult {
@@ -39,6 +51,18 @@ struct ResynthResult {
   int nodes_rewritten = 0;
   std::size_t gates_before = 0;
   std::size_t gates_after = 0;
+  /// Kept rewrites whose activities were refreshed through the incremental
+  /// analyzer (== nodes_rewritten when re-scoring is on and healthy).
+  int rescored = 0;
+  /// Windows skipped because their boundary exceeded max_window_inputs even
+  /// after the one-level retry.  Never silent: also counted as the
+  /// logicopt.resynth.capped metric and described in `note`.
+  int windows_capped = 0;
+  /// True when the max_rewrites budget stopped the pass with candidate
+  /// windows still unexamined (logicopt.resynth.rewrites_capped metric).
+  bool rewrites_capped = false;
+  /// One-line diagnostic describing any cap that was hit; empty otherwise.
+  std::string note;
 };
 
 /// Rewrite nodes in place.  `toggles_per_cycle` supplies activities (e.g.

@@ -230,6 +230,56 @@ Netlist alu(int w) {
   return n;
 }
 
+Netlist dct_butterfly(int w) {
+  Netlist n("dct" + std::to_string(w));
+  auto a = add_bus(n, "a", w);
+  auto b = add_bus(n, "b", w);
+  // Sum chain: plain ripple a+b.
+  NodeId c = n.add_const(false);
+  for (int i = 0; i < w; ++i) {
+    auto [s, co] = full_adder(n, a[i], b[i], c);
+    n.add_output(s, "s" + std::to_string(i));
+    c = co;
+  }
+  n.add_output(c, "sco");
+  // Difference chain: a-b as a + ~b + 1, with ~b formed locally per bit
+  // (no sharing with the sum chain — the naive elaboration).
+  NodeId bc = n.add_const(true);
+  for (int i = 0; i < w; ++i) {
+    NodeId nb = n.add_not(b[i]);
+    auto [d, co] = full_adder(n, a[i], nb, bc);
+    n.add_output(d, "d" + std::to_string(i));
+    bc = co;
+  }
+  n.add_output(bc, "dco");
+  return n;
+}
+
+Netlist alu_addsub(int w) {
+  Netlist n("addsub" + std::to_string(w));
+  auto a = add_bus(n, "a", w);
+  auto b = add_bus(n, "b", w);
+  NodeId sub = n.add_input("sub");
+  std::vector<NodeId> addv, subv;
+  NodeId c0 = n.add_const(false);
+  for (int i = 0; i < w; ++i) {
+    auto [s, co] = full_adder(n, a[i], b[i], c0);
+    addv.push_back(s);
+    c0 = co;
+  }
+  NodeId c1 = n.add_const(true);
+  for (int i = 0; i < w; ++i) {
+    NodeId nb = n.add_not(b[i]);
+    auto [s, co] = full_adder(n, a[i], nb, c1);
+    subv.push_back(s);
+    c1 = co;
+  }
+  for (int i = 0; i < w; ++i)
+    n.add_output(n.add_mux(sub, addv[i], subv[i]), "y" + std::to_string(i));
+  n.add_output(n.add_mux(sub, c0, c1), "co");
+  return n;
+}
+
 Netlist random_dag(int n_inputs, int n_gates, std::uint32_t seed) {
   Netlist n("rand" + std::to_string(n_inputs) + "x" + std::to_string(n_gates));
   std::mt19937 rng(seed);

@@ -53,6 +53,18 @@ Netlist decoder(int n);
 /// Small n-bit ALU: op[2] selects among ADD, AND, OR, XOR of a[n], b[n].
 Netlist alu(int n);
 
+/// n-bit DCT butterfly stage: outputs sum = a+b and diff = a-b (two's
+/// complement).  Built the way naive RTL elaboration would: two fully
+/// independent ripple chains, the subtractor forming ~b locally per bit —
+/// so complement sharing (XOR(a,~b) = ~XOR(a,b)) and cross-cone CSE with
+/// the adder are left on the table for the datapath rewriter.
+Netlist dct_butterfly(int n);
+
+/// n-bit add/sub ALU: `sub` selects a+b or a-b.  Like dct_butterfly, both
+/// datapaths are elaborated independently and muxed per bit, leaving the
+/// shared-adder restructuring to the optimizer.
+Netlist alu_addsub(int n);
+
 /// Random reconvergent DAG: `n_inputs` PIs, `n_gates` gates drawn from
 /// {AND, OR, NAND, NOR, XOR, NOT}, fanins biased toward recent nodes so the
 /// circuit is deep and reconvergent.  Deterministic in `seed`.

@@ -157,16 +157,57 @@ Netlist& Netlist::operator=(Netlist&& o) {
 }
 
 void Netlist::begin_undo() {
-  undo_ = std::make_unique<UndoLog>();
-  undo_->base_nodes = nodes_.size();
-  undo_->dirty.assign(nodes_.size(), 0);
+  auto log = std::make_unique<UndoLog>();
+  log->base_nodes = nodes_.size();
+  log->dirty.assign(nodes_.size(), 0);
+  undo_.push_back(std::move(log));
 }
 
-void Netlist::commit_undo() { undo_.reset(); }
+void Netlist::commit_undo() {
+  if (undo_.empty()) return;
+  if (undo_.size() == 1) {
+    undo_.clear();
+    return;
+  }
+  // Merge the inner epoch into its parent.  Every inner pre-image was taken
+  // at or after the parent's begin_undo(), so the parent keeps whichever
+  // image is *older*: its own entry wins, an inner entry fills a gap.
+  std::unique_ptr<UndoLog> inner_p = std::move(undo_.back());
+  undo_.pop_back();
+  UndoLog& inner = *inner_p;
+  UndoLog& outer = *undo_.back();
+  if (outer.full_saved) return;  // parent already rewinds past the inner epoch
+  if (inner.full_saved) {
+    // The inner wholesale image post-dates the parent's incremental entries;
+    // rollback applies it first, then overrides with the older node/io
+    // images — same ordering contract as a touch_all() inside one epoch.
+    outer.full_saved = true;
+    outer.full_nodes = std::move(inner.full_nodes);
+    outer.full_inputs = std::move(inner.full_inputs);
+    outer.full_outputs = std::move(inner.full_outputs);
+    outer.full_output_names = std::move(inner.full_output_names);
+    outer.full_name = std::move(inner.full_name);
+  }
+  // Inner node images are appended *after* the parent's: reverse replay in
+  // rollback_undo applies them first, so the parent's older images override.
+  for (auto& [id, img] : inner.node_images) {
+    if (id >= outer.base_nodes) continue;  // parent truncates it anyway
+    if (outer.dirty[id]) continue;         // parent holds an older image
+    outer.dirty[id] = 1;
+    outer.node_images.emplace_back(id, std::move(img));
+  }
+  if (inner.io_saved && !outer.io_saved) {
+    outer.io_saved = true;
+    outer.inputs = std::move(inner.inputs);
+    outer.outputs = std::move(inner.outputs);
+    outer.output_names = std::move(inner.output_names);
+    outer.name = std::move(inner.name);
+  }
+}
 
 void Netlist::rollback_undo() {
-  LPS_CHECK(undo_ != nullptr, "rollback_undo: no active undo log");
-  UndoLog& u = *undo_;
+  LPS_CHECK(!undo_.empty(), "rollback_undo: no active undo log");
+  UndoLog& u = *undo_.back();
   // Restore order matters: a wholesale pre-image rewinds to the point it
   // was taken; node/io images (recorded before it) then rewind the earlier
   // incremental edits; finally nodes created after begin_undo are dropped.
@@ -186,26 +227,31 @@ void Netlist::rollback_undo() {
     name_ = std::move(u.name);
   }
   if (nodes_.size() > u.base_nodes) nodes_.resize(u.base_nodes);
-  undo_.reset();
+  undo_.pop_back();
+  ++undo_rollbacks_;
 }
 
 void Netlist::touch_io() {
-  if (!undo_ || undo_->full_saved || undo_->io_saved) return;
-  undo_->io_saved = true;
-  undo_->inputs = inputs_;
-  undo_->outputs = outputs_;
-  undo_->output_names = output_names_;
-  undo_->name = name_;
+  if (undo_.empty()) return;
+  UndoLog& u = *undo_.back();
+  if (u.full_saved || u.io_saved) return;
+  u.io_saved = true;
+  u.inputs = inputs_;
+  u.outputs = outputs_;
+  u.output_names = output_names_;
+  u.name = name_;
 }
 
 void Netlist::touch_all() {
-  if (!undo_ || undo_->full_saved) return;
-  undo_->full_saved = true;
-  undo_->full_nodes = nodes_;
-  undo_->full_inputs = inputs_;
-  undo_->full_outputs = outputs_;
-  undo_->full_output_names = output_names_;
-  undo_->full_name = name_;
+  if (undo_.empty()) return;
+  UndoLog& u = *undo_.back();
+  if (u.full_saved) return;
+  u.full_saved = true;
+  u.full_nodes = nodes_;
+  u.full_inputs = inputs_;
+  u.full_outputs = outputs_;
+  u.full_output_names = output_names_;
+  u.full_name = name_;
 }
 
 NodeId Netlist::add_input(std::string name) {
@@ -585,25 +631,25 @@ std::vector<bool> Netlist::fanout_cone_of(std::span<const NodeId> roots,
 
 Netlist::TouchedNodes Netlist::touched_nodes() const {
   TouchedNodes t;
-  if (!undo_ || undo_->full_saved) {
+  if (undo_.empty() || undo_.back()->full_saved) {
     t.all = true;
     return t;
   }
+  const UndoLog& u = *undo_.back();
   // A PI-list change re-maps input positions to nodes, so every simulated
   // value is suspect; PO/name-only changes are harmless to node values.
-  if (undo_->io_saved && undo_->inputs != inputs_) {
+  if (u.io_saved && u.inputs != inputs_) {
     t.all = true;
     return t;
   }
-  t.ids.reserve(undo_->node_images.size() +
-                (nodes_.size() - undo_->base_nodes));
+  t.ids.reserve(u.node_images.size() + (nodes_.size() - u.base_nodes));
   // Journaled pre-images: every touched node is reported, but only those
   // whose value-determining fields actually differ from the pre-image seed
   // a re-simulation cone.  Fanout-list, size, delay and name edits leave
   // the node's simulated words unchanged (capacitance is recomputed from
   // the live netlist on every estimate, so they still affect power).
   std::vector<NodeId> roots;
-  for (const auto& [id, img] : undo_->node_images) {
+  for (const auto& [id, img] : u.node_images) {
     t.ids.push_back(id);
     const Node& cur = nodes_[id];
     if (img.type != cur.type || img.fanins != cur.fanins ||
@@ -612,7 +658,7 @@ Netlist::TouchedNodes Netlist::touched_nodes() const {
   }
   std::sort(t.ids.begin(), t.ids.end());
   std::sort(roots.begin(), roots.end());
-  for (NodeId n = static_cast<NodeId>(undo_->base_nodes); n < nodes_.size();
+  for (NodeId n = static_cast<NodeId>(u.base_nodes); n < nodes_.size();
        ++n) {
     t.ids.push_back(n);
     roots.push_back(n);

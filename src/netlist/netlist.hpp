@@ -215,21 +215,39 @@ class Netlist {
   // replaces the network outright (assignment, compact()).  rollback_undo()
   // restores the exact begin_undo() state; commit_undo() drops the log.
   // Cost scales with the pass's edit size, not the circuit size.
-  // Only one log is active at a time; begin_undo() replaces any prior log.
+  //
+  // Epochs nest: begin_undo() inside an active log opens an inner epoch.
+  // Mutations journal into the innermost epoch only; commit_undo() merges
+  // the inner epoch's pre-images into its parent (entries the parent
+  // already holds an older image for are dropped, as are entries for nodes
+  // the parent will discard by truncation), and rollback_undo() restores
+  // exactly the innermost begin_undo() point, leaving outer epochs armed.
+  // This is what lets a rewrite engine try one candidate at a time inside
+  // a flow stage's all-or-nothing journal: candidate epochs commit or roll
+  // back individually while the stage epoch still covers the whole batch.
 
   void begin_undo();
-  /// Keep all changes; discard the journal.
+  /// Keep the innermost epoch's changes: merge its journal into the parent
+  /// epoch, or discard it when it is the outermost.
   void commit_undo();
-  /// Restore the exact state captured by begin_undo(); discards the journal.
+  /// Restore the exact state captured by the innermost begin_undo();
+  /// discards that epoch (outer epochs stay armed).
   void rollback_undo();
-  bool undo_active() const { return undo_ != nullptr; }
-  /// Node pre-images recorded so far (diagnostic / test hook).
+  bool undo_active() const { return !undo_.empty(); }
+  /// Nesting depth of active epochs.
+  std::size_t undo_depth() const { return undo_.size(); }
+  /// Node pre-images recorded in the innermost epoch (diagnostic hook).
   std::size_t undo_entries() const {
-    return undo_ ? undo_->node_images.size() : 0;
+    return undo_.empty() ? 0 : undo_.back()->node_images.size();
   }
+  /// Total rollback_undo() calls on this netlist — the journal's own count
+  /// of epochs actually rewound, which flow/stage accounting is audited
+  /// against (a "reverted" or "failed" stage report must correspond to a
+  /// real rewind, and "kept" must not).
+  std::size_t undo_rollbacks() const { return undo_rollbacks_; }
 
-  /// The set of nodes the active journal has seen change: journaled
-  /// pre-images plus every node created after begin_undo().  `all` is set
+  /// The set of nodes the innermost active epoch has seen change: journaled
+  /// pre-images plus every node created after its begin_undo().  `all` is set
   /// when per-node attribution is impossible — no journal is active, a
   /// wholesale pre-image was recorded (assignment, compact()), or the
   /// primary-input list changed (input positions feed the simulators, so
@@ -269,13 +287,17 @@ class Netlist {
     std::string full_name;
   };
 
-  /// Journal node n's pre-image on its first mutation (no-op for nodes
-  /// created after begin_undo, or once a wholesale pre-image exists).
+  /// Journal node n's pre-image on its first mutation in the innermost
+  /// epoch (no-op for nodes created after that epoch's begin_undo, or once
+  /// it holds a wholesale pre-image).  Outer epochs need no entry: a
+  /// commit merges the image down, a rollback restores it.
   void touch_node(NodeId n) {
-    if (!undo_ || undo_->full_saved) return;
-    if (n >= undo_->base_nodes || undo_->dirty[n]) return;
-    undo_->dirty[n] = 1;
-    undo_->node_images.emplace_back(n, nodes_[n]);
+    if (undo_.empty()) return;
+    UndoLog& u = *undo_.back();
+    if (u.full_saved) return;
+    if (n >= u.base_nodes || u.dirty[n]) return;
+    u.dirty[n] = 1;
+    u.node_images.emplace_back(n, nodes_[n]);
   }
   void touch_io();   // journal PI/PO lists + name on first change
   void touch_all();  // journal a wholesale pre-image (assignment, compact)
@@ -288,7 +310,8 @@ class Netlist {
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
   std::vector<std::string> output_names_;
-  std::unique_ptr<UndoLog> undo_;
+  std::vector<std::unique_ptr<UndoLog>> undo_;  // epoch stack; back() is innermost
+  std::size_t undo_rollbacks_ = 0;
 };
 
 /// Structural hashing: rebuilds the network bottom-up, merging structurally

@@ -359,4 +359,11 @@ void IncrementalAnalyzer::restore_cone(Snapshot& s) {
   analysis_ = std::move(s.analysis);
 }
 
+double IncrementalAnalyzer::score_candidate(
+    const Netlist::TouchedNodes& touched) {
+  const Analysis& a = reanalyze(touched);
+  core::metrics::count("power.inc.probes");
+  return a.report.breakdown.total_w();
+}
+
 }  // namespace lps::power

@@ -110,6 +110,15 @@ class IncrementalAnalyzer {
   /// One level deep; throws std::logic_error if there is nothing to revert.
   void revert_last();
 
+  /// Candidate-scoring probe for rewrite loops: reanalyze(touched) and
+  /// return the resulting total power (watts).  Both reanalyze() success
+  /// paths — cone splice and full rebaseline — leave a pending snapshot, so
+  /// the caller makes exactly one of two moves next: keep the candidate
+  /// (commit its undo epoch; the estimate already matches the netlist) or
+  /// reject it (Netlist::rollback_undo, then revert_last()).  Inherits
+  /// reanalyze()'s strong exception safety; counted as power.inc.probes.
+  double score_candidate(const Netlist::TouchedNodes& touched);
+
  private:
   struct Snapshot {
     bool full = false;  // snapshot of a whole pre-fallback cache

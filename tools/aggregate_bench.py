@@ -8,8 +8,9 @@ This script merges those files, computes parallel speedups for benchmarks
 registered with thread-count Args (names like "bm_foo_par/1" vs
 "bm_foo_par/4"), computes incremental-vs-full speedups for paired names
 ("bm_foo_full" vs "bm_foo_inc"), computes compiled-vs-interpreted engine
-speedups for paired names ("bm_foo_interp" vs "bm_foo_comp"), and writes
-one top-level document so the perf trajectory is tracked across PRs.
+speedups for paired names ("bm_foo_interp" vs "bm_foo_comp"), lifts the
+per-circuit datapath-rewrite savings out of the E25.saving.* claims, and
+writes one top-level document so the perf trajectory is tracked across PRs.
 
 By default an existing output file is MERGED, not overwritten: binaries
 absent from this run keep their previous entry, and each benchmark keeps a
@@ -143,6 +144,21 @@ def simd_speedups(results):
     return out
 
 
+def rewrite_savings(claims):
+    """Extract the per-circuit datapath-rewrite savings table.
+
+    bench_rewrite claims the engine-level switching reduction per family
+    circuit as 'E25.saving.<circuit>'; surfacing them as a column keeps
+    the optimization trajectory visible next to the timing history.
+    """
+    out = []
+    for key in sorted(claims or {}):
+        m = re.fullmatch(r"E25\.saving\.(.+)", key)
+        if m:
+            out.append({"name": m.group(1), "saving": round(claims[key], 4)})
+    return out
+
+
 def load_existing(path):
     """Previous aggregate, keyed by binary name.  Missing/corrupt -> {}."""
     try:
@@ -204,6 +220,9 @@ def main(argv):
         simd = simd_speedups(doc["results"])
         if simd:
             entry["simd_speedups"] = simd
+        rw = rewrite_savings(doc.get("claims"))
+        if rw:
+            entry["rewrite_savings"] = rw
         if doc.get("claims"):
             entry["claims"] = doc["claims"]
         by_binary[doc["binary"]] = entry

@@ -188,6 +188,28 @@ class AggregateBenchTest(unittest.TestCase):
         (entry,) = out["benchmarks"]
         self.assertNotIn("simd_speedups", entry)
 
+    def test_rewrite_savings_from_e25_claims(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_rewrite", 10.0, {
+            "E25.saving.mult8": 0.11421,
+            "E25.saving.dct8": 0.07133,
+            "E25.reduction_geomean": 0.135,  # not a per-circuit saving
+            "E25.soundness": 1.0,
+        })
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertEqual(entry["rewrite_savings"],
+                         [{"name": "dct8", "saving": 0.0713},
+                          {"name": "mult8", "saving": 0.1142}])
+
+    def test_rewrite_savings_absent_without_e25_claims(self):
+        a = os.path.join(self.dir.name, "a.json")
+        write_json(a, bench_doc("bench_a", 10.0, {"E1.x": 0.93}))
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertNotIn("rewrite_savings", entry)
+
 
 class CheckExperimentsTest(unittest.TestCase):
     def setUp(self):
