@@ -9,9 +9,17 @@
 // family), measures the switching-power reduction of the flow with the
 // datapath stage against the same flow without it, and checks that no
 // engine run silently truncated its candidate queue.
+//
+// It also carries E26 — speculative parallel candidate scoring
+// (logicopt/speculate.hpp): worker threads score candidate batches against
+// a snapshot and the engine commits the deltas, so the bench pins
+// bit-identity of the result across worker counts and measures the
+// hardware-gated wall-clock speedup at 4 workers.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/flows.hpp"
@@ -145,6 +153,82 @@ void report() {
   benchx::claim("E25.reduction_geomean", reduction_geomean);
   benchx::claim("E25.flow_delta_min", flow_delta_min);
   benchx::claim("E25.capped_runs", capped_runs);
+
+  // ---- E26: speculative parallel candidate scoring ----------------------
+  // The load-bearing claim is identity: at any worker count the engine must
+  // produce the same kept sequence, the same final netlist and the same
+  // (bitwise) exit power as the sequential run — speculation is a wall-clock
+  // optimization, never a result change.  The speedup claim is measured
+  // here too but banded as optional/hardware-gated: it only moves when real
+  // cores exist under the worker threads.
+  bool identical = true;
+  bool accounted = true;
+  double speedup_log_sum = 0.0;
+  std::size_t speedup_n = 0;
+  core::Table ts({"circuit", "kept", "batches", "conflicts", "rescored",
+                  "t 1w ms", "t 4w ms", "speedup"});
+  for (const auto& [name, net] : family()) {
+    auto timed_run = [&](int workers, Netlist& work,
+                         logicopt::rewrite::RewriteResult& res) {
+      logicopt::rewrite::RewriteOptions opt;
+      opt.workers = workers;
+      auto t0 = std::chrono::steady_clock::now();
+      res = logicopt::rewrite::rewrite_datapath(work, opt);
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    Netlist base = net.clone();
+    logicopt::rewrite::RewriteResult r1;
+    double t1 = timed_run(1, base, r1);
+    logicopt::rewrite::RewriteResult r4;
+    double t4 = 0.0;
+    for (int w : {2, 4, 8}) {
+      Netlist work = net.clone();
+      logicopt::rewrite::RewriteResult rw;
+      double tw = timed_run(w, work, rw);
+      if (w == 4) {
+        r4 = rw;
+        t4 = tw;
+      }
+      bool same = structural_hash(work) == structural_hash(base) &&
+                  rw.kept == r1.kept && rw.reverted == r1.reverted &&
+                  rw.unsound == r1.unsound &&
+                  rw.candidates_scored == r1.candidates_scored &&
+                  rw.power_after_w == r1.power_after_w;
+      if (!same) {
+        identical = false;
+        std::cout << "IDENTITY BREAK: " << name << " workers " << w << "\n";
+      }
+      accounted = accounted && rw.candidates_scored == rw.kept + rw.reverted;
+    }
+    if (t4 > 0.0) {
+      speedup_log_sum += std::log(t1 / t4);
+      ++speedup_n;
+    }
+    ts.row({name, core::Table::num(static_cast<double>(r1.kept), 0),
+            core::Table::num(static_cast<double>(r4.spec_batches), 0),
+            core::Table::num(static_cast<double>(r4.spec_conflicts), 0),
+            core::Table::num(static_cast<double>(r4.spec_rescored), 0),
+            core::Table::num(t1, 1), core::Table::num(t4, 1),
+            core::Table::num(t1 / t4, 2) + "x"});
+  }
+  ts.print(std::cout);
+  double speedup_geomean =
+      speedup_n ? std::exp(speedup_log_sum / static_cast<double>(speedup_n))
+                : 0.0;
+  std::cout << "\nspeculative scoring identity (1/2/4/8 workers): "
+            << (identical ? "bit-identical" : "BROKEN")
+            << "; engine speedup geomean at 4 workers: "
+            << core::Table::num(speedup_geomean, 2) << "x ("
+            << std::thread::hardware_concurrency() << " hw threads)\n\n";
+
+  benchx::claim("E26.identity", identical);
+  benchx::claim("E26.conflicts_accounted", accounted);
+  // Wall-clock only means anything with cores behind the workers; boxes
+  // with fewer than 4 hardware threads skip the (optional) band entirely.
+  if (std::thread::hardware_concurrency() >= 4)
+    benchx::claim("E26.spec_speedup_4w", speedup_geomean);
 }
 
 // ---- timings: the engine itself, and the flow with/without the stage -----
@@ -152,10 +236,11 @@ void report() {
 // rewrite_savings table row alongside the per-circuit E25.saving.* claims.
 
 template <typename Make>
-void bm_engine(benchmark::State& state, Make make) {
+void bm_engine(benchmark::State& state, Make make, int workers = 0) {
   Netlist net = make();
   logicopt::rewrite::RewriteOptions opt;
   opt.sim_vectors = 1024;
+  opt.workers = workers;
   for (auto _ : state) {
     Netlist work = net.clone();
     auto res = logicopt::rewrite::rewrite_datapath(work, opt);
@@ -182,6 +267,20 @@ void bm_rewrite_engine_dct8(benchmark::State& s) {
 void bm_rewrite_engine_mult8(benchmark::State& s) {
   bm_engine(s, [] { return bench::array_multiplier(8); });
 }
+// Speculation worker matrix: _w1/_w4 pairs feed the speculative_speedups
+// table in aggregate_bench.py (and the E26 wall-clock story).
+void bm_rewrite_engine_dct8_w1(benchmark::State& s) {
+  bm_engine(s, [] { return bench::dct_butterfly(8); }, 1);
+}
+void bm_rewrite_engine_dct8_w4(benchmark::State& s) {
+  bm_engine(s, [] { return bench::dct_butterfly(8); }, 4);
+}
+void bm_rewrite_engine_mult8_w1(benchmark::State& s) {
+  bm_engine(s, [] { return bench::array_multiplier(8); }, 1);
+}
+void bm_rewrite_engine_mult8_w4(benchmark::State& s) {
+  bm_engine(s, [] { return bench::array_multiplier(8); }, 4);
+}
 void bm_rewrite_flow_dct8_base(benchmark::State& s) {
   bm_flow(s, [] { return bench::dct_butterfly(8); }, false);
 }
@@ -190,6 +289,10 @@ void bm_rewrite_flow_dct8_dp(benchmark::State& s) {
 }
 BENCHMARK(bm_rewrite_engine_dct8);
 BENCHMARK(bm_rewrite_engine_mult8);
+BENCHMARK(bm_rewrite_engine_dct8_w1);
+BENCHMARK(bm_rewrite_engine_dct8_w4);
+BENCHMARK(bm_rewrite_engine_mult8_w1);
+BENCHMARK(bm_rewrite_engine_mult8_w4);
 BENCHMARK(bm_rewrite_flow_dct8_base);
 BENCHMARK(bm_rewrite_flow_dct8_dp);
 

@@ -229,7 +229,9 @@ void run_logic_stages(StageRunner& runner, const FlowOptions& opt) {
     });
     runner.attempt("resynth", [&](Netlist& net) {
       auto st = sim::measure_activity(net, 64, opt.seed);
-      logicopt::resynthesize_windows(net, st.transition_prob);
+      logicopt::ResynthOptions rso;
+      rso.workers = opt.opt_workers;
+      logicopt::resynthesize_windows(net, st.transition_prob, rso);
     });
   }
   if (opt.run_datapath) {
@@ -239,6 +241,7 @@ void run_logic_stages(StageRunner& runner, const FlowOptions& opt) {
       // Match the flow's own estimator stimulus so that (in ZeroDelay mode)
       // a rewrite the engine keeps is a win under the stage keep-check too.
       ro.sim_vectors = opt.sim_vectors;
+      ro.workers = opt.opt_workers;
       logicopt::rewrite::rewrite_datapath(net, ro);
     });
   }

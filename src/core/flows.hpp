@@ -67,6 +67,12 @@ struct FlowOptions {
   /// analysis, kept for differential testing — mirroring
   /// PassManager::Options::use_undo_log.
   bool use_incremental_power = true;
+  /// Candidate-scoring worker threads for the optimization engines
+  /// (logicopt/speculate.hpp) — routed into the datapath rewrite and
+  /// window-resynthesis stages.  Speculative scoring is bit-identical to
+  /// sequential at any value, so this only changes wall-clock.  0 = the
+  /// LPS_OPT_WORKERS environment default; 1 = sequential.
+  int opt_workers = 0;
   power::PowerParams params;
   /// Optional cooperative cancellation token (not owned; must outlive the
   /// flow).  Threaded into every between-stage power estimate; when it

@@ -7,6 +7,7 @@
 #include "core/parallel.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/path_balance.hpp"
+#include "logicopt/speculate.hpp"
 #include "netlist/validate.hpp"
 #include "power/incremental.hpp"
 #include "sim/logicsim.hpp"
@@ -21,6 +22,10 @@ bool all_ok(const std::vector<PassRecord>& records) {
 
 std::vector<PassRecord> PassManager::run(Netlist& net) const {
   std::vector<PassRecord> records;
+  // Scope the speculation worker default over the whole pipeline so passes
+  // constructed with default engine options pick it up.
+  std::optional<logicopt::speculate::ScopedWorkers> spec_workers;
+  if (opt_.opt_workers > 0) spec_workers.emplace(opt_.opt_workers);
   const bool guard_needed =
       opt_.verify || opt_.check_invariants || opt_.rollback;
   const bool use_undo = guard_needed && opt_.use_undo_log;

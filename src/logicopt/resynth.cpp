@@ -1,11 +1,14 @@
 #include "logicopt/resynth.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <optional>
 #include <set>
 
 #include "bdd/bdd_netlist.hpp"
 #include "core/metrics.hpp"
+#include "logicopt/speculate.hpp"
 #include "power/incremental.hpp"
 #include "sop/factoring.hpp"
 #include "sop/minimize.hpp"
@@ -67,10 +70,6 @@ bool eval_window(const Netlist& net, NodeId n,
   return (value[n] & 1ULL) != 0;
 }
 
-}  // namespace
-
-namespace {
-
 // Gate cost of realizing a factored expression: one literal per AND/OR
 // input plus one single-input gate per negated literal.
 int expr_cost(const sop::Expr& e) {
@@ -88,6 +87,23 @@ int expr_cost(const sop::Expr& e) {
   }
 }
 
+// Everything the per-candidate examination computes before any mutation —
+// the unit the speculation workers evaluate against a batch snapshot.  A
+// plan transplants to the live netlist as long as nothing an earlier keep
+// touched (structurally or through its dirty activity cone) intersects the
+// plan's read set.
+struct WindowPlan {
+  enum class Status { Dead, Capped, NoBdds, Examined };
+  Status status = Status::Dead;
+  bool rewrite = false;  // expr beat the window's literal cost
+  sop::Expr expr;
+  std::vector<NodeId> boundary;
+  /// 2-level structural closure of the candidate plus its fanout context;
+  /// also the activity read set (boundary ⊆ closure).
+  std::vector<NodeId> reads;
+  std::exception_ptr error;  // examination failed; re-raised serially
+};
+
 }  // namespace
 
 ResynthResult resynthesize_windows(Netlist& net,
@@ -95,6 +111,8 @@ ResynthResult resynthesize_windows(Netlist& net,
                                    const ResynthOptions& opt) {
   ResynthResult res;
   res.gates_before = net.num_gates();
+  const int workers = speculate::resolve_workers(opt.workers);
+  res.workers_used = workers;
 
   // The cost oracle.  With rescore_activities the pass owns a cone-scoped
   // incremental analyzer and refreshes it after every kept rewrite, so each
@@ -141,55 +159,35 @@ ResynthResult resynthesize_windows(Netlist& net,
     return res;
   };
 
-  // Rewrites create nodes the current BDDs don't cover, so run rounds to a
-  // fixpoint, rebuilding the symbolic view between rounds.
-  bool round_changed = true;
-  int rounds = 0;
-  while (round_changed && rounds++ < 4 &&
-         res.nodes_rewritten < opt.max_rewrites) {
-  round_changed = false;
-  bdd::NetlistBdds bdds;
-  try {
-    bdds = bdd::build_bdds(net, opt.bdd_limit);
-  } catch (const bdd::NodeLimitExceeded&) {
-    return finalize(net.num_gates());  // circuit too wide for exact local DCs
-  }
-  auto& m = bdds.mgr;
-
-  // Candidate list fixed per round; rewrites only add nodes.
-  std::vector<NodeId> candidates;
-  for (NodeId n = 0; n < net.size(); ++n) {
-    if (net.is_dead(n)) continue;
-    const Node& nd = net.node(n);
-    if (is_source(nd.type) || nd.type == GateType::Dff) continue;
-    candidates.push_back(n);
-  }
-
-  for (NodeId n : candidates) {
-    if (res.nodes_rewritten >= opt.max_rewrites) {
-      // Budget exhausted with windows still unexamined — never silent.
-      res.rewrites_capped = true;
-      break;
-    }
-    if (net.is_dead(n)) continue;  // consumed by an earlier rewrite
-    std::vector<NodeId> interior, boundary;
+  // Pure examination of one candidate: window extraction, local-function
+  // tabulation against `bdds`' reachability don't-cares, minimization and
+  // factoring.  Reads the netlist and the activity oracle, mutates only the
+  // given BDD manager (canonical results — manager state never affects the
+  // functions it returns, so per-worker managers built from the same round
+  // snapshot agree with the main one).
+  auto examine = [&](NodeId n, bdd::NetlistBdds& bdds) -> WindowPlan {
+    WindowPlan plan;
+    const NodeId seeds[1] = {n};
+    plan.reads = speculate::read_closure(net, seeds, 2);
+    if (net.is_dead(n)) return plan;  // consumed by an earlier rewrite
+    std::vector<NodeId> interior;
     bool win_capped = false;
-    if (!build_window(net, n, opt.max_window_inputs, interior, boundary,
+    if (!build_window(net, n, opt.max_window_inputs, interior, plan.boundary,
                       &win_capped)) {
-      if (win_capped) {
-        ++res.windows_capped;
-        core::metrics::count("logicopt.resynth.capped");
-      }
-      continue;
+      plan.status =
+          win_capped ? WindowPlan::Status::Capped : WindowPlan::Status::NoBdds;
+      return plan;
     }
     // Rewrites may have created nodes without BDDs; skip such windows.
-    bool have_bdds = true;
-    for (NodeId b : boundary)
-      if (b >= bdds.node_fn.size()) have_bdds = false;
-    if (!have_bdds) continue;
-    ++res.windows_examined;
+    for (NodeId b : plan.boundary)
+      if (b >= bdds.node_fn.size()) {
+        plan.status = WindowPlan::Status::NoBdds;
+        return plan;
+      }
+    plan.status = WindowPlan::Status::Examined;
 
-    unsigned k = static_cast<unsigned>(boundary.size());
+    auto& m = bdds.mgr;
+    unsigned k = static_cast<unsigned>(plan.boundary.size());
     sop::Sop onset(k), dcset(k);
     // Replacement-cost baseline: the node's own literals plus those of
     // interior helpers that exist only for this node (single fanout).
@@ -219,59 +217,215 @@ ResynthResult resynthesize_windows(Netlist& net,
       // pattern?  Conjunction of (boundary fn XNOR bit).
       bdd::Ref reach = bdd::kTrue;
       for (unsigned i = 0; i < k && reach != bdd::kFalse; ++i) {
-        bdd::Ref f = bdds.node_fn[boundary[i]];
+        bdd::Ref f = bdds.node_fn[plan.boundary[i]];
         reach = m.land(reach, (minterm >> i & 1) ? f : m.lnot(f));
       }
       if (reach == bdd::kFalse) {
         dcset.add_cube(c);
         continue;
       }
-      if (eval_window(net, n, window_order, boundary, minterm))
+      if (eval_window(net, n, window_order, plan.boundary, minterm))
         onset.add_cube(c);
     }
 
     auto cover = sop::minimize(onset, dcset);
-    sop::Expr expr;
     if (opt.power_aware) {
       std::vector<double> w(k);
-      for (unsigned i = 0; i < k; ++i) w[i] = 0.05 + tog(boundary[i]);
-      expr = sop::factor_weighted(cover, w);
+      for (unsigned i = 0; i < k; ++i) w[i] = 0.05 + tog(plan.boundary[i]);
+      plan.expr = sop::factor_weighted(cover, w);
     } else {
-      expr = sop::factor(cover);
+      plan.expr = sop::factor(cover);
     }
     // Keep only if strictly cheaper than the window it replaces (negated
     // literals cost an inverter each, so count them).
-    if (expr_cost(expr) >= window_lits) continue;
+    plan.rewrite = expr_cost(plan.expr) < window_lits;
+    return plan;
+  };
 
-    // Journal the mutation when re-scoring: the touched set scopes the
-    // activity refresh to the rewrite's fanout cone (nests correctly
-    // inside a flow stage's epoch).
-    if (inc) net.begin_undo();
-    NodeId rebuilt = sop::build_expr(net, expr, boundary);
-    if (rebuilt == n) {
-      if (inc) net.rollback_undo();  // discard any half-built helpers
+  // Rewrites create nodes the current BDDs don't cover, so run rounds to a
+  // fixpoint, rebuilding the symbolic view between rounds.
+  bool round_changed = true;
+  int rounds = 0;
+  while (round_changed && rounds++ < 4 &&
+         res.nodes_rewritten < opt.max_rewrites) {
+    round_changed = false;
+    bdd::NetlistBdds bdds;
+    try {
+      bdds = bdd::build_bdds(net, opt.bdd_limit);
+    } catch (const bdd::NodeLimitExceeded&) {
+      return finalize(net.num_gates());  // circuit too wide for exact DCs
+    }
+
+    // Candidate list fixed per round; rewrites only add nodes.
+    std::vector<NodeId> candidates;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_dead(n)) continue;
+      const Node& nd = net.node(n);
+      if (is_source(nd.type) || nd.type == GateType::Dff) continue;
+      candidates.push_back(n);
+    }
+
+    // Account for one examined plan and apply it when it rewrites — the
+    // tail of the sequential per-candidate body, shared verbatim between
+    // the sequential loop and the speculative commit loop.  `dirty`
+    // receives the keep's touched ids ∪ activity footprint (for the
+    // conflict set) when journaling is on.
+    auto commit_plan = [&](NodeId n, const WindowPlan& plan,
+                           std::vector<NodeId>* dirty) -> void {
+      switch (plan.status) {
+        case WindowPlan::Status::Dead:
+          return;
+        case WindowPlan::Status::Capped:
+          ++res.windows_capped;
+          core::metrics::count("logicopt.resynth.capped");
+          return;
+        case WindowPlan::Status::NoBdds:
+          return;
+        case WindowPlan::Status::Examined:
+          break;
+      }
+      ++res.windows_examined;
+      if (!plan.rewrite) return;
+
+      // Journal the mutation when re-scoring or speculating: the touched
+      // set scopes the activity refresh and the conflict footprint (nests
+      // correctly inside a flow stage's epoch).
+      bool journal = inc.has_value() || workers > 1;
+      if (journal) net.begin_undo();
+      NodeId rebuilt = sop::build_expr(net, plan.expr, plan.boundary);
+      if (rebuilt == n) {
+        if (journal) net.rollback_undo();  // discard half-built helpers
+        return;
+      }
+      // build_expr may return a boundary node itself (constant/wire case);
+      // otherwise it is freshly constructed logic.
+      net.substitute(n, rebuilt);
+      net.sweep();
+      if (journal) {
+        auto touched = net.touched_nodes();
+        if (dirty) {
+          *dirty = speculate::dirty_footprint(net, touched);
+          dirty->insert(dirty->end(), touched.ids.begin(), touched.ids.end());
+        }
+        if (inc) {
+          try {
+            inc->reanalyze(touched);
+            ++res.rescored;
+          } catch (const std::exception&) {
+            // Estimator defect: the rewrite itself is already legal and
+            // kept; later windows fall back to the (stale) caller vector.
+            inc.reset();
+            core::metrics::count("logicopt.resynth.rescore_dropped");
+          }
+        }
+        net.commit_undo();
+      }
+      ++res.nodes_rewritten;
+      round_changed = true;
+    };
+
+    if (workers <= 1) {
+      for (NodeId n : candidates) {
+        if (res.nodes_rewritten >= opt.max_rewrites) {
+          // Budget exhausted with windows still unexamined — never silent.
+          res.rewrites_capped = true;
+          break;
+        }
+        commit_plan(n, examine(n, bdds), nullptr);
+      }
       continue;
     }
-    // build_expr may return a boundary node itself (constant/wire case);
-    // otherwise it is freshly constructed logic.
-    net.substitute(n, rebuilt);
-    net.sweep();
-    if (inc) {
-      auto touched = net.touched_nodes();
-      try {
-        inc->reanalyze(touched);
-        ++res.rescored;
-      } catch (const std::exception&) {
-        // Estimator defect: the rewrite itself is already legal and kept;
-        // later windows fall back to the (stale) caller-supplied vector.
-        inc.reset();
-        core::metrics::count("logicopt.resynth.rescore_dropped");
-      }
-      net.commit_undo();
+
+    // Speculative rounds: per-worker BDD views built once from the
+    // round-start netlist (kept rewrites preserve every node's global
+    // function — they only use boundary patterns no PI assignment reaches —
+    // so the views stay valid across the whole round).
+    int team = std::min<int>(workers, static_cast<int>(candidates.size()));
+    std::vector<std::optional<bdd::NetlistBdds>> wbdds(
+        static_cast<std::size_t>(std::max(team, 1)));
+    bool spec_ok = team > 1;
+    if (spec_ok) {
+      std::atomic<bool> build_failed{false};
+      speculate::run_workers(team, [&](int w) {
+        try {
+          wbdds[static_cast<std::size_t>(w)].emplace(
+              bdd::build_bdds(net, opt.bdd_limit));
+        } catch (...) {
+          build_failed.store(true, std::memory_order_relaxed);
+        }
+      });
+      spec_ok = !build_failed.load(std::memory_order_relaxed);
     }
-    ++res.nodes_rewritten;
-    round_changed = true;
-  }
+    if (!spec_ok) {
+      // Degrade to the sequential loop for this round — identical results,
+      // just no overlap.
+      for (NodeId n : candidates) {
+        if (res.nodes_rewritten >= opt.max_rewrites) {
+          res.rewrites_capped = true;
+          break;
+        }
+        commit_plan(n, examine(n, bdds), nullptr);
+      }
+      continue;
+    }
+
+    const std::size_t batch_size =
+        opt.spec_batch ? opt.spec_batch
+                       : static_cast<std::size_t>(8) *
+                             static_cast<std::size_t>(team);
+    bool budget_stop = false;
+    // Plans go stale once the activity oracle dies mid-batch (later plans
+    // were weighted through it): force the batch remainder serial.
+    for (std::size_t start = 0; start < candidates.size() && !budget_stop;
+         start += batch_size) {
+      std::size_t nb = std::min(batch_size, candidates.size() - start);
+      std::vector<WindowPlan> plans(nb);
+      std::atomic<std::size_t> next{0};
+      speculate::run_workers(team, [&](int w) {
+        bdd::NetlistBdds& view = *wbdds[static_cast<std::size_t>(w)];
+        for (;;) {
+          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= nb) break;
+          try {
+            plans[i] = examine(candidates[start + i], view);
+          } catch (...) {
+            plans[i].error = std::current_exception();
+          }
+        }
+      });
+      ++res.spec_batches;
+      core::metrics::count("logicopt.spec.batches");
+      core::metrics::count("logicopt.spec.speculated",
+                           static_cast<double>(nb));
+
+      speculate::ConflictSet committed(net.size());
+      bool inc_alive_at_batch = inc.has_value();
+      for (std::size_t i = 0; i < nb; ++i) {
+        if (res.nodes_rewritten >= opt.max_rewrites) {
+          res.rewrites_capped = true;
+          budget_stop = true;
+          break;
+        }
+        NodeId n = candidates[start + i];
+        WindowPlan& plan = plans[i];
+        bool conflict = plan.error != nullptr ||
+                        (inc_alive_at_batch && !inc.has_value()) ||
+                        committed.hits(plan.reads);
+        if (conflict) {
+          ++res.spec_conflicts;
+          core::metrics::count("logicopt.spec.conflicts");
+          ++res.spec_rescored;
+          core::metrics::count("logicopt.spec.rescored");
+          std::vector<NodeId> dirty;
+          commit_plan(n, examine(n, bdds), &dirty);
+          committed.add(dirty);
+          continue;
+        }
+        std::vector<NodeId> dirty;
+        commit_plan(n, plan, &dirty);
+        committed.add(dirty);
+      }
+    }
   }  // rounds
   if (res.nodes_rewritten >= opt.max_rewrites && round_changed)
     res.rewrites_capped = true;

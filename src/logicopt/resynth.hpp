@@ -44,6 +44,15 @@ struct ResynthOptions {
   /// 4096 vectors = 64 words of 64 patterns.
   std::size_t rescore_vectors = 4096;
   std::uint64_t rescore_seed = 5;
+  /// Window-examination worker threads (logicopt/speculate.hpp): workers
+  /// evaluate window plans read-only against the live netlist using private
+  /// per-round BDD views; plans commit in candidate order and anything an
+  /// earlier keep touched (structurally or through its activity cone) is
+  /// re-examined serially.  Results are bit-identical at any value.
+  /// 0 = the LPS_OPT_WORKERS environment default; 1 = sequential.
+  int workers = 0;
+  /// Candidates per speculation batch (0 = 8 per worker).
+  std::size_t spec_batch = 0;
 };
 
 struct ResynthResult {
@@ -61,6 +70,12 @@ struct ResynthResult {
   /// True when the max_rewrites budget stopped the pass with candidate
   /// windows still unexamined (logicopt.resynth.rewrites_capped metric).
   bool rewrites_capped = false;
+  /// Speculation accounting (workers > 1; zero in sequential runs, mirrored
+  /// in logicopt.spec.* metrics — conflicts are never silent).
+  std::size_t spec_batches = 0;    // plan batches examined by workers
+  std::size_t spec_conflicts = 0;  // plans invalidated by an earlier keep
+  std::size_t spec_rescored = 0;   // conflicted plans re-examined serially
+  int workers_used = 1;            // resolved worker count for this run
   /// One-line diagnostic describing any cap that was hit; empty otherwise.
   std::string note;
 };

@@ -12,16 +12,26 @@
 // handled by construction (no stale-activity scoring).
 //
 // Soundness: the rules are exact identities, and the engine additionally
-// proves every kept instance by differential simulation against the
-// interpreter (ScopedSimOptions{use_compiled = false}) — a digest mismatch
-// rolls the candidate back and counts RewriteResult::unsound, so a rule
-// bug can cost an optimization but never correctness.
+// proves every kept instance against the oracle's cached stimulus — the
+// primary-output stream digest (IncrementalAnalyzer::outputs_digest) must
+// be unchanged after the candidate's cone re-simulation, which is the
+// full-circuit differential check restricted to where a mismatch can show.
+// RewriteOptions::verify_full layers the original whole-netlist
+// interpreter trace on top (the rule-soundness fuzzer runs that mode).  A
+// proof failure rolls the candidate back and counts
+// RewriteResult::unsound, so a rule bug can cost an optimization but never
+// correctness.
 //
 // Determinism: the engine owns a private ZeroDelay analyzer (seeded from
 // RewriteOptions, independent of the caller's estimate mode, sim engine,
 // lane width or thread count — ZeroDelay statistics are bit-identical
 // across all of those), so the kept-rewrite sequence is a pure function of
-// the input netlist and options.
+// the input netlist and options.  Candidates are judged by footprint-local
+// power *deltas* (logicopt/speculate.hpp), which transplant bit-for-bit
+// between a batch snapshot and the live netlist — that is what lets
+// RewriteOptions::workers > 1 score candidates speculatively on worker
+// threads while keeping the kept sequence and the final netlist
+// bit-identical to workers == 1.
 
 #pragma once
 
@@ -53,11 +63,26 @@ struct RewriteOptions {
   /// Scoring stimulus for the private ZeroDelay oracle.
   std::size_t sim_vectors = 4096;
   std::uint64_t seed = 7;
-  /// Differential-proof stimulus (interpreter engine) per kept candidate.
+  /// Differential-proof stimulus (interpreter engine) per kept candidate —
+  /// only simulated when verify_full is set; the default proof is the
+  /// cone-scoped PO-stream digest over the oracle's own stimulus.
   std::size_t verify_frames = 256;
   std::uint64_t verify_seed = 17;
   /// Keep a candidate only when it saves strictly more than this (watts).
   double min_gain_w = 0.0;
+  /// Re-prove every kept candidate with the whole-netlist interpreter
+  /// trace in addition to the PO-stream digest (belt-and-braces mode; the
+  /// rule-soundness fuzzer runs with this on).
+  bool verify_full = false;
+  /// Candidate-scoring worker threads (logicopt/speculate.hpp).  Workers
+  /// score batches against a snapshot on private netlist+oracle clones;
+  /// disjoint winners commit without re-scoring, overlapping candidates
+  /// are re-scored serially.  Kept sequence and final netlist are
+  /// bit-identical at any value.  0 = the LPS_OPT_WORKERS environment
+  /// default; 1 = the plain sequential loop.
+  int workers = 0;
+  /// Candidates per speculation batch (0 = 32 per worker).
+  std::size_t spec_batch = 0;
 };
 
 struct RewriteResult {
@@ -71,6 +96,12 @@ struct RewriteResult {
   /// True when a round's candidate queue was truncated at max_candidates —
   /// surfaced (never silent): also counted as logicopt.rewrite.capped.
   bool capped = false;
+  /// Speculation accounting (workers > 1; all zero in sequential runs,
+  /// mirrored in logicopt.spec.* metrics — conflicts are never silent).
+  std::size_t spec_batches = 0;    // snapshot batches scored by workers
+  std::size_t spec_conflicts = 0;  // candidates overlapping an earlier keep
+  std::size_t spec_rescored = 0;   // conflicted candidates re-scored serially
+  int workers_used = 1;            // resolved worker count for this run
   double power_before_w = 0.0;  // oracle estimate at entry
   double power_after_w = 0.0;   // oracle estimate at exit
   std::size_t gates_before = 0;

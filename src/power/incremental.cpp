@@ -8,6 +8,7 @@
 
 #include "core/aligned.hpp"
 #include "core/metrics.hpp"
+#include "core/parallel.hpp"
 
 namespace lps::power {
 
@@ -37,6 +38,45 @@ IncrementalAnalyzer::IncrementalAnalyzer(const Netlist& net,
                                          AnalysisOptions opt)
     : net_(&net), opt_(std::move(opt)) {
   run_full();
+}
+
+IncrementalAnalyzer::IncrementalAnalyzer(CloneTag, const Netlist& net,
+                                         const IncrementalAnalyzer& src)
+    : net_(&net),
+      opt_(src.opt_),
+      analysis_(src.analysis_),
+      trace_(src.trace_),
+      have_trace_(true) {
+  // No compiled tape: it binds to the source netlist.  The first
+  // reanalyze() on the clone compiles one lazily against `net`.
+}
+
+IncrementalAnalyzer IncrementalAnalyzer::clone_for(const Netlist& net) const {
+  if (opt_.mode != ActivityMode::ZeroDelay || !have_trace_)
+    throw std::logic_error(
+        "IncrementalAnalyzer::clone_for: requires a ZeroDelay baseline "
+        "cache (Timed mode keeps none)");
+  core::metrics::count("power.inc.clones");
+  return IncrementalAnalyzer(CloneTag{}, net, *this);
+}
+
+const Analysis& IncrementalAnalyzer::previous_analysis() const {
+  if (!snap_)
+    throw std::logic_error(
+        "IncrementalAnalyzer::previous_analysis: no update pending");
+  return snap_->analysis;
+}
+
+std::uint64_t IncrementalAnalyzer::outputs_digest() const {
+  if (!have_trace_)
+    throw std::logic_error(
+        "IncrementalAnalyzer::outputs_digest: no cached trace");
+  std::uint64_t d = 0x9E3779B97F4A7C15ull;
+  const auto& outs = net_->outputs();
+  for (const sim::Frame& f : trace_.frames)
+    for (std::size_t j = 0; j < outs.size(); ++j)
+      d = core::mix64(d ^ (f[outs[j]] + 0x9E3779B97F4A7C15ull * (j + 1)));
+  return d;
 }
 
 void IncrementalAnalyzer::run_full() {
@@ -114,6 +154,7 @@ const Analysis& IncrementalAnalyzer::reanalyze(
       analysis_ = std::move(s.analysis);
       throw;
     }
+    if (snap_) recycle(*snap_);  // retire the superseded snapshot's buffers
     snap_ = std::move(s);
     last_.full_rebaseline = true;
     last_.resim_nodes = last_.live_nodes;
@@ -196,14 +237,22 @@ const Analysis& IncrementalAnalyzer::reanalyze(
     trace_.toggles[id] = 0;
   }
 
-  // Snapshot the frame columns the sweep will overwrite.
+  // Snapshot the frame columns the sweep will overwrite.  Buffers come from
+  // the scratch pool when a prior probe retired some, so a candidate loop
+  // stops paying one allocation per cone node per candidate.
   auto snapshot_column = [&](NodeId id) {
     if (id >= s.old_size) return;  // truncated away on revert
     s.resim_ids.push_back(id);
-    auto& col = s.columns.emplace_back();
+    std::vector<std::uint64_t> col;
+    if (!col_pool_.empty()) {
+      col = std::move(col_pool_.back());
+      col_pool_.pop_back();
+      col.clear();
+    }
     col.reserve(n_frames);
     for (std::size_t fr = 0; fr < n_frames; ++fr)
       col.push_back(trace_.frames[fr][id]);
+    s.columns.push_back(std::move(col));
   };
   for (NodeId id : sched.gates) snapshot_column(id);
   for (NodeId id : sched.dffs) snapshot_column(id);
@@ -307,8 +356,10 @@ const Analysis& IncrementalAnalyzer::reanalyze(
     // mutated nodes, so drop the tape instead (recompiled lazily).
     csim_.reset();
     restore_cone(s);
+    recycle(s);
     throw;
   }
+  if (snap_) recycle(*snap_);  // retire the superseded snapshot's buffers
   snap_ = std::move(s);
 
   last_.resim_nodes = sched.resim_nodes();
@@ -341,6 +392,16 @@ void IncrementalAnalyzer::revert_last() {
   // roots' records from the restored netlist (O(edit)).
   if (csim_) csim_->revert_to(s.old_size, s.patched);
   restore_cone(s);
+  recycle(s);
+}
+
+void IncrementalAnalyzer::recycle(Snapshot& s) {
+  constexpr std::size_t kPoolCap = 1024;
+  for (auto& col : s.columns) {
+    if (col_pool_.size() >= kPoolCap) break;
+    col_pool_.push_back(std::move(col));
+  }
+  s.columns.clear();
 }
 
 void IncrementalAnalyzer::restore_cone(Snapshot& s) {

@@ -119,7 +119,38 @@ class IncrementalAnalyzer {
   /// reanalyze()'s strong exception safety; counted as power.inc.probes.
   double score_candidate(const Netlist::TouchedNodes& touched);
 
+  /// Analysis as it stood before the most recent successful reanalyze()
+  /// (the pending snapshot's).  Lets candidate scorers form footprint-local
+  /// power deltas without copying the whole Analysis per probe.  Throws
+  /// std::logic_error when no update is pending.
+  const Analysis& previous_analysis() const;
+
+  /// Fork a scoring oracle bound to `net`, which must be an element-wise
+  /// clone of this analyzer's netlist in its current state (same node ids,
+  /// same tombstones — Netlist::clone() of the bound net after every
+  /// mutation was reported here).  The clone copies the cached frame
+  /// stream, counters and analysis — no re-simulation — and starts with no
+  /// pending snapshot; its compiled tape is built lazily against `net` on
+  /// first reanalyze().  Used by logicopt/speculate.cpp to score candidate
+  /// batches on worker threads without touching the primary oracle.
+  /// Requires a ZeroDelay baseline cache (throws std::logic_error in Timed
+  /// mode or after a failed baseline).
+  IncrementalAnalyzer clone_for(const Netlist& net) const;
+
+  /// Order-independent digest of the primary-output value streams in the
+  /// cached trace: the cone-scoped soundness proof.  Two calls — one before
+  /// a mutation is applied, one after reanalyze() — agree iff every output
+  /// column is bit-identical across the whole cached stimulus, which is
+  /// exactly what the full-circuit differential trace checked (the PO
+  /// streams), at O(outputs x frames) instead of O(netlist x frames).
+  /// Covers PO-list redirection: the digest reads the *current* outputs()
+  /// binding.  Throws std::logic_error when there is no cached trace.
+  std::uint64_t outputs_digest() const;
+
  private:
+  struct CloneTag {};
+  IncrementalAnalyzer(CloneTag, const Netlist& net,
+                      const IncrementalAnalyzer& src);
   struct Snapshot {
     bool full = false;  // snapshot of a whole pre-fallback cache
     // full == true: the entire previous trace (moved, so cost-free).
@@ -141,6 +172,10 @@ class IncrementalAnalyzer {
   // Restore trace/counter/analysis state from a cone snapshot (the shared
   // tail of revert_last() and the in-flight exception restore).
   void restore_cone(Snapshot& s);
+  // Return a retired snapshot's column buffers to the scratch pool so the
+  // next reanalyze() reuses their capacity instead of reallocating
+  // per candidate (bounded; excess is freed).
+  void recycle(Snapshot& s);
 
   const Netlist* net_;
   AnalysisOptions opt_;
@@ -153,6 +188,8 @@ class IncrementalAnalyzer {
   std::optional<sim::CompiledSim> csim_;
   UpdateStats last_;
   std::optional<Snapshot> snap_;
+  // Scratch: retired snapshot columns, reused across candidate probes.
+  std::vector<std::vector<std::uint64_t>> col_pool_;
 };
 
 }  // namespace lps::power

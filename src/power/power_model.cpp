@@ -60,6 +60,7 @@ PowerReport compute_power(const Netlist& net,
     throw std::invalid_argument("compute_power: toggle vector size mismatch");
   PowerReport r;
   r.node_switching_w.assign(net.size(), 0.0);
+  r.node_power_w.assign(net.size(), 0.0);
   for (NodeId id = 0; id < net.size(); ++id) {
     if (net.is_dead(id)) continue;
     const Node& n = net.node(id);
@@ -69,11 +70,12 @@ PowerReport compute_power(const Netlist& net,
     r.weighted_activity += activity_charge;
     double sw = 0.5 * activity_charge * p.vdd * p.vdd * p.freq;
     double sc = p.qsc_fraction * activity_charge * p.vdd * p.vdd * p.freq;
+    double lk = transistor_count(n) * p.ileak_pa_per_transistor * 1e-12 * p.vdd;
     r.node_switching_w[id] = sw;
+    r.node_power_w[id] = sw + sc + lk;
     r.breakdown.switching_w += sw;
     r.breakdown.short_circuit_w += sc;
-    r.breakdown.leakage_w +=
-        transistor_count(n) * p.ileak_pa_per_transistor * 1e-12 * p.vdd;
+    r.breakdown.leakage_w += lk;
   }
   return r;
 }

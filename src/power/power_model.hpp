@@ -67,6 +67,14 @@ int transistor_count(const Node& n);
 struct PowerReport {
   PowerBreakdown breakdown;
   std::vector<double> node_switching_w;  // per node
+  /// Per-node total (switching + short-circuit + leakage) contribution.
+  /// Each entry is a pure function of that node's own record — type, size,
+  /// fanout loads, PO membership, toggle count — so two analyses that agree
+  /// on a node's record and counters agree on its entry bit-for-bit.  The
+  /// speculation layer (logicopt/speculate.hpp) sums footprint-local
+  /// differences of these entries to get power deltas that transplant
+  /// exactly between a batch snapshot and the live netlist.
+  std::vector<double> node_power_w;
   double total_cap_f = 0.0;              // sum of node capacitances
   double weighted_activity = 0.0;        // sum over nodes of C * N (F/cycle)
 };
