@@ -408,6 +408,9 @@ ResynthResult resynthesize_windows(Netlist& net,
         }
         NodeId n = candidates[start + i];
         WindowPlan& plan = plans[i];
+        // A cancellation raised on a worker must abort the run (at this
+        // window's sequential position), not be re-examined serially.
+        speculate::rethrow_if_cancelled(plan.error);
         bool conflict = plan.error != nullptr ||
                         (inc_alive_at_batch && !inc.has_value()) ||
                         committed.hits(plan.reads);

@@ -114,7 +114,10 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
   // serial re-score path of the speculative commit loop.  The candidate's
   // undo epoch is open on entry and closed (committed or rolled back) on
   // normal return; the oracle must be synced to the pre-candidate netlist.
-  auto score_and_decide = [&](const Netlist::TouchedNodes& touched) -> bool {
+  // On a keep, `fp_out` (when given) receives the keep's dirty activity
+  // footprint for the speculative conflict set.
+  auto score_and_decide = [&](const Netlist::TouchedNodes& touched,
+                              std::vector<NodeId>* fp_out = nullptr) -> bool {
     double cand_power = 0.0;
     try {
       cand_power = oracle.score_candidate(touched);
@@ -148,6 +151,7 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
     }
     if (keep) {
       net.commit_undo();
+      if (fp_out) *fp_out = std::move(fp);
       power = cand_power;
       ++res.kept;
       core::metrics::count("logicopt.rewrite.kept");
@@ -190,6 +194,7 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
   // identical at any worker count.
   auto run_spec_batch = [&](std::span<const Candidate> batch) -> std::size_t {
     sync_oracle();  // workers clone the oracle; it must mirror the net
+    const std::size_t snap_size = net.size();
     int team = static_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(workers), batch.size()));
     std::vector<speculate::CandidateScore> scores =
@@ -197,11 +202,14 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
                                        team);
     ++res.spec_batches;
     core::metrics::count("logicopt.spec.batches");
-    speculate::ConflictSet committed(net.size());
+    speculate::ConflictSet committed(snap_size);
     std::size_t kept_this_batch = 0;
     for (std::size_t k = 0; k < batch.size(); ++k) {
       const Candidate& cand = batch[k];
       speculate::CandidateScore& sc = scores[k];
+      // A cancellation raised on a worker must abort the run (at this
+      // candidate's sequential position), not be re-executed serially.
+      speculate::rethrow_if_cancelled(sc.error);
       bool conflict = sc.error != nullptr || sc.forced_conflict ||
                       committed.hits(sc.reads) || committed.hits(sc.footprint);
       if (conflict) {
@@ -225,10 +233,15 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
         continue;
       }
       Netlist::TouchedNodes touched = net.touched_nodes();
-      if (!conflict && (!sc.applied || touched.all)) {
+      if (!conflict &&
+          (!sc.applied || touched.all ||
+           !speculate::same_touched(sc.touched_snap, sc.roots_snap, touched,
+                                    snap_size))) {
         // The snapshot verdict is unusable (the candidate was stale there,
-        // or the live apply invalidated wholesale): surface it as a
-        // conflict and redo the apply with the oracle synced first.
+        // the live apply invalidated wholesale, or the live apply made a
+        // *different* edit than the snapshot scored — a read outside the
+        // structural closure): surface it as a conflict and redo the
+        // apply with the oracle synced first.
         net.rollback_undo();
         ++res.spec_conflicts;
         core::metrics::count("logicopt.spec.conflicts");
@@ -252,9 +265,15 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
       if (conflict) {
         ++res.spec_rescored;
         core::metrics::count("logicopt.spec.rescored");
-        if (score_and_decide(touched)) {
+        std::vector<NodeId> fp;
+        if (score_and_decide(touched, &fp)) {
           ++kept_this_batch;
+          // The conflict set carries the keep's structural edit *and* its
+          // dirty activity footprint: a later candidate whose cone
+          // reconverges with this keep's toggle changes downstream (no
+          // structural overlap) must not transplant a pre-keep delta.
           committed.add(touched.ids);
+          committed.add(fp);
           // score_and_decide reanalyzed the live oracle; nothing pending.
         }
         continue;
@@ -286,6 +305,7 @@ RewriteResult rewrite_datapath(Netlist& net, const RewriteOptions& opt) {
         ++kept_this_batch;
         core::metrics::count("logicopt.rewrite.kept");
         committed.add(touched.ids);
+        committed.add(speculate::dirty_footprint(net, touched));
         pending.add(touched);
       } else {
         net.rollback_undo();

@@ -7,6 +7,7 @@
 
 #include "core/env.hpp"
 #include "core/metrics.hpp"
+#include "core/parallel.hpp"
 #include "power/activity.hpp"
 
 namespace lps::logicopt::speculate {
@@ -138,7 +139,43 @@ void keep_below(std::vector<NodeId>& ids, std::size_t limit) {
             ids.end());
 }
 
+// Sorted unique copy of `ids` restricted to [0, limit).
+std::vector<NodeId> canonical_below(std::span<const NodeId> ids,
+                                    std::size_t limit) {
+  std::vector<NodeId> out;
+  out.reserve(ids.size());
+  for (NodeId id : ids)
+    if (id < limit) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace
+
+void rethrow_if_cancelled(const std::exception_ptr& e) {
+  if (!e) return;
+  try {
+    std::rethrow_exception(e);
+  } catch (const core::CancelledError&) {
+    throw;
+  } catch (...) {
+    // Not a cancellation: the caller re-scores the candidate serially.
+  }
+}
+
+bool same_touched(std::span<const NodeId> snap_ids,
+                  std::span<const NodeId> snap_roots,
+                  const Netlist::TouchedNodes& live,
+                  std::size_t snapshot_size) {
+  std::vector<NodeId> ids = canonical_below(live.ids, snapshot_size);
+  if (ids.size() != snap_ids.size() ||
+      !std::equal(ids.begin(), ids.end(), snap_ids.begin()))
+    return false;
+  std::vector<NodeId> roots = canonical_below(live.value_roots, snapshot_size);
+  return roots.size() == snap_roots.size() &&
+         std::equal(roots.begin(), roots.end(), snap_roots.begin());
+}
 
 std::vector<CandidateScore> score_rewrite_batch(
     const Netlist& net, const power::IncrementalAnalyzer& oracle,
@@ -165,7 +202,7 @@ std::vector<CandidateScore> score_rewrite_batch(
         const rewrite::Candidate& cand = batch[i];
         std::vector<NodeId> seeds{cand.target};
         if (cand.aux != kNoNode) seeds.push_back(cand.aux);
-        sc.reads = read_closure(*clone, seeds, 3);
+        sc.reads = read_closure(*clone, seeds, rewrite::kMaxMatchDepth);
 
         clone->begin_undo();
         bool applied = false;
@@ -189,6 +226,8 @@ std::vector<CandidateScore> score_rewrite_batch(
           sc.forced_conflict = true;
           continue;
         }
+        sc.touched_snap = canonical_below(touched.ids, snap_size);
+        sc.roots_snap = canonical_below(touched.value_roots, snap_size);
         if (touches_gated_register(*clone, touched)) sc.forced_conflict = true;
         try {
           worker_oracle->reanalyze(touched);

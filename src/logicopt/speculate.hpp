@@ -28,9 +28,12 @@
 //
 //  * Candidates that overlap an earlier keep (ConflictSet over the
 //    snapshot id space, read closure ∪ dirty footprint vs committed
-//    touched sets) are re-scored serially through the engine's own oracle,
-//    exactly where the sequential engine would have scored them.  Counted
-//    as logicopt.spec.conflicts / logicopt.spec.rescored — never silent.
+//    touched sets ∪ *their* dirty footprints — both sides carry the
+//    activity cone, so downstream reconvergence with a keep's toggle
+//    changes is a conflict even without structural overlap) are re-scored
+//    serially through the engine's own oracle, exactly where the
+//    sequential engine would have scored them.  Counted as
+//    logicopt.spec.conflicts / logicopt.spec.rescored — never silent.
 //
 //  * Commits re-apply the candidate on the live netlist in queue order, so
 //    node-id assignment matches the sequential engine exactly.
@@ -154,12 +157,41 @@ struct CandidateScore {
   double delta_w = 0.0;
   std::vector<NodeId> reads;      // snapshot-id read closure (pre-apply)
   std::vector<NodeId> footprint;  // dirty footprint, filtered < snapshot size
-  /// Scoring failed (cancellation, engine failure).  The commit loop
-  /// rethrows it at this candidate's queue position, after committing every
-  /// earlier candidate — the same prefix the sequential engine would have
-  /// committed before hitting the failure.
+  /// Canonical (sorted unique, < snapshot size) touched ids and value
+  /// roots of the snapshot apply.  The commit loop cross-checks these
+  /// against the live apply's touched set: a mismatch means the live edit
+  /// differs from the one the snapshot scored (e.g. a matcher read past
+  /// the read closure), so the verdict must not transplant — the
+  /// candidate is re-scored serially instead.
+  std::vector<NodeId> touched_snap;
+  std::vector<NodeId> roots_snap;
+  /// Scoring failed on the worker (its clone was discarded).  The commit
+  /// loop rethrows a core::CancelledError at this candidate's queue
+  /// position — after committing every earlier candidate, the same prefix
+  /// the sequential engine would have committed before the deadline —
+  /// via rethrow_if_cancelled().  Any other failure is treated as a
+  /// conflict: the candidate is re-applied and re-scored serially, so a
+  /// worker-side engine failure is retried on the live path and counted
+  /// (logicopt.spec.conflicts / .rescored), never silently dropped.
   std::exception_ptr error;
 };
+
+/// Rethrow `e` when it holds a core::CancelledError; return normally for
+/// null or any other exception.  Commit loops call this on a speculated
+/// candidate's error slot so cooperative cancellation propagates instead
+/// of being swallowed by the serial re-score fallback (which would re-run
+/// the cancelled work).
+void rethrow_if_cancelled(const std::exception_ptr& e);
+
+/// True when the live apply's touched set matches the snapshot apply's,
+/// restricted to pre-snapshot ids: both the touched ids and the value
+/// roots, compared as sorted unique sets below `snapshot_size`.
+/// `snap_ids`/`snap_roots` must already be canonical (CandidateScore
+/// stores them that way); ids created after the snapshot differ freely.
+bool same_touched(std::span<const NodeId> snap_ids,
+                  std::span<const NodeId> snap_roots,
+                  const Netlist::TouchedNodes& live,
+                  std::size_t snapshot_size);
 
 /// Score a batch of rewrite candidates against the current state of `net`
 /// on `workers` dedicated threads.  `oracle` must be synced to `net`

@@ -137,9 +137,12 @@ class IncrementalAnalyzer {
   /// mode or after a failed baseline).
   IncrementalAnalyzer clone_for(const Netlist& net) const;
 
-  /// Order-independent digest of the primary-output value streams in the
-  /// cached trace: the cone-scoped soundness proof.  Two calls — one before
-  /// a mutation is applied, one after reanalyze() — agree iff every output
+  /// Digest of the primary-output value streams in the cached trace,
+  /// mix64-chained over frames with each output's position folded into
+  /// its term — deliberately order-*sensitive*, so it pins the exact
+  /// (frame, output) placement of every word, not just the multiset of
+  /// values.  The cone-scoped soundness proof: two calls — one before a
+  /// mutation is applied, one after reanalyze() — agree iff every output
   /// column is bit-identical across the whole cached stimulus, which is
   /// exactly what the full-circuit differential trace checked (the PO
   /// streams), at O(outputs x frames) instead of O(netlist x frames).

@@ -19,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 #include <vector>
 
 #include "core/flows.hpp"
+#include "core/parallel.hpp"
 #include "core/pass.hpp"
 #include "logicopt/power_factor.hpp"
 #include "logicopt/resynth.hpp"
@@ -122,6 +124,60 @@ TEST(SpeculateUnit, ConflictSetIgnoresIdsBeyondSnapshot) {
   EXPECT_TRUE(set.hits(probe_hit));
   EXPECT_FALSE(set.hits(probe_miss));
   EXPECT_FALSE(set.hits(probe_new));
+}
+
+TEST(SpeculateUnit, ConflictSetWithFootprintCatchesActivityReconvergence) {
+  // A keep at g1 dirties the toggle counters of its whole downstream cone.
+  // A later candidate at g3 shares no structure with the keep, but its
+  // delta reads counters the keep changed — so the conflict set must carry
+  // the keep's dirty activity footprint, not just its touched ids, or the
+  // candidate transplants a pre-keep delta (the E26 identity regression).
+  Netlist net("reconv");
+  NodeId a = net.add_input("a");
+  NodeId b = net.add_input("b");
+  NodeId g1 = net.add_and(a, b);
+  NodeId g2 = net.add_or(g1, b);
+  NodeId g3 = net.add_xor(g2, a);
+  net.add_output(g3, "f");
+  Netlist::TouchedNodes keep;
+  keep.ids = {g1};
+  keep.value_roots = {g1};
+  std::vector<NodeId> fp = speculate::dirty_footprint(net, keep);
+  speculate::ConflictSet ids_only(net.size());
+  ids_only.add(keep.ids);
+  speculate::ConflictSet with_fp(net.size());
+  with_fp.add(keep.ids);
+  with_fp.add(fp);
+  std::vector<NodeId> later_fp{g3};  // downstream candidate's footprint
+  EXPECT_FALSE(ids_only.hits(later_fp));  // structural-only set misses it
+  EXPECT_TRUE(with_fp.hits(later_fp));
+}
+
+TEST(SpeculateUnit, SameTouchedComparesCanonicalSetsBelowSnapshot) {
+  Netlist::TouchedNodes live;
+  live.ids = {5, 3, 3, 12};  // 12 is past the snapshot: ignored
+  live.value_roots = {3, 12};
+  std::vector<NodeId> snap_ids{3, 5};
+  std::vector<NodeId> snap_roots{3};
+  EXPECT_TRUE(speculate::same_touched(snap_ids, snap_roots, live, 10));
+  // A differing pre-snapshot touched id is a mismatch ...
+  live.ids.push_back(7);
+  EXPECT_FALSE(speculate::same_touched(snap_ids, snap_roots, live, 10));
+  // ... and so is a differing value-root set with identical ids.
+  live.ids = {3, 5};
+  live.value_roots = {5};
+  EXPECT_FALSE(speculate::same_touched(snap_ids, snap_roots, live, 10));
+}
+
+TEST(SpeculateUnit, RethrowIfCancelledPropagatesOnlyCancellation) {
+  speculate::rethrow_if_cancelled(nullptr);  // null: no-op
+  std::exception_ptr plain =
+      std::make_exception_ptr(std::runtime_error("worker died"));
+  EXPECT_NO_THROW(speculate::rethrow_if_cancelled(plain));
+  std::exception_ptr cancel =
+      std::make_exception_ptr(core::CancelledError());
+  EXPECT_THROW(speculate::rethrow_if_cancelled(cancel),
+               core::CancelledError);
 }
 
 // ---- oracle fork and PO-stream digest -------------------------------------
