@@ -1,5 +1,7 @@
 #include "bdd/bdd_netlist.hpp"
 
+#include "core/env.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -51,9 +53,13 @@ std::vector<Ref> build_into(Manager& m, const Netlist& net,
     throw std::invalid_argument("build_into: source function count mismatch");
   std::vector<Ref> fn(net.size(), kFalse);
   std::size_t k = 0;
-  for (NodeId pi : net.inputs()) fn[pi] = source_fn[k++];
-  for (NodeId d : dffs) fn[d] = source_fn[k++];
+  for (NodeId pi : net.inputs()) fn[pi] = m.ref(source_fn[k++]);
+  for (NodeId d : dffs) fn[d] = m.ref(source_fn[k++]);
 
+  // Every per-node function is ref()'d as soon as it exists: under auto-GC
+  // a collection may run at any later operation entry, and only rooted (or
+  // argument) refs survive it.  Gate evaluation itself is safe because each
+  // intermediate is immediately the argument of the next public call.
   for (NodeId id : net.topo_order()) {
     const Node& nd = net.node(id);
     switch (nd.type) {
@@ -97,6 +103,8 @@ std::vector<Ref> build_into(Manager& m, const Netlist& net,
         fn[id] = m.ite(fn[nd.fanins[0]], fn[nd.fanins[2]], fn[nd.fanins[1]]);
         break;
     }
+    if (nd.type != GateType::Input && nd.type != GateType::Dff)
+      m.ref(fn[id]);
   }
   return fn;
 }
@@ -107,8 +115,15 @@ NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit,
                        std::size_t reserve_hint) {
   NetlistBdds out;
   auto dffs = net.dffs();
-  out.mgr = Manager(
-      static_cast<unsigned>(net.inputs().size() + dffs.size()), node_limit);
+  // Collect construction garbage while the build runs (the per-node
+  // functions are rooted as they are produced, so only dead ITE scaffolding
+  // is swept); LPS_BDD_GC=0 restores the historical monotonic build.
+  static const bool gc_during_build = core::env_bool_or("LPS_BDD_GC", true);
+  Config cfg = default_config();
+  cfg.node_limit = node_limit;
+  cfg.auto_gc = gc_during_build;
+  out.mgr =
+      Manager(static_cast<unsigned>(net.inputs().size() + dffs.size()), cfg);
   // Capacity hint: global BDDs for gate networks typically land within a
   // small multiple of the gate count; pre-sizing avoids rehash churn.
   if (reserve_hint == 0) reserve_hint = 16 * net.num_gates();
@@ -126,6 +141,10 @@ NetlistBdds build_bdds(const Netlist& net, std::size_t node_limit,
   for (NodeId pi : net.inputs()) sources.push_back(out.mgr.var(out.var_of[pi]));
   for (NodeId d : dffs) sources.push_back(out.mgr.var(out.var_of[d]));
   out.node_fn = build_into(out.mgr, net, sources);
+  // Hand the manager back with auto-GC off: callers (don't-care extraction,
+  // density estimation) hold unrooted temporaries across operations and use
+  // explicit gc() at their own safe points instead.
+  out.mgr.set_auto_gc(false);
   return out;
 }
 
@@ -175,24 +194,34 @@ NodeId synthesize_bdd(Netlist& net, Manager& mgr, Ref f,
     if (r == kFalse) return net.add_const(false);
     if (r == kTrue) return net.add_const(true);
     if (auto it = memo.find(r); it != memo.end()) return it->second;
-    const auto& n = mgr.node(r);
-    NodeId sel = var_to_node.at(n.var);
     NodeId out;
-    // Specialize the common single-literal shapes to plain gates.
-    if (n.lo == kFalse && n.hi == kTrue) {
-      out = sel;
-    } else if (n.lo == kTrue && n.hi == kFalse) {
-      out = net.add_not(sel);
-    } else if (n.lo == kFalse) {
-      out = net.add_and(sel, self(self, n.hi));
-    } else if (n.hi == kFalse) {
-      out = net.add_and(net.add_not(sel), self(self, n.lo));
-    } else if (n.lo == kTrue) {
-      out = net.add_or(net.add_not(sel), self(self, n.hi));
-    } else if (n.hi == kTrue) {
-      out = net.add_or(sel, self(self, n.lo));
+    const auto& n = mgr.node(r);
+    if (is_complemented(r)) {
+      // Complement edge: one shared inverter per node polarity (the memo
+      // keys on the full tagged ref, so f and !f cost one Not, not a
+      // duplicated cone).  The negated literal node is x itself.
+      if (n.lo == kTrue && n.hi == kFalse)
+        out = var_to_node.at(n.var);
+      else
+        out = net.add_not(self(self, regular(r)));
     } else {
-      out = net.add_mux(sel, self(self, n.lo), self(self, n.hi));
+      NodeId sel = var_to_node.at(n.var);
+      // Specialize the common single-literal shapes to plain gates.
+      if (n.lo == kFalse && n.hi == kTrue) {
+        out = sel;
+      } else if (n.lo == kTrue && n.hi == kFalse) {
+        out = net.add_not(sel);
+      } else if (n.lo == kFalse) {
+        out = net.add_and(sel, self(self, n.hi));
+      } else if (n.hi == kFalse) {
+        out = net.add_and(net.add_not(sel), self(self, n.lo));
+      } else if (n.lo == kTrue) {
+        out = net.add_or(net.add_not(sel), self(self, n.hi));
+      } else if (n.hi == kTrue) {
+        out = net.add_or(sel, self(self, n.lo));
+      } else {
+        out = net.add_mux(sel, self(self, n.lo), self(self, n.hi));
+      }
     }
     memo.emplace(r, out);
     return out;

@@ -6,6 +6,7 @@
 #include "circuit/sizing.hpp"
 #include "core/metrics.hpp"
 #include "core/pass.hpp"
+#include "logicopt/bdd_synth.hpp"
 #include "logicopt/dontcare.hpp"
 #include "logicopt/resynth.hpp"
 #include "logicopt/rewrite/engine.hpp"
@@ -243,6 +244,16 @@ void run_logic_stages(StageRunner& runner, const FlowOptions& opt) {
       ro.sim_vectors = opt.sim_vectors;
       ro.workers = opt.opt_workers;
       logicopt::rewrite::rewrite_datapath(net, ro);
+    });
+  }
+  if (opt.run_bdd_synth) {
+    runner.attempt("bdd_synth", [&](Netlist& net) {
+      logicopt::BddSynthOptions bo;
+      // Match the flow's estimator stimulus so a cone the engine keeps is
+      // a win under the stage keep-check too (ZeroDelay mode).
+      bo.sim_vectors = opt.sim_vectors;
+      bo.seed = opt.seed;
+      logicopt::synthesize_bdd_cones(net, bo);
     });
   }
   if (opt.run_balance) {

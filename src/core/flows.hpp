@@ -3,7 +3,7 @@
 // The survey's thesis is that savings compose across abstraction levels.
 // These flows chain the library's passes the way a 1995 CAD system would:
 //   combinational: strash -> don't-care opt -> resynthesis -> datapath
-//   rewriting -> path balancing -> sizing,
+//   rewriting -> hybrid BDD synthesis -> path balancing -> sizing,
 //   sequential (FSM): low-power encoding -> synthesis -> self-loop clock
 //   gating, with Eqn. (1) power measured between every stage.
 
@@ -53,6 +53,11 @@ struct FlowOptions {
   /// rules scored one candidate at a time through a private cone-scoped
   /// power oracle.  Runs after resynthesis, before balancing.
   bool run_datapath = true;
+  /// Hybrid BDD→MUX extraction (logicopt/bdd_synth.hpp): per-cone BDDs on
+  /// the complement-edge manager, activity-weighted sifting, kept per cone
+  /// only when the MUX form beats the current structure on power.  Runs
+  /// after datapath rewriting, before balancing.
+  bool run_bdd_synth = true;
   bool run_balance = true;
   bool run_sizing = true;
   /// Activity source for the between-stage estimates.  Timed (default)
@@ -112,8 +117,8 @@ FlowResult optimize_combinational(const Netlist& input,
                                   const FlowOptions& opt = {});
 
 /// Sequential low-power flow: the combinational stage ladder (strash ->
-/// don't-care -> resynthesis -> datapath -> balancing -> sizing) run on a
-/// netlist with
+/// don't-care -> resynthesis -> datapath -> bdd_synth -> balancing ->
+/// sizing) run on a netlist with
 /// registers, plus a final hold-on-self-loop gating stage
 /// (seq::gate_fsm_self_loops).  Register-crossing transforms make this the
 /// flow that exercises Dff-crossing incremental re-estimation.

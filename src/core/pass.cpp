@@ -230,6 +230,19 @@ std::unique_ptr<Pass> make_datapath_rewrite_pass(
   });
 }
 
+std::unique_ptr<Pass> make_bdd_synth_pass(logicopt::BddSynthOptions opt) {
+  return std::make_unique<FnPass>("bdd-synth", [opt](Netlist& net) {
+    auto res = logicopt::synthesize_bdd_cones(net, opt);
+    return "kept " + std::to_string(res.kept) + "/" +
+           std::to_string(res.cones_examined) + " cones, power " +
+           std::to_string(res.power_before_w) + " -> " +
+           std::to_string(res.power_after_w) + " W, gates " +
+           std::to_string(res.gates_before) + " -> " +
+           std::to_string(res.gates_after) +
+           (res.note.empty() ? "" : ", " + res.note);
+  });
+}
+
 std::unique_ptr<Pass> make_balance_pass(int buffer_budget) {
   return std::make_unique<FnPass>("path-balance", [buffer_budget](Netlist& net) {
     auto res = buffer_budget < 0

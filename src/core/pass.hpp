@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/diag.hpp"
+#include "logicopt/bdd_synth.hpp"
 #include "logicopt/rewrite/engine.hpp"
 #include "netlist/netlist.hpp"
 #include "power/activity.hpp"
@@ -133,5 +134,10 @@ std::unique_ptr<Pass> make_balance_pass(int buffer_budget = -1);  // -1 = full
 /// with the manager's own pass epoch.
 std::unique_ptr<Pass> make_datapath_rewrite_pass(
     logicopt::rewrite::RewriteOptions opt = {});
+/// Hybrid BDD→MUX extraction (logicopt/bdd_synth.hpp): per-cone BDDs on
+/// the complement-edge manager, activity-weighted sifting, each kept cone
+/// proven and power-scored individually.  Candidate epochs nest inside the
+/// manager's pass epoch like the datapath engine's.
+std::unique_ptr<Pass> make_bdd_synth_pass(logicopt::BddSynthOptions opt = {});
 
 }  // namespace lps::core

@@ -105,6 +105,11 @@ DontCareResult optimize_dontcare(Netlist& net,
       const Node& nd = net.node(n);
       if (is_source(nd.type) || nd.type == GateType::Dff) continue;
 
+      // Safe point: between candidates only the rooted global functions
+      // are live, so shed the previous candidate's observability
+      // scaffolding once it gets heavy instead of growing to bdd_limit.
+      if (m.live_nodes() >= opt.bdd_limit / 2) m.gc();
+
       auto tfo = tfo_of(net, n);
       auto fn_y = with_fresh_var(bdds, net, n, y, tfo);
 

@@ -187,6 +187,10 @@ ResynthResult resynthesize_windows(Netlist& net,
     plan.status = WindowPlan::Status::Examined;
 
     auto& m = bdds.mgr;
+    // Safe point: between windows only the rooted global functions are
+    // live; shed accumulated reachability scaffolding before it can hit
+    // the budget.
+    if (m.live_nodes() >= opt.bdd_limit / 2) m.gc();
     unsigned k = static_cast<unsigned>(plan.boundary.size());
     sop::Sop onset(k), dcset(k);
     // Replacement-cost baseline: the node's own literals plus those of

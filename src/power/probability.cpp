@@ -1,21 +1,54 @@
 #include "power/probability.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "bdd/bdd_netlist.hpp"
+#include "core/diag.hpp"
 #include "core/metrics.hpp"
+#include "sim/logicsim.hpp"
 
 namespace lps::power {
 
+namespace detail {
 namespace {
+std::atomic<int> g_forced_bdd_limits{0};
+
+bool consume_forced_bdd_limit() {
+  int cur = g_forced_bdd_limits.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (g_forced_bdd_limits.compare_exchange_weak(cur, cur - 1,
+                                                  std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+void force_bdd_limit(int n) {
+  g_forced_bdd_limits.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kExactNodeLimit = 4u << 20;
+// Fallback stimulus when the symbolic estimate outgrows the node budget:
+// enough patterns for a stable Monte Carlo estimate, fixed seed so the
+// degraded result is still deterministic.
+constexpr std::size_t kFallbackVectors = 4096;
+constexpr std::uint64_t kFallbackSeed = 7;
 
 // Global BDD build sized from the netlist up front: every live node gets a
 // function, so the unique table is pre-sized for the whole network rather
 // than the default gate-count heuristic, and the build's table statistics
 // are published under power.exact.* for observability.
 bdd::NetlistBdds build_global_bdds(const Netlist& net) {
-  auto bdds = bdd::build_bdds(net, /*node_limit=*/4u << 20,
+  if (detail::consume_forced_bdd_limit()) throw bdd::NodeLimitExceeded();
+  auto bdds = bdd::build_bdds(net, kExactNodeLimit,
                               /*reserve_hint=*/16 * net.num_live());
   core::metrics::count("power.exact.bdd_builds");
   core::metrics::count("power.exact.bdd_nodes",
@@ -23,6 +56,20 @@ bdd::NetlistBdds build_global_bdds(const Netlist& net) {
   core::metrics::count("power.exact.bdd_cache_hits",
                        static_cast<double>(bdds.mgr.cache_hits()));
   return bdds;
+}
+
+// The symbolic estimators degrade instead of throwing when a network is too
+// wide for the node budget: count the event, tell the operator where the
+// exactness was lost, and return the simulation-based estimate.
+void report_bdd_limit(const char* estimator) {
+  core::metrics::count("power.exact.bdd_limit");
+  diag::Diagnostic d{
+      diag::Severity::Warning,
+      "BDD node budget exceeded; degrading to the simulation-based "
+      "estimate (" +
+          std::to_string(kFallbackVectors) + " vectors)",
+      diag::SourceLoc{std::string("power::") + estimator, 0, 0}};
+  std::fprintf(stderr, "%s\n", d.str().c_str());
 }
 
 double and_prob(const std::vector<double>& p, const Node& nd) {
@@ -110,16 +157,22 @@ std::vector<double> signal_probs_independent(const Netlist& net,
 std::vector<double> signal_probs_exact(const Netlist& net,
                                        std::span<const double> pi_prob) {
   auto pip = pi_probability_vector(net, pi_prob);
-  auto bdds = build_global_bdds(net);
-  std::vector<double> var_p(bdds.mgr.num_vars(), 0.5);
-  for (std::size_t i = 0; i < net.inputs().size(); ++i)
-    var_p[bdds.var_of.at(net.inputs()[i])] = pip[i];
-  std::vector<double> p(net.size(), 0.0);
-  for (NodeId id = 0; id < net.size(); ++id) {
-    if (net.is_dead(id)) continue;
-    p[id] = bdds.mgr.probability(bdds.node_fn[id], var_p);
+  try {
+    auto bdds = build_global_bdds(net);
+    std::vector<double> var_p(bdds.mgr.num_vars(), 0.5);
+    for (std::size_t i = 0; i < net.inputs().size(); ++i)
+      var_p[bdds.var_of.at(net.inputs()[i])] = pip[i];
+    std::vector<double> p(net.size(), 0.0);
+    for (NodeId id = 0; id < net.size(); ++id) {
+      if (net.is_dead(id)) continue;
+      p[id] = bdds.mgr.probability(bdds.node_fn[id], var_p);
+    }
+    return p;
+  } catch (const bdd::NodeLimitExceeded&) {
+    report_bdd_limit("signal_probs_exact");
+    return sim::measure_activity(net, kFallbackVectors, kFallbackSeed, pip)
+        .signal_prob;
   }
-  return p;
 }
 
 std::vector<double> toggle_rate_from_probs(std::span<const double> probs) {
@@ -139,39 +192,49 @@ std::vector<double> transition_density(const Netlist& net,
       throw std::invalid_argument("pi density vector size mismatch");
     dens.assign(pi_density.begin(), pi_density.end());
   }
-  auto bdds = build_global_bdds(net);
-  auto& m = bdds.mgr;
-  std::vector<double> var_p(m.num_vars(), 0.5);
-  std::vector<double> var_d(m.num_vars(), 0.5);
-  for (std::size_t i = 0; i < net.inputs().size(); ++i) {
-    unsigned v = bdds.var_of.at(net.inputs()[i]);
-    var_p[v] = pip[i];
-    var_d[v] = dens[i];
+  try {
+    auto bdds = build_global_bdds(net);
+    auto& m = bdds.mgr;
+    std::vector<double> var_p(m.num_vars(), 0.5);
+    std::vector<double> var_d(m.num_vars(), 0.5);
+    for (std::size_t i = 0; i < net.inputs().size(); ++i) {
+      unsigned v = bdds.var_of.at(net.inputs()[i]);
+      var_p[v] = pip[i];
+      var_d[v] = dens[i];
+    }
+    std::vector<double> d(net.size(), 0.0);
+    for (NodeId id = 0; id < net.size(); ++id) {
+      if (net.is_dead(id)) continue;
+      const Node& nd = net.node(id);
+      // Safe point: between nodes only the rooted global functions are
+      // live, so the Boolean-difference scaffolding below can be shed.
+      if (m.live_nodes() >= kExactNodeLimit / 2) m.gc();
+      bdd::Ref f = bdds.node_fn[id];
+      if (is_source(nd.type)) {
+        d[id] = nd.type == GateType::Input
+                    ? var_d[bdds.var_of.at(id)]
+                    : 0.0;
+        continue;
+      }
+      if (nd.type == GateType::Dff) {
+        d[id] = var_d[bdds.var_of.at(id)];
+        continue;
+      }
+      // D(y) = sum over support vars of P(boolean difference) * D(x).
+      double acc = 0.0;
+      for (unsigned v : m.support(f)) {
+        bdd::Ref diff =
+            m.lxor(m.cofactor(f, v, false), m.cofactor(f, v, true));
+        acc += m.probability(diff, var_p) * var_d[v];
+      }
+      d[id] = acc;
+    }
+    return d;
+  } catch (const bdd::NodeLimitExceeded&) {
+    report_bdd_limit("transition_density");
+    return sim::measure_activity(net, kFallbackVectors, kFallbackSeed, pip)
+        .transition_prob;
   }
-  std::vector<double> d(net.size(), 0.0);
-  for (NodeId id = 0; id < net.size(); ++id) {
-    if (net.is_dead(id)) continue;
-    const Node& nd = net.node(id);
-    bdd::Ref f = bdds.node_fn[id];
-    if (is_source(nd.type)) {
-      d[id] = nd.type == GateType::Input
-                  ? var_d[bdds.var_of.at(id)]
-                  : 0.0;
-      continue;
-    }
-    if (nd.type == GateType::Dff) {
-      d[id] = var_d[bdds.var_of.at(id)];
-      continue;
-    }
-    // D(y) = sum over support vars of P(boolean difference) * D(x).
-    double acc = 0.0;
-    for (unsigned v : m.support(f)) {
-      bdd::Ref diff = m.lxor(m.cofactor(f, v, false), m.cofactor(f, v, true));
-      acc += m.probability(diff, var_p) * var_d[v];
-    }
-    d[id] = acc;
-  }
-  return d;
 }
 
 }  // namespace lps::power

@@ -46,4 +46,12 @@ std::vector<double> transition_density(const Netlist& net,
                                        std::span<const double> pi_prob = {},
                                        std::span<const double> pi_density = {});
 
+namespace detail {
+/// Test hook: make the next `n` global-BDD builds throw NodeLimitExceeded so
+/// tests can exercise the degrade-to-simulation fallback without constructing
+/// a network that actually blows the 4M-node budget.  Each forced failure is
+/// consumed exactly once (thread-safe); normal operation resumes after `n`.
+void force_bdd_limit(int n);
+}  // namespace detail
+
 }  // namespace lps::power

@@ -189,6 +189,23 @@ def rewrite_savings(claims):
     return out
 
 
+def bdd_synth_savings(claims):
+    """Extract the per-circuit hybrid BDD->MUX extraction savings table.
+
+    bench_bdd_synth claims the engine-level switching reduction per family
+    circuit as 'E27.saving.<circuit>'.  Hybrid extraction keeps a cone only
+    when the MUX network beats the original structure through the power
+    oracle, so most entries are honestly 0.0 — the column tracks where (and
+    whether) the extractor still finds wins as the generators evolve.
+    """
+    out = []
+    for key in sorted(claims or {}):
+        m = re.fullmatch(r"E27\.saving\.(.+)", key)
+        if m:
+            out.append({"name": m.group(1), "saving": round(claims[key], 4)})
+    return out
+
+
 def load_existing(path):
     """Previous aggregate, keyed by binary name.  Missing/corrupt -> {}."""
     try:
@@ -256,6 +273,9 @@ def main(argv):
         rw = rewrite_savings(doc.get("claims"))
         if rw:
             entry["rewrite_savings"] = rw
+        bs = bdd_synth_savings(doc.get("claims"))
+        if bs:
+            entry["bdd_synth_savings"] = bs
         if doc.get("claims"):
             entry["claims"] = doc["claims"]
         by_binary[doc["binary"]] = entry

@@ -242,6 +242,28 @@ class AggregateBenchTest(unittest.TestCase):
         (entry,) = out["benchmarks"]
         self.assertNotIn("rewrite_savings", entry)
 
+    def test_bdd_synth_savings_from_e27_claims(self):
+        a = os.path.join(self.dir.name, "a.json")
+        doc = bench_doc("bench_bdd_synth", 10.0, {
+            "E27.saving.addsub8": 0.00621,
+            "E27.saving.mult4": 0.0,  # honest revert-everything entry
+            "E27.synth_saving_geomean": 0.0123,  # not a per-circuit saving
+            "E27.soundness": 1.0,
+        })
+        write_json(a, doc)
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertEqual(entry["bdd_synth_savings"],
+                         [{"name": "addsub8", "saving": 0.0062},
+                          {"name": "mult4", "saving": 0.0}])
+
+    def test_bdd_synth_savings_absent_without_e27_claims(self):
+        a = os.path.join(self.dir.name, "a.json")
+        write_json(a, bench_doc("bench_a", 10.0, {"E25.saving.dct8": 0.07}))
+        out = self.run_agg([a])
+        (entry,) = out["benchmarks"]
+        self.assertNotIn("bdd_synth_savings", entry)
+
 
 class CheckExperimentsTest(unittest.TestCase):
     def setUp(self):
